@@ -1,0 +1,111 @@
+package basket
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// Partitioned is an extension beyond the paper: a basket with more
+// scalable extraction, the future work its §8 calls for ("designing a
+// basket with scalable dequeue operations").
+//
+// The paper's scalable basket funnels every extraction through one
+// fetch-and-add, so SBQ's dequeues serialize exactly like FAA-based
+// queues (§5.3.4). Partitioned splits the cells into K partitions, each
+// with its own extraction counter: extractors start at a random partition
+// and only fall over to others when theirs is exhausted, cutting
+// contention on any one counter by ~K. A partition's last index marks it
+// exhausted; the extractor that exhausts the K-th partition sets the
+// global empty bit, preserving the property SBQ's linearizability needs —
+// once the basket is indicated empty, every future Extract fails.
+type Partitioned[T any] struct {
+	cells []scell[T]
+	parts []partition
+	// exhausted counts fully-swept partitions; empty is set when it
+	// reaches len(parts).
+	exhausted atomic.Int64
+	empty     atomic.Bool
+	bound     int
+}
+
+type partition struct {
+	counter atomic.Uint64
+	lo, hi  int // cells [lo, hi)
+	_       [32]byte
+}
+
+// NewPartitioned returns a basket with capacity cells, scanning the first
+// bound on extraction, split into k partitions. k is clamped to [1,bound].
+func NewPartitioned[T any](capacity, bound, k int) *Partitioned[T] {
+	if capacity <= 0 {
+		panic("basket: capacity must be positive")
+	}
+	if bound <= 0 || bound > capacity {
+		bound = capacity
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > bound {
+		k = bound
+	}
+	b := &Partitioned[T]{cells: make([]scell[T], capacity), parts: make([]partition, k), bound: bound}
+	for i := range b.parts {
+		b.parts[i].lo = bound * i / k
+		b.parts[i].hi = bound * (i + 1) / k
+	}
+	return b
+}
+
+// Insert publishes x in inserter id's private cell, exactly like the
+// scalable basket.
+func (b *Partitioned[T]) Insert(id int, x T) bool {
+	c := &b.cells[id]
+	if c.state.Load() != cellInsert {
+		return false
+	}
+	c.v = x
+	return c.state.CompareAndSwap(cellInsert, cellFull)
+}
+
+// Extract claims indices from a random home partition, falling over to
+// the others only when it is exhausted.
+func (b *Partitioned[T]) Extract() (T, bool) {
+	var zero T
+	if b.empty.Load() {
+		return zero, false
+	}
+	k := len(b.parts)
+	home := int(rand.Uint64N(uint64(k)))
+	for off := 0; off < k; off++ {
+		p := &b.parts[(home+off)%k]
+		n := uint64(p.hi - p.lo)
+		for {
+			idx := p.counter.Add(1) - 1
+			if idx >= n {
+				break // partition exhausted; fall over to the next
+			}
+			if idx == n-1 {
+				// We claimed the partition's last index: it is exhausted
+				// once this swap lands; account it exactly once.
+				if b.exhausted.Add(1) == int64(k) {
+					b.empty.Store(true)
+				}
+			}
+			c := &b.cells[p.lo+int(idx)]
+			if c.state.Swap(cellEmpty) == cellFull {
+				return c.v, true
+			}
+		}
+	}
+	return zero, false
+}
+
+// Empty reports the global empty bit; false negatives are allowed.
+func (b *Partitioned[T]) Empty() bool { return b.empty.Load() }
+
+// ResetOwn returns inserter id's cell to the insertable state. Only legal
+// on an unpublished basket.
+func (b *Partitioned[T]) ResetOwn(id int) {
+	b.cells[id].state.Store(cellInsert)
+}

@@ -1,0 +1,89 @@
+package basket
+
+import "sync/atomic"
+
+// Cell states for the scalable basket.
+const (
+	cellInsert uint32 = iota // reserved for its inserter
+	cellFull                 // holds a value
+	cellEmpty                // claimed by an extractor
+)
+
+// pad keeps adjacent cells off each other's cache lines; the paper's C
+// implementation packs them, but extraction sweeps the array anyway and
+// insertion is the hot synchronization-free path.
+type scell[T any] struct {
+	state atomic.Uint32
+	v     T
+	_     [40]byte
+}
+
+// Scalable is the paper's scalable basket (Algorithms 8-9): an array with
+// one private cell per inserter, an extraction counter scanned with FAA,
+// and an empty bit set by the extractor that claims the last index.
+type Scalable[T any] struct {
+	cells   []scell[T]
+	counter atomic.Uint64
+	empty   atomic.Bool
+	bound   int // extraction scans cells[0:bound] (the active inserters)
+}
+
+// NewScalable returns a basket with capacity cells, scanning only the
+// first bound cells on extraction. The paper's evaluation fixes capacity
+// at the machine's thread count and sets bound to the live enqueuer count
+// (§6.1). bound must not exceed capacity.
+func NewScalable[T any](capacity, bound int) *Scalable[T] {
+	if capacity <= 0 {
+		panic("basket: capacity must be positive")
+	}
+	if bound <= 0 || bound > capacity {
+		bound = capacity
+	}
+	return &Scalable[T]{cells: make([]scell[T], capacity), bound: bound}
+}
+
+// Insert publishes x in inserter id's private cell: synchronization-free
+// in the sense that distinct inserters never contend with each other.
+func (b *Scalable[T]) Insert(id int, x T) bool {
+	c := &b.cells[id]
+	if c.state.Load() != cellInsert {
+		return false
+	}
+	c.v = x
+	return c.state.CompareAndSwap(cellInsert, cellFull)
+}
+
+// Extract claims an index with FAA and takes whatever its inserter
+// published, retrying past cells whose inserter never arrived. The
+// extractor that claims the last index sets the empty bit.
+func (b *Scalable[T]) Extract() (T, bool) {
+	var zero T
+	if b.empty.Load() {
+		return zero, false
+	}
+	for {
+		idx := b.counter.Add(1) - 1
+		if idx >= uint64(b.bound) {
+			return zero, false
+		}
+		if idx == uint64(b.bound)-1 {
+			b.empty.Store(true)
+		}
+		c := &b.cells[idx]
+		if c.state.Swap(cellEmpty) == cellFull {
+			return c.v, true
+		}
+	}
+}
+
+// Empty reports the empty bit; false negatives are allowed per the spec.
+func (b *Scalable[T]) Empty() bool { return b.empty.Load() }
+
+// ResetOwn returns inserter id's cell to the insertable state. Only legal
+// on an unpublished basket (node reuse, §5.2.2).
+func (b *Scalable[T]) ResetOwn(id int) {
+	b.cells[id].state.Store(cellInsert)
+}
+
+// Capacity returns the number of cells.
+func (b *Scalable[T]) Capacity() int { return len(b.cells) }

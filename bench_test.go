@@ -1,0 +1,318 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation as testing.B benchmarks, one family per figure:
+//
+//	BenchmarkFig1_*    TxCAS vs FAA latency (Figure 1)
+//	BenchmarkFig5_*    enqueue-only latency per queue (Figure 5)
+//	BenchmarkFig6_*    dequeue-only latency per queue (Figure 6)
+//	BenchmarkFig7_*    mixed workload per queue (Figure 7)
+//	BenchmarkAblation_* §4.1 delay sweep, §5.3.4 basket sweep, §3.4.1 fix
+//	BenchmarkNative_*  the native Go queues on real hardware
+//
+// Simulated benchmarks report sim_ns_per_op (simulated nanoseconds per
+// queue operation, the paper's y-axis) alongside Go's wall-clock ns/op,
+// which only measures how fast the simulator itself runs.
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/queue"
+	"repro/queue/baskets"
+	"repro/queue/ccq"
+	"repro/queue/faaq"
+	"repro/queue/lcrq"
+	"repro/queue/msq"
+	"repro/queue/sbq"
+)
+
+// benchOpts keeps simulated benchmarks small enough for go test -bench.
+func benchOpts(threads int) harness.Options {
+	return harness.Options{OpsPerThread: 100, Reps: 1, ThreadCounts: []int{threads}}
+}
+
+func reportSim(b *testing.B, results []harness.Result) {
+	b.Helper()
+	if len(results) == 0 {
+		b.Fatal("no results")
+	}
+	b.ReportMetric(results[0].NSPerOp, "sim_ns_per_op")
+	b.ReportMetric(results[0].Mops, "sim_Mops")
+}
+
+// --------------------------------------------------------------------------
+// Figure 1: TxCAS vs FAA.
+
+func BenchmarkFig1(b *testing.B) {
+	for _, threads := range []int{1, 4, 16, 44} {
+		for _, series := range []string{"FAA", "TxCAS"} {
+			series := series
+			b.Run(fmt.Sprintf("%s/threads=%d", series, threads), func(b *testing.B) {
+				var last []harness.Result
+				for i := 0; i < b.N; i++ {
+					res := harness.RunFig1(benchOpts(threads))
+					for _, r := range res {
+						if r.Series == series {
+							last = []harness.Result{r}
+						}
+					}
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figures 5-7: the five evaluated queues.
+
+func BenchmarkFig5_EnqueueOnly(b *testing.B) {
+	for _, v := range harness.AllVariants {
+		v := v
+		for _, threads := range []int{4, 16, 44} {
+			b.Run(fmt.Sprintf("%s/threads=%d", v, threads), func(b *testing.B) {
+				var last []harness.Result
+				for i := 0; i < b.N; i++ {
+					last = harness.RunEnqueueOnly([]harness.Variant{v}, benchOpts(threads))
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+func BenchmarkFig6_DequeueOnly(b *testing.B) {
+	for _, v := range harness.AllVariants {
+		v := v
+		for _, threads := range []int{4, 16, 44} {
+			b.Run(fmt.Sprintf("%s/threads=%d", v, threads), func(b *testing.B) {
+				var last []harness.Result
+				for i := 0; i < b.N; i++ {
+					last = harness.RunDequeueOnly([]harness.Variant{v}, benchOpts(threads))
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+func BenchmarkFig7_Mixed(b *testing.B) {
+	for _, v := range harness.AllVariants {
+		v := v
+		for _, threads := range []int{8, 44} {
+			b.Run(fmt.Sprintf("%s/threads=%d", v, threads), func(b *testing.B) {
+				var last []harness.Result
+				for i := 0; i < b.N; i++ {
+					last = harness.RunMixed([]harness.Variant{v}, benchOpts(threads))
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Ablations.
+
+func BenchmarkAblation_DelaySweep(b *testing.B) {
+	for _, delayNS := range []float64{0, 270, 540} {
+		delayNS := delayNS
+		b.Run(fmt.Sprintf("delay=%.0fns/threads=32", delayNS), func(b *testing.B) {
+			var last []harness.Result
+			for i := 0; i < b.N; i++ {
+				last = harness.RunDelaySweep([]float64{delayNS}, []int{32}, benchOpts(32))
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+func BenchmarkAblation_BasketSize(b *testing.B) {
+	for _, size := range []int{8, 44, 88} {
+		size := size
+		b.Run(fmt.Sprintf("B=%d/threads=8", size), func(b *testing.B) {
+			var last []harness.Result
+			for i := 0; i < b.N; i++ {
+				last = harness.RunBasketSweep([]int{size}, 8, benchOpts(8))
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+func BenchmarkAblation_TrippedWriterFix(b *testing.B) {
+	for _, cfg := range []string{"no-delay", "no-delay+fix", "cross-socket-delay"} {
+		cfg := cfg
+		b.Run(cfg, func(b *testing.B) {
+			var ns float64
+			var tripped uint64
+			for i := 0; i < b.N; i++ {
+				for _, r := range harness.RunFixAblation(benchOpts(0)) {
+					if r.Label == cfg {
+						ns, tripped = r.NSPerOp, r.TrippedWriters
+					}
+				}
+			}
+			b.ReportMetric(ns, "sim_ns_per_op")
+			b.ReportMetric(float64(tripped), "tripped_writers")
+		})
+	}
+}
+
+// BenchmarkExtension_PartitionedDequeue measures the §8 future-work
+// extension: SBQ-HTM dequeues with partitioned basket extraction vs the
+// paper's single-FAA basket.
+func BenchmarkExtension_PartitionedDequeue(b *testing.B) {
+	for _, v := range []harness.Variant{harness.SBQHTM, harness.SBQHTMPart} {
+		v := v
+		b.Run(fmt.Sprintf("%s/threads=44", v), func(b *testing.B) {
+			var last []harness.Result
+			for i := 0; i < b.N; i++ {
+				last = harness.RunDequeueOnly([]harness.Variant{v}, benchOpts(44))
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Native companion benchmarks: the adoptable library on real hardware.
+
+type nativeImpl struct {
+	name string
+	mk   func(producers int) (prod func(i int) queue.Queue[uint64], cons queue.Queue[uint64])
+}
+
+type sbqCons struct{ q *sbq.Queue[uint64] }
+
+func (c sbqCons) Enqueue(uint64)          { panic("consumer view") }
+func (c sbqCons) Dequeue() (uint64, bool) { return c.q.Dequeue() }
+
+func nativeImpls() []nativeImpl {
+	sharedQ := func(q queue.Queue[uint64]) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+		return func(int) queue.Queue[uint64] { return q }, q
+	}
+	return []nativeImpl{
+		{"MS-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return sharedQ(msq.New[uint64]())
+		}},
+		{"BQ-Original", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return sharedQ(baskets.New[uint64]())
+		}},
+		{"FAA-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return sharedQ(faaq.New[uint64]())
+		}},
+		{"LCRQ", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return sharedQ(lcrq.New[uint64]())
+		}},
+		{"CC-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return sharedQ(ccq.New[uint64](0))
+		}},
+		{"SBQ-CAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			q := sbq.New[uint64](p)
+			var mu sync.Mutex
+			handles := map[int]queue.Queue[uint64]{}
+			return func(i int) queue.Queue[uint64] {
+				mu.Lock()
+				defer mu.Unlock()
+				if h, ok := handles[i]; ok {
+					return h
+				}
+				h := q.NewHandle()
+				handles[i] = h
+				return h
+			}, sbqCons{q}
+		}},
+	}
+}
+
+func BenchmarkNative_Enqueue(b *testing.B) {
+	for _, im := range nativeImpls() {
+		im := im
+		b.Run(im.name, func(b *testing.B) {
+			prod, _ := im.mk(1)
+			q := prod(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i) + 1)
+			}
+		})
+	}
+}
+
+func BenchmarkNative_EnqueueDequeuePair(b *testing.B) {
+	for _, im := range nativeImpls() {
+		im := im
+		b.Run(im.name, func(b *testing.B) {
+			prod, cons := im.mk(1)
+			q := prod(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i) + 1)
+				if _, ok := cons.Dequeue(); !ok {
+					b.Fatal("unexpected empty")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNative_ParallelMixed(b *testing.B) {
+	for _, im := range nativeImpls() {
+		im := im
+		b.Run(im.name, func(b *testing.B) {
+			// RunParallel spawns GOMAXPROCS goroutines by default; size
+			// the producer-view pool with generous headroom so each
+			// goroutine gets a private view (SBQ handles must not be
+			// shared).
+			maxViews := 8*runtime.GOMAXPROCS(0) + 8
+			prod, cons := im.mk(maxViews)
+			var next atomic.Int64
+			var val atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(next.Add(1)) - 1
+				q := prod(id % maxViews)
+				for pb.Next() {
+					q.Enqueue(val.Add(1))
+					cons.Dequeue()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNative_SBQAppendStrategies compares plain and delayed CAS
+// try_append under parallel enqueue pressure (the SBQ-CAS tradeoff).
+func BenchmarkNative_SBQAppendStrategies(b *testing.B) {
+	strategies := []struct {
+		name string
+		mk   func(p int) *sbq.Queue[uint64]
+	}{
+		{"PlainCAS", func(p int) *sbq.Queue[uint64] { return sbq.New[uint64](p) }},
+		{"DelayedCAS", func(p int) *sbq.Queue[uint64] { return sbq.NewDelayedCAS[uint64](p, 270*time.Nanosecond) }},
+	}
+	for _, s := range strategies {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			maxViews := 8*runtime.GOMAXPROCS(0) + 8
+			q := s.mk(maxViews)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(next.Add(1)-1) % maxViews
+				h := q.NewHandle()
+				i := uint64(0)
+				for pb.Next() {
+					i++
+					h.Enqueue(uint64(id+1)<<40 | i)
+				}
+			})
+		})
+	}
+}

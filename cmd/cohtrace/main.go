@@ -1,0 +1,186 @@
+// Command cohtrace reproduces the coherence-dynamics diagrams of the
+// paper's Figures 2 and 3 as message-level traces from the simulator.
+//
+//	cohtrace -scenario cas      Figure 2a: contended standard CAS — every
+//	                            operation, including failures, acquires
+//	                            exclusive ownership in turn (serialized).
+//	cohtrace -scenario htm      Figure 2b: HTM-based CAS — one write's
+//	                            invalidations abort all readers at once
+//	                            (failures are concurrent).
+//	cohtrace -scenario tripped  Figure 3: a remote read aborts a writer
+//	                            that is draining its xend (tripped writer).
+//	cohtrace -scenario fixed    Figure 3 with the §3.4.1 microarchitectural
+//	                            fix: the read is stalled and the writer
+//	                            commits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+)
+
+func main() {
+	scenario := flag.String("scenario", "cas", "cas, htm, tripped, or fixed")
+	contenders := flag.Int("n", 3, "number of contending cores (cas/htm)")
+	flag.Parse()
+
+	switch *scenario {
+	case "cas":
+		standardCAS(*contenders)
+	case "htm":
+		htmCAS(*contenders)
+	case "tripped":
+		tripped(false)
+	case "fixed":
+		tripped(true)
+	default:
+		fmt.Fprintf(os.Stderr, "cohtrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func newMachine(fix bool) (*machine.Machine, *machine.Tracer) {
+	cfg := machine.Default()
+	cfg.TrippedWriterFix = fix
+	m := machine.New(cfg)
+	tr := &machine.Tracer{}
+	m.Tracer = tr
+	return m, tr
+}
+
+// standardCAS reproduces Figure 2a: n cores, all holding the line Shared,
+// CAS different values into it. Watch the Fwd-GetM chain serialize every
+// attempt — including the failing ones.
+func standardCAS(n int) {
+	m, tr := newMachine(false)
+	a := m.AllocLine(8, 0)
+	tr.Filter = machine.LineOf(a)
+	results := make([]bool, n)
+	times := make([]uint64, n)
+	for c := 0; c < n; c++ {
+		c := c
+		m.Go(c, func(p *machine.Proc) {
+			p.Read(a) // start in Shared, like the figure
+			p.Delay(500 - p.Now())
+			start := p.Now()
+			results[c] = p.CAS(a, 0, uint64(c)+1)
+			times[c] = p.Now() - start
+		})
+	}
+	m.Run()
+	fmt.Println("Figure 2a: standard CAS under contention (all cores start in S)")
+	fmt.Println()
+	tr.Dump(os.Stdout)
+	fmt.Println()
+	for c := 0; c < n; c++ {
+		fmt.Printf("C%d: CAS %s after %d cycles\n", c, mark(results[c]), times[c])
+	}
+	fmt.Println("\nEvery CAS - successful or not - acquired M ownership in turn:")
+	fmt.Printf("Fwd-GetM chain length %d, total Data handoffs %d.\n",
+		tr.Count(machine.MsgFwdGetM), tr.Count(machine.MsgData))
+}
+
+// htmCAS reproduces Figure 2b: the same contention pattern with
+// transactional CASs. The winner's single GetM fans invalidations out to
+// every reader concurrently; the losers abort within a constant number of
+// message delays.
+func htmCAS(n int) {
+	m, tr := newMachine(false)
+	a := m.AllocLine(8, 0)
+	tr.Filter = machine.LineOf(a)
+	results := make([]bool, n)
+	times := make([]uint64, n)
+	for c := 0; c < n; c++ {
+		c := c
+		m.Go(c, func(p *machine.Proc) {
+			p.Read(a)
+			p.Delay(500 - p.Now())
+			start := p.Now()
+			ok, _ := p.Transaction(func(tx *machine.Tx) {
+				v := tx.Read(a)
+				if v != 0 {
+					tx.Abort(1)
+				}
+				// Stagger writes slightly so exactly one write fires first,
+				// as in the figure (C1 writes, C2/C3 are still reading).
+				tx.Delay(uint64(c) * 40)
+				tx.Write(a, uint64(c)+1)
+			})
+			results[c] = ok
+			times[c] = p.Now() - start
+		})
+	}
+	m.Run()
+	fmt.Println("Figure 2b: HTM-based CAS under contention (all cores start in S)")
+	fmt.Println()
+	tr.Dump(os.Stdout)
+	fmt.Println()
+	for c := 0; c < n; c++ {
+		fmt.Printf("C%d: transaction %s after %d cycles\n", c, commitMark(results[c]), times[c])
+	}
+	fmt.Println("\nThe winner's GetM triggered back-to-back invalidations; every")
+	fmt.Printf("failing transaction aborted on Inv receipt (Inv count %d), with no\n", tr.Count(machine.MsgInv))
+	fmt.Println("ownership handoffs to the losers.")
+}
+
+// tripped reproduces Figure 3: C1's transactional write is draining (its
+// GetM is collecting invalidation acks) when a remote core's read arrives
+// as a Fwd-GetS. Without the fix, the read trips the writer; with it, the
+// read is stalled until the commit.
+func tripped(fix bool) {
+	m, tr := newMachine(fix)
+	a := m.AllocLine(8, 0)
+	tr.Filter = machine.LineOf(a)
+	cps := m.Config().CoresPerSocket
+	// Seed sharers so the writer's GetM needs acknowledgments: that is
+	// the drain window the read lands in. One sharer is remote, so the
+	// window is a cross-socket round trip wide.
+	for c := 2; c < 6; c++ {
+		m.Go(c, func(p *machine.Proc) { p.Read(a) })
+	}
+	m.Go(cps+1, func(p *machine.Proc) { p.Read(a) })
+
+	var committed bool
+	var reader uint64
+	m.Go(0, func(p *machine.Proc) { // C1 in the figure
+		p.Delay(3000 - p.Now())
+		committed, _ = p.Transaction(func(tx *machine.Tx) {
+			tx.Read(a)
+			tx.Write(a, 42)
+		})
+	})
+	m.Go(cps, func(p *machine.Proc) { // Ck in the figure: remote reader
+		p.Delay(3000 + 24)
+		reader = p.Read(a)
+	})
+	m.Run()
+
+	if fix {
+		fmt.Println("Figure 3 with the §3.4.1 fix: the Fwd-GetS is stalled at the writer")
+	} else {
+		fmt.Println("Figure 3: tripped writer — a remote read aborts a draining transaction")
+	}
+	fmt.Println()
+	tr.Dump(os.Stdout)
+	fmt.Println()
+	fmt.Printf("writer transaction: %s\n", commitMark(committed))
+	fmt.Printf("remote reader observed: %d\n", reader)
+	fmt.Printf("tripped writers: %d, fix stalls: %d\n", m.Stats.TrippedWriters, m.Stats.FixStalls)
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "succeeded"
+	}
+	return "FAILED"
+}
+
+func commitMark(ok bool) string {
+	if ok {
+		return "committed"
+	}
+	return "ABORTED"
+}

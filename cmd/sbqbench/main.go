@@ -1,0 +1,219 @@
+// Command sbqbench benchmarks the native Go queue implementations on real
+// hardware: the companion to the simulated-track figures. Go has no HTM,
+// so SBQ runs in its CAS configurations; these numbers characterize the
+// adoptable library on contemporary hardware rather than reproducing the
+// paper's HTM results (cmd/sbqsim does that).
+//
+//	sbqbench -workload enqueue|dequeue|mixed -threads 1,2,4,8 -ops 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/queue"
+	"repro/queue/baskets"
+	"repro/queue/ccq"
+	"repro/queue/faaq"
+	"repro/queue/lcrq"
+	"repro/queue/msq"
+	"repro/queue/sbq"
+)
+
+type impl struct {
+	name string
+	// build returns per-producer views and a shared consumer view.
+	build func(producers int) (func(i int) queue.Queue[uint64], queue.Queue[uint64])
+}
+
+func shared(q queue.Queue[uint64]) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+	return func(int) queue.Queue[uint64] { return q }, q
+}
+
+type sbqConsumer struct{ q *sbq.Queue[uint64] }
+
+func (c sbqConsumer) Enqueue(uint64)          { panic("consumer view") }
+func (c sbqConsumer) Dequeue() (uint64, bool) { return c.q.Dequeue() }
+
+func impls() []impl {
+	return []impl{
+		{"MS-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return shared(msq.New[uint64]())
+		}},
+		{"BQ-Original", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return shared(baskets.New[uint64]())
+		}},
+		{"FAA-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return shared(faaq.New[uint64]())
+		}},
+		{"LCRQ", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return shared(lcrq.New[uint64]())
+		}},
+		{"CC-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			return shared(ccq.New[uint64](0))
+		}},
+		{"SBQ-CAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			q := sbq.New[uint64](p)
+			var mu sync.Mutex
+			handles := map[int]queue.Queue[uint64]{}
+			view := func(i int) queue.Queue[uint64] {
+				mu.Lock()
+				defer mu.Unlock()
+				if h, ok := handles[i]; ok {
+					return h
+				}
+				h := q.NewHandle()
+				handles[i] = h
+				return h
+			}
+			return view, sbqConsumer{q}
+		}},
+		{"SBQ-DCAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
+			q := sbq.NewDelayedCAS[uint64](p, 270*time.Nanosecond)
+			var mu sync.Mutex
+			handles := map[int]queue.Queue[uint64]{}
+			view := func(i int) queue.Queue[uint64] {
+				mu.Lock()
+				defer mu.Unlock()
+				if h, ok := handles[i]; ok {
+					return h
+				}
+				h := q.NewHandle()
+				handles[i] = h
+				return h
+			}
+			return view, sbqConsumer{q}
+		}},
+	}
+}
+
+func main() {
+	workload := flag.String("workload", "enqueue", "enqueue, dequeue, or mixed")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,NumCPU)")
+	ops := flag.Int("ops", 100_000, "operations per thread")
+	only := flag.String("impl", "", "run a single implementation by name")
+	flag.Parse()
+
+	var threadCounts []int
+	if *threadsFlag == "" {
+		for n := 1; n <= runtime.NumCPU(); n *= 2 {
+			threadCounts = append(threadCounts, n)
+		}
+	} else {
+		for _, s := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "sbqbench: bad thread count %q\n", s)
+				os.Exit(2)
+			}
+			threadCounts = append(threadCounts, n)
+		}
+	}
+	sort.Ints(threadCounts)
+
+	fmt.Printf("workload=%s ops/thread=%d GOMAXPROCS=%d\n\n", *workload, *ops, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s", "impl")
+	for _, n := range threadCounts {
+		fmt.Printf(" %9dT", n)
+	}
+	fmt.Println("   [ns/op]")
+	for _, im := range impls() {
+		if *only != "" && im.name != *only {
+			continue
+		}
+		fmt.Printf("%-12s", im.name)
+		for _, n := range threadCounts {
+			ns := runOne(im, *workload, n, *ops)
+			fmt.Printf(" %10.1f", ns)
+		}
+		fmt.Println()
+	}
+}
+
+func runOne(im impl, workload string, threads, ops int) float64 {
+	producers, consumers := threads, threads
+	switch workload {
+	case "enqueue":
+		consumers = 0
+	case "dequeue":
+		producers = 0
+	case "mixed":
+	default:
+		fmt.Fprintf(os.Stderr, "sbqbench: unknown workload %q\n", workload)
+		os.Exit(2)
+	}
+	nProd := producers
+	if nProd == 0 {
+		nProd = threads // prefill threads double as producers
+	}
+	prodView, consView := im.build(nProd)
+
+	// Prefill for dequeue/mixed so consumers rarely see empty.
+	prefill := 0
+	switch workload {
+	case "dequeue":
+		prefill = threads*ops + 1024
+	case "mixed":
+		prefill = threads * ops / 2
+	}
+	if prefill > 0 {
+		var wg sync.WaitGroup
+		per := prefill / nProd
+		for i := 0; i < nProd; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q := prodView(i)
+				for k := 0; k < per; k++ {
+					q.Enqueue(uint64(i+1)<<32 | uint64(k+1))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	total := 0
+	if workload != "dequeue" {
+		for i := 0; i < producers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q := prodView(i)
+				for k := 0; k < ops; k++ {
+					q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
+				}
+			}()
+		}
+		total += producers * ops
+	}
+	if workload != "enqueue" {
+		for i := 0; i < consumers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got := 0
+				for got < ops {
+					if _, ok := consView.Dequeue(); ok {
+						got++
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		total += consumers * ops
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) * float64(threads) / float64(total)
+}

@@ -1,0 +1,113 @@
+// Pipeline: a three-stage parallel processing pipeline (parse -> hash ->
+// aggregate) connected by the library's MPMC queues instead of channels.
+//
+// Queues beat channels for this shape when stages have many workers on
+// each side: a channel serializes on one mutex, while SBQ's enqueues
+// profit from contention (the paper's producer-heavy sweet spot).
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/queue/sbq"
+)
+
+type record struct {
+	id      int
+	payload []byte
+}
+
+type digest struct {
+	id  int
+	sum [32]byte
+}
+
+const (
+	records   = 50_000
+	parsers   = 4
+	hashers   = 4
+	reducers  = 2
+	batchSize = 64
+)
+
+func main() {
+	// Stage queues. Each producing stage gets handles for its workers.
+	parsed := sbq.New[record](parsers)
+	hashed := sbq.New[digest](hashers)
+
+	var wg sync.WaitGroup
+
+	// Stage 1: parsers synthesize records.
+	var parsedCount atomic.Int64
+	for w := 0; w < parsers; w++ {
+		h := parsed.NewHandle()
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < records; i += parsers {
+				var payload [16]byte
+				binary.LittleEndian.PutUint64(payload[:8], uint64(i))
+				binary.LittleEndian.PutUint64(payload[8:], uint64(i)*2654435761)
+				h.Enqueue(record{id: i, payload: payload[:]})
+				parsedCount.Add(1)
+			}
+		}()
+	}
+
+	// Stage 2: hashers consume records and produce digests.
+	var hashedCount atomic.Int64
+	for w := 0; w < hashers; w++ {
+		h := hashed.NewHandle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for hashedCount.Load() < records {
+				r, ok := parsed.Dequeue()
+				if !ok {
+					continue
+				}
+				h.Enqueue(digest{id: r.id, sum: sha256.Sum256(r.payload)})
+				hashedCount.Add(1)
+			}
+		}()
+	}
+
+	// Stage 3: reducers fold digests into a running xor (order-free).
+	var reduced atomic.Int64
+	acc := make([][32]byte, reducers)
+	for w := 0; w < reducers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for reduced.Load() < records {
+				d, ok := hashed.Dequeue()
+				if !ok {
+					continue
+				}
+				for i := range acc[w] {
+					acc[w][i] ^= d.sum[i]
+				}
+				reduced.Add(1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	var final [32]byte
+	for _, a := range acc {
+		for i := range final {
+			final[i] ^= a[i]
+		}
+	}
+	fmt.Printf("pipeline processed %d records through %d+%d+%d workers\n",
+		reduced.Load(), parsers, hashers, reducers)
+	fmt.Printf("aggregate digest: %x\n", final[:8])
+}

@@ -1,0 +1,93 @@
+// Simlab: using the simulated machine directly to study a synchronization
+// primitive — here, comparing a test-and-set spinlock against a
+// ticket lock under contention, the same way the paper studies TxCAS.
+//
+// The machine API (repro/internal/machine) gives you cores, coherent
+// memory, atomics, and HTM; programs are plain Go functions over Proc.
+//
+//	go run ./examples/simlab
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+func main() {
+	for _, threads := range []int{2, 8, 24, 44} {
+		tas := spinlockBench(threads)
+		ticket := ticketBench(threads)
+		fmt.Printf("%2d threads: test-and-set lock %6.0f ns/crit, ticket lock %6.0f ns/crit\n",
+			threads, tas, ticket)
+	}
+	fmt.Println("\nBoth serialize, but the ticket lock's FIFO handoff keeps latency")
+	fmt.Println("predictable while TAS suffers from coherence storms - the same")
+	fmt.Println("dynamics paper figure 2a shows for contended CAS.")
+}
+
+// spinlockBench measures a critical section guarded by a test-and-set
+// lock: every acquisition attempt is a contended RMW.
+func spinlockBench(threads int) float64 {
+	cfg := machine.Default()
+	m := machine.New(cfg)
+	lock := m.AllocLine(8, 0)
+	counter := m.AllocLine(8, 0)
+	const ops = 40
+	var cycles uint64
+	for t := 0; t < threads; t++ {
+		m.Go(t, func(p *machine.Proc) {
+			p.Delay(p.RandN(100))
+			start := p.Now()
+			for i := 0; i < ops; i++ {
+				// test-and-test-and-set with backoff
+				for {
+					if p.Read(lock) == 0 && p.Swap(lock, 1) == 0 {
+						break
+					}
+					p.Delay(20 + p.RandN(40))
+				}
+				p.Write(counter, p.Read(counter)+1) // critical section
+				p.Write(lock, 0)
+			}
+			cycles += p.Now() - start
+		})
+	}
+	m.Run()
+	if got := m.Peek(counter); got != uint64(threads*ops) {
+		panic(fmt.Sprintf("lost updates: %d != %d", got, threads*ops))
+	}
+	return cfg.NSPerOp(float64(cycles) / float64(threads*ops))
+}
+
+// ticketBench measures the same critical section under a ticket lock: one
+// FAA to take a ticket, local spinning on now-serving.
+func ticketBench(threads int) float64 {
+	cfg := machine.Default()
+	m := machine.New(cfg)
+	next := m.AllocLine(8, 0)    // ticket dispenser
+	serving := m.AllocLine(8, 0) // now serving
+	counter := m.AllocLine(8, 0)
+	const ops = 40
+	var cycles uint64
+	for t := 0; t < threads; t++ {
+		m.Go(t, func(p *machine.Proc) {
+			p.Delay(p.RandN(100))
+			start := p.Now()
+			for i := 0; i < ops; i++ {
+				ticket := p.FAA(next, 1)
+				for p.Read(serving) != ticket {
+					p.Delay(30)
+				}
+				p.Write(counter, p.Read(counter)+1) // critical section
+				p.Write(serving, ticket+1)
+			}
+			cycles += p.Now() - start
+		})
+	}
+	m.Run()
+	if got := m.Peek(counter); got != uint64(threads*ops) {
+		panic(fmt.Sprintf("lost updates: %d != %d", got, threads*ops))
+	}
+	return cfg.NSPerOp(float64(cycles) / float64(threads*ops))
+}

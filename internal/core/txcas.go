@@ -1,0 +1,153 @@
+// Package core implements the paper's primary contribution on the simulated
+// machine: TxCAS, a compare-and-set built from a hardware transaction whose
+// failures are not serialized by the cache coherence protocol (paper §3–§4).
+//
+// A TxCAS executes the CAS read in a nested transaction and the CAS write
+// in the main transaction, with a tuned delay in between. The delay raises
+// the chance that losing TxCASs abort before issuing their write (keeping
+// pending GetM requests off the line) and lets one successful write abort
+// many concurrent readers at once. After an abort, TxCAS fails only if the
+// target location actually changed; otherwise it retries.
+package core
+
+import "repro/internal/machine"
+
+// DefaultDelay is the intra-transaction delay (paper §4.1), in cycles.
+// The paper empirically tunes ~270ns on its platform; at the simulator's
+// 2.5 cycles/ns scale that is ~675 cycles.
+const DefaultDelay = 675
+
+// DefaultPostAbortDelay is the wait before re-reading the target location
+// after a conflict abort (paper §4.2), sized to let an in-flight writer
+// finish its GetM so the check does not trip it. Intra-socket, the window
+// is a few message delays.
+const DefaultPostAbortDelay = 150
+
+// DefaultMaxRetries bounds transactional retries before TxCAS falls back to
+// a standard CAS, making it wait-free (paper §4, "Progress"). The paper
+// reports the fallback never fires in practice; ours exists and is counted.
+const DefaultMaxRetries = 64
+
+// DefaultRetryJitter is the randomized pre-retry delay bound (see
+// Options.RetryJitter).
+const DefaultRetryJitter = 32
+
+// DefaultDelayJitter is the randomized intra-transaction delay spread (see
+// Options.DelayJitter), ~10% of DefaultDelay.
+const DefaultDelayJitter = 64
+
+// abortCodeValueMismatch is the explicit-abort code used when the read step
+// observes a value different from the expected one.
+const abortCodeValueMismatch = 1
+
+// Options tunes a TxCAS instance.
+type Options struct {
+	// Delay is the intra-transaction delay in cycles (§4.1). Zero means
+	// no delay (which serializes successful TxCASs like standard CAS at
+	// low concurrency).
+	Delay uint64
+	// PostAbortDelay is the pre-check delay after a conflict abort (§4.2).
+	PostAbortDelay uint64
+	// MaxRetries bounds transactional attempts before the standard-CAS
+	// fallback. Zero means DefaultMaxRetries.
+	MaxRetries int
+	// RetryJitter adds up to this many cycles of randomized delay before
+	// a transactional retry. Real hardware gets this symmetry-breaking
+	// for free from timing noise; the simulator is perfectly symmetric,
+	// so without jitter simultaneous writers can re-abort each other in
+	// lockstep indefinitely.
+	RetryJitter uint64
+	// DelayJitter randomizes the intra-transaction delay by up to this
+	// many cycles. It models the timing noise of a real delay loop
+	// (cache effects, frequency scaling); with none, contending TxCASs
+	// that were aborted by the same invalidation wave re-issue their
+	// writes in the same cycle forever.
+	DelayJitter uint64
+}
+
+// DefaultOptions returns the tuning used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Delay:          DefaultDelay,
+		PostAbortDelay: DefaultPostAbortDelay,
+		MaxRetries:     DefaultMaxRetries,
+		RetryJitter:    DefaultRetryJitter,
+		DelayJitter:    DefaultDelayJitter,
+	}
+}
+
+// CAS is a TxCAS executor bound to tuning options. The zero value uses
+// no delays; use New(DefaultOptions()) for the evaluated configuration.
+type CAS struct {
+	opt Options
+	// Fallbacks counts operations resolved by the standard-CAS fallback.
+	Fallbacks uint64
+	// Attempts counts transactional attempts across all operations.
+	Attempts uint64
+	// Ops counts completed TxCAS operations.
+	Ops uint64
+}
+
+// New returns a TxCAS executor with the given options.
+func New(opt Options) *CAS {
+	if opt.MaxRetries == 0 {
+		opt.MaxRetries = DefaultMaxRetries
+	}
+	return &CAS{opt: opt}
+}
+
+// Do performs TxCAS(ptr, old, new) on proc p: if the word at ptr equals
+// old, store new and return true; otherwise return false. Fails only if
+// the location's value actually changed (CAS semantics), per paper §4.2.
+//
+// This is Algorithm 1 of the paper.
+func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
+	c.Ops++
+	for attempt := 0; attempt < c.opt.MaxRetries; attempt++ {
+		c.Attempts++
+		delay := c.opt.Delay
+		if c.opt.DelayJitter > 0 {
+			delay += p.RandN(c.opt.DelayJitter)
+		}
+		committed, st := p.Transaction(func(tx *machine.Tx) {
+			tx.Nested(func(tx *machine.Tx) {
+				value := tx.Read(ptr) // CAS read step
+				if value != old {
+					tx.Abort(abortCodeValueMismatch)
+				}
+				tx.Delay(delay) // intra-transaction delay (§4.1)
+			})
+			tx.Write(ptr, new) // CAS write step
+		})
+		if committed {
+			return true
+		}
+		if st.Explicit && st.Code == abortCodeValueMismatch {
+			return false // read step saw a different value
+		}
+		if !(st.Conflict && st.Nested) {
+			// Conflict at/after the write step (we may be the tripped
+			// writer), or a non-conflict abort: retry immediately, with
+			// a touch of jitter to break simulator lockstep.
+			if c.opt.RetryJitter > 0 {
+				p.Delay(p.RandN(c.opt.RetryJitter))
+			}
+			continue
+		}
+		// Conflict during the read step: another TxCAS's write is in
+		// flight. Wait for its GetM to complete — so our check does not
+		// trip it — then fail if the location indeed changed.
+		p.Delay(c.opt.PostAbortDelay)
+		if p.Read(ptr) != old {
+			return false
+		}
+	}
+	// Fallback to a standard CAS for wait-freedom.
+	c.Fallbacks++
+	return p.CAS(ptr, old, new)
+}
+
+// TxCAS performs a one-shot TxCAS with the default options.
+func TxCAS(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
+	return New(DefaultOptions()).Do(p, ptr, old, new)
+}

@@ -1,0 +1,198 @@
+// Package linearize checks complete queue histories for linearizability
+// using the aspect-oriented method the paper uses for SBQ's proof (§5.3.2,
+// after Henzinger, Sezgin & Vafeiadis): assuming enqueued values are
+// unique, a complete history is linearizable iff it is free of four
+// violation patterns — VFresh, VRepeat, VOrd, and VWit.
+//
+// The checker runs in O(n log n), so it is cheap enough to run on every
+// concurrent test's history, simulated or native.
+package linearize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind distinguishes history operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Enq Kind = iota
+	Deq
+)
+
+// Op is one completed queue operation in a history. Start/End timestamps
+// must come from a single total order (the simulator's clock, or an atomic
+// counter shared by native threads).
+type Op struct {
+	Kind  Kind
+	Value uint64 // enqueued value, or dequeued value when Empty is false
+	Empty bool   // for Deq: the operation returned "queue empty"
+	Start uint64
+	End   uint64
+	// Thread optionally records the executing thread for diagnostics.
+	Thread int
+}
+
+// Violation describes a linearizability violation found in a history.
+type Violation struct {
+	// Aspect is one of "VFresh", "VRepeat", "VOrd", "VWit", or
+	// "malformed" for histories that break the checker's preconditions.
+	Aspect string
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.Aspect + ": " + v.Detail }
+
+// Check scans a complete history for queue-semantics violations and
+// returns the first violation found, or nil if the history is linearizable
+// as a FIFO queue. Enqueued values must be unique.
+func Check(hist []Op) *Violation {
+	type enqInfo struct {
+		start, end uint64
+		// deqStart/deqEnd of the dequeue that returned this value;
+		// deqStart is +inf when never dequeued.
+		deqStart, deqEnd uint64
+		dequeued         bool
+	}
+	const inf = math.MaxUint64
+
+	enqs := make(map[uint64]*enqInfo, len(hist))
+	for i := range hist {
+		op := &hist[i]
+		if op.Start > op.End {
+			return &Violation{"malformed", fmt.Sprintf("op %+v ends before it starts", *op)}
+		}
+		if op.Kind == Enq {
+			if _, dup := enqs[op.Value]; dup {
+				return &Violation{"malformed", fmt.Sprintf("value %d enqueued twice; the checker requires unique values", op.Value)}
+			}
+			enqs[op.Value] = &enqInfo{start: op.Start, end: op.End, deqStart: inf}
+		}
+	}
+
+	// VFresh and VRepeat.
+	seen := make(map[uint64]bool, len(hist))
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind != Deq || op.Empty {
+			continue
+		}
+		e, ok := enqs[op.Value]
+		if !ok {
+			return &Violation{"VFresh", fmt.Sprintf("dequeue returned %d, which was never enqueued", op.Value)}
+		}
+		if op.End < e.start {
+			return &Violation{"VFresh", fmt.Sprintf("dequeue of %d completed at %d before its enqueue started at %d", op.Value, op.End, e.start)}
+		}
+		if seen[op.Value] {
+			return &Violation{"VRepeat", fmt.Sprintf("value %d dequeued twice", op.Value)}
+		}
+		seen[op.Value] = true
+		e.dequeued = true
+		e.deqStart, e.deqEnd = op.Start, op.End
+	}
+
+	// Sort enqueue records by completion time for the sweeps below.
+	byEnd := make([]*enqInfo, 0, len(enqs))
+	for _, e := range enqs {
+		byEnd = append(byEnd, e)
+	}
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].end < byEnd[j].end })
+
+	// prefixMaxDeqStart(t) = max deqStart over all enqueues with end < t.
+	// A value of inf means some such element is never dequeued.
+	prefix := func() func(t uint64) uint64 {
+		i := 0
+		cur := uint64(0)
+		return func(t uint64) uint64 {
+			for i < len(byEnd) && byEnd[i].end < t {
+				if byEnd[i].deqStart > cur {
+					cur = byEnd[i].deqStart
+				}
+				i++
+			}
+			return cur
+		}
+	}
+
+	// VOrd: exists a,b with enq(a) preceding enq(b), b dequeued, and a's
+	// dequeue missing or starting after b's dequeue completed. With the
+	// prefix maximum of dequeue-start times (inf for never-dequeued) over
+	// all a enqueued strictly before b, the condition collapses to
+	// pm(b.enqStart) > b.deqEnd.
+	{
+		type q struct {
+			value        uint64
+			start, dqEnd uint64
+		}
+		var qs []q
+		for v, e := range enqs {
+			if e.dequeued {
+				qs = append(qs, q{v, e.start, e.deqEnd})
+			}
+		}
+		sort.Slice(qs, func(i, j int) bool { return qs[i].start < qs[j].start })
+		pm := prefix()
+		for _, b := range qs {
+			if pm(b.start) > b.dqEnd {
+				return &Violation{"VOrd", fmt.Sprintf("some element was enqueued strictly before %d yet dequeued after %d's dequeue completed (or never)", b.value, b.value)}
+			}
+		}
+	}
+
+	// VWit: a dequeue returned empty although some element was enqueued
+	// before it started and not dequeued until after it completed.
+	{
+		pm := prefix()
+		type nullDeq struct{ start, end uint64 }
+		var nulls []nullDeq
+		for i := range hist {
+			if hist[i].Kind == Deq && hist[i].Empty {
+				nulls = append(nulls, nullDeq{hist[i].Start, hist[i].End})
+			}
+		}
+		sort.Slice(nulls, func(i, j int) bool { return nulls[i].start < nulls[j].start })
+		for _, d := range nulls {
+			if m := pm(d.start); m > d.end {
+				return &Violation{"VWit", fmt.Sprintf("a dequeue over [%d,%d] returned empty although an element enqueued before %d stayed in the queue past %d", d.start, d.end, d.start, d.end)}
+			}
+		}
+	}
+
+	return nil
+}
+
+// Complete turns a history that may contain pending (unfinished)
+// operations into a complete one the checker accepts, per the completion
+// step of the aspect-oriented framework: pending enqueues whose value was
+// dequeued are completed (their effect is visible), all other pending
+// operations are dropped. A pending op is one with End == 0.
+func Complete(hist []Op) []Op {
+	dequeued := make(map[uint64]bool)
+	var maxT uint64
+	for i := range hist {
+		op := &hist[i]
+		if op.Kind == Deq && !op.Empty && op.End != 0 {
+			dequeued[op.Value] = true
+		}
+		if op.End > maxT {
+			maxT = op.End
+		}
+	}
+	out := make([]Op, 0, len(hist))
+	for _, op := range hist {
+		if op.End != 0 {
+			out = append(out, op)
+			continue
+		}
+		if op.Kind == Enq && dequeued[op.Value] {
+			op.End = maxT + 1 // took effect; close its interval
+			out = append(out, op)
+		}
+	}
+	return out
+}

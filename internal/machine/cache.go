@@ -1,0 +1,325 @@
+package machine
+
+// lstate is a cache line's stable coherence state.
+type lstate uint8
+
+const (
+	stateI lstate = iota // Invalid: not present / no permissions
+	stateS               // Shared: read permission
+	stateM               // Modified: read/write permission, exclusive
+)
+
+func (s lstate) String() string {
+	switch s {
+	case stateS:
+		return "S"
+	case stateM:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// mshrEntry tracks one outstanding coherence request (at most one per line
+// per cache). The line is granted once the Data response has arrived and
+// all invalidation acknowledgments have been collected.
+type mshrEntry struct {
+	wantM       bool
+	dataArrived bool
+	needAcks    int // valid once dataArrived
+	gotAcks     int
+	onGrant     []func()
+	// deferred holds forwarded requests that arrived while this request
+	// was in flight; they are serviced once the line is granted. This is
+	// the owner-side stall that serializes RMW handoff chains.
+	deferred []Msg
+}
+
+// cache is a core's private cache controller.
+type cache struct {
+	m    *Machine
+	core int
+
+	lines map[uint64]lstate
+	mshr  map[uint64]*mshrEntry
+
+	// locked marks lines held exclusively for the duration of an atomic
+	// RMW; incoming coherence requests for them are deferred.
+	locked   map[uint64]bool
+	deferred map[uint64][]Msg
+
+	txn *txn // active hardware transaction, if any
+
+	inbox     []Msg
+	busyUntil uint64
+	draining  bool
+}
+
+func newCache(m *Machine, core int) *cache {
+	return &cache{
+		m:        m,
+		core:     core,
+		lines:    make(map[uint64]lstate),
+		mshr:     make(map[uint64]*mshrEntry),
+		locked:   make(map[uint64]bool),
+		deferred: make(map[uint64][]Msg),
+	}
+}
+
+func (c *cache) proc() *Proc { return c.m.procs[c.core] }
+
+func (c *cache) socket() int { return c.m.cfg.SocketOf(c.core) }
+
+// ---------------------------------------------------------------------------
+// Requests initiated by the local core.
+
+// request ensures an outstanding GetS/GetM for line and registers a grant
+// callback. If the line already has sufficient permission the callback runs
+// after a hit latency instead.
+func (c *cache) request(line uint64, wantM bool, onGrant func()) {
+	st := c.lines[line]
+	if st == stateM || (st == stateS && !wantM) {
+		c.m.eng.Schedule(c.m.cfg.HitCycles, onGrant)
+		return
+	}
+	if e, ok := c.mshr[line]; ok {
+		if wantM && !e.wantM {
+			// Upgrade desired while a GetS is in flight: chain a fresh
+			// request after the grant.
+			e.onGrant = append(e.onGrant, func() { c.request(line, true, onGrant) })
+			return
+		}
+		e.onGrant = append(e.onGrant, onGrant)
+		return
+	}
+	e := &mshrEntry{wantM: wantM, needAcks: -1}
+	e.onGrant = append(e.onGrant, onGrant)
+	c.mshr[line] = e
+	kind := MsgGetS
+	if wantM {
+		kind = MsgGetM
+	}
+	c.m.sendToDir(c.socket(), Msg{Kind: kind, Line: line, From: c.core, Requester: c.core})
+}
+
+func (c *cache) tryComplete(line uint64, e *mshrEntry) {
+	if !e.dataArrived || e.gotAcks < e.needAcks {
+		return
+	}
+	delete(c.mshr, line)
+	if e.wantM {
+		c.lines[line] = stateM
+	} else if c.lines[line] != stateM {
+		c.lines[line] = stateS
+	}
+	for _, f := range e.onGrant {
+		f()
+	}
+	// Service requests that stalled behind this miss. The grant callbacks
+	// above may have started an RMW hold, in which case handleNow defers
+	// them again until the hold releases.
+	pend := e.deferred
+	e.deferred = nil
+	for _, msg := range pend {
+		c.handleNow(msg)
+	}
+}
+
+// load performs a (possibly transactional) read of addr. done receives the
+// loaded value; it runs in engine context at completion time.
+func (c *cache) load(addr Addr, tx bool, done func(val uint64)) {
+	c.m.Stats.Loads++
+	line := LineOf(addr)
+	if tx && c.txn != nil {
+		if v, ok := c.txn.writeBuf[addr]; ok {
+			c.m.eng.Schedule(c.m.cfg.HitCycles, func() { done(v) })
+			return
+		}
+	}
+	txid := c.txnID()
+	if st := c.lines[line]; st == stateS || st == stateM {
+		c.m.Stats.LoadHits++
+	}
+	c.request(line, false, func() {
+		if tx && c.txn != nil && c.txn.id == txid {
+			if c.txOverCapacity(c.txn, line) {
+				c.m.Stats.TxAbortCapacity++
+				c.abortTx(AbortStatus{Capacity: true, Nested: c.txn.depth >= 2}, false)
+				return
+			}
+			c.txn.readSet[line] = struct{}{}
+		}
+		done(c.m.mem[addr])
+	})
+}
+
+// store performs a non-transactional write of addr.
+func (c *cache) store(addr Addr, v uint64, done func()) {
+	c.m.Stats.Stores++
+	line := LineOf(addr)
+	if c.lines[line] == stateM {
+		c.m.Stats.StoreHits++
+	}
+	c.request(line, true, func() {
+		c.m.mem[addr] = v
+		done()
+	})
+}
+
+// rmw performs an atomic read-modify-write: acquire Modified ownership,
+// hold the line (stalling incoming requests) for RMWHold cycles while the
+// update is applied, then release. apply returns the new value and whether
+// to write it back; done receives the old value.
+func (c *cache) rmw(addr Addr, apply func(old uint64) (uint64, bool), done func(old uint64)) {
+	c.m.Stats.RMWs++
+	line := LineOf(addr)
+	c.request(line, true, func() {
+		c.locked[line] = true
+		c.m.eng.Schedule(c.m.cfg.RMWHold, func() {
+			old := c.m.mem[addr]
+			if nv, wb := apply(old); wb {
+				c.m.mem[addr] = nv
+			}
+			c.locked[line] = false
+			c.releaseDeferred(line)
+			done(old)
+		})
+	})
+}
+
+func (c *cache) releaseDeferred(line uint64) {
+	pend := c.deferred[line]
+	if len(pend) == 0 {
+		return
+	}
+	delete(c.deferred, line)
+	for _, msg := range pend {
+		c.handleNow(msg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Incoming coherence traffic.
+
+// receive enqueues an incoming message; the controller handles one message
+// per CacheOccupancy cycles.
+func (c *cache) receive(msg Msg) {
+	c.inbox = append(c.inbox, msg)
+	if !c.draining {
+		c.draining = true
+		start := c.m.eng.Now()
+		if c.busyUntil > start {
+			start = c.busyUntil
+		}
+		c.m.eng.At(start, c.drain)
+	}
+}
+
+func (c *cache) drain() {
+	msg := c.inbox[0]
+	c.inbox = c.inbox[1:]
+	c.busyUntil = c.m.eng.Now() + c.m.cfg.CacheOccupancy
+	c.handleNow(msg)
+	if len(c.inbox) > 0 {
+		c.m.eng.At(c.busyUntil, c.drain)
+	} else {
+		c.draining = false
+	}
+}
+
+func (c *cache) handleNow(msg Msg) {
+	line := msg.Line
+	switch msg.Kind {
+	case MsgData:
+		if e, ok := c.mshr[line]; ok {
+			e.dataArrived = true
+			e.needAcks = msg.NeedAcks
+			c.tryComplete(line, e)
+		} else if c.lines[line] != stateM {
+			// Stale grant (e.g. the waiting transaction aborted and the
+			// entry was serviced through another path); keep permissions.
+			if msg.Excl {
+				c.lines[line] = stateM
+			} else if c.lines[line] == stateI {
+				c.lines[line] = stateS
+			}
+		}
+	case MsgInvAck:
+		if e, ok := c.mshr[line]; ok {
+			e.gotAcks++
+			c.tryComplete(line, e)
+		}
+	case MsgInv:
+		// Requester-wins: an invalidation of a transactionally accessed
+		// line aborts the transaction. This is the concurrent-abort path
+		// that makes TxCAS failures scale (paper §3.3).
+		c.conflict(line, false)
+		if c.lines[line] != stateM {
+			c.lines[line] = stateI
+		}
+		c.m.sendToCache(c.socket(), msg.Requester, Msg{Kind: MsgInvAck, Line: line, From: c.core, Requester: msg.Requester})
+	case MsgFwdGetS:
+		if c.locked[line] {
+			c.deferred[line] = append(c.deferred[line], msg)
+			return
+		}
+		if e, ok := c.mshr[line]; ok && e.wantM {
+			// We are in the window between issuing our GetM and having it
+			// complete: the tripped-writer window of paper §3.4.
+			if c.txn != nil && c.txn.writes(line) {
+				if c.m.cfg.TrippedWriterFix && c.txn.committing && c.txn.pendingW == 1 {
+					c.m.Stats.FixStalls++
+					c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
+					return
+				}
+				c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing)
+			}
+			e.deferred = append(e.deferred, msg)
+			return
+		}
+		if c.txn != nil && c.txn.writes(line) {
+			// Remote read of a transactionally written line we already own.
+			if c.m.cfg.TrippedWriterFix && c.txn.committing {
+				c.m.Stats.FixStalls++
+				c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
+				return
+			}
+			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing)
+		}
+		if c.lines[line] == stateM {
+			c.lines[line] = stateS
+		}
+		c.m.sendToCache(c.socket(), msg.Requester, Msg{Kind: MsgData, Line: line, From: c.core, Requester: msg.Requester, NeedAcks: 0, Excl: false})
+		c.m.sendToDir(c.socket(), Msg{Kind: MsgDownAck, Line: line, From: c.core, Requester: msg.Requester})
+	case MsgFwdGetM:
+		if c.locked[line] {
+			c.deferred[line] = append(c.deferred[line], msg)
+			return
+		}
+		if c.txn != nil && (c.txn.writes(line) || c.txn.reads(line)) {
+			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false)
+		}
+		if e, ok := c.mshr[line]; ok && e.wantM {
+			// Ownership is being handed to us but has not completed;
+			// stall the forward until it does.
+			e.deferred = append(e.deferred, msg)
+			return
+		}
+		c.lines[line] = stateI
+		c.m.sendToCache(c.socket(), msg.Requester, Msg{Kind: MsgData, Line: line, From: c.core, Requester: msg.Requester, NeedAcks: 0, Excl: true})
+	default:
+		panic("machine: cache received " + msg.Kind.String())
+	}
+}
+
+// conflict aborts the active transaction if it has accessed line. An
+// invalidation means another *write* won the line — a normal requester-wins
+// failure, never a tripped writer (those are read-triggered, §3.4).
+func (c *cache) conflict(line uint64, _ bool) {
+	if c.txn == nil {
+		return
+	}
+	if c.txn.writes(line) || c.txn.reads(line) {
+		c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false)
+	}
+}

@@ -1,0 +1,172 @@
+package machine
+
+import "sort"
+
+// directory is the per-socket home agent for the lines allocated on that
+// socket. It tracks, per line, who shares or owns it, and turns GetS/GetM
+// requests into grants, forwards, and invalidations.
+//
+// The directory is pipelined rather than blocking: it updates its notion of
+// the owner as soon as it processes a GetM and immediately moves on to the
+// next request, producing the back-to-back Fwd-GetM chains that paper §3.2
+// identifies as the source of the (C+1)/2 serialization, and the
+// back-to-back invalidations that §3.3 identifies as the source of
+// concurrent transactional aborts. Races that pipelining admits are
+// resolved tolerantly at the caches (see cache.receive); data values are
+// held in an authoritative store, so races affect timing only.
+type directory struct {
+	m      *Machine
+	socket int
+
+	lines map[uint64]*dirLine
+
+	inbox     []Msg
+	busyUntil uint64
+	draining  bool
+}
+
+type dirLine struct {
+	state   lstate
+	owner   int
+	sharers map[int]struct{}
+	// trans marks the transient MS_W state: a Fwd-GetS is outstanding and
+	// the line is blocked until the (eventual) owner confirms its
+	// downgrade with DownAck. Requests arriving meanwhile queue in pend.
+	trans bool
+	// reader is the GetS requester that caused the downgrade.
+	reader int
+	pend   []Msg
+}
+
+func newDirectory(m *Machine, socket int) *directory {
+	return &directory{m: m, socket: socket, lines: make(map[uint64]*dirLine)}
+}
+
+func (d *directory) line(l uint64) *dirLine {
+	dl, ok := d.lines[l]
+	if !ok {
+		dl = &dirLine{state: stateI, sharers: make(map[int]struct{})}
+		d.lines[l] = dl
+	}
+	return dl
+}
+
+// receive enqueues a message; the directory handles one message per
+// DirOccupancy cycles, which is the serialization point of the protocol.
+func (d *directory) receive(msg Msg) {
+	d.inbox = append(d.inbox, msg)
+	if !d.draining {
+		d.draining = true
+		start := d.m.eng.Now()
+		if d.busyUntil > start {
+			start = d.busyUntil
+		}
+		d.m.eng.At(start, d.drain)
+	}
+}
+
+func (d *directory) drain() {
+	msg := d.inbox[0]
+	d.inbox = d.inbox[1:]
+	d.busyUntil = d.m.eng.Now() + d.m.cfg.DirOccupancy
+	d.handle(msg)
+	if len(d.inbox) > 0 {
+		d.m.eng.At(d.busyUntil, d.drain)
+	} else {
+		d.draining = false
+	}
+}
+
+func (d *directory) handle(msg Msg) {
+	dl := d.line(msg.Line)
+	req := msg.Requester
+	if msg.Kind == MsgDownAck {
+		// The downgrade completed: the previous owner and the reader now
+		// share the line; drain requests that queued behind the transient.
+		dl.state = stateS
+		clear(dl.sharers)
+		dl.sharers[msg.From] = struct{}{}
+		dl.sharers[dl.reader] = struct{}{}
+		dl.trans = false
+		for len(dl.pend) > 0 && !dl.trans {
+			next := dl.pend[0]
+			dl.pend = dl.pend[1:]
+			d.handle(next)
+		}
+		return
+	}
+	if dl.trans {
+		dl.pend = append(dl.pend, msg)
+		return
+	}
+	switch msg.Kind {
+	case MsgGetS:
+		switch dl.state {
+		case stateI:
+			dl.state = stateS
+			dl.sharers[req] = struct{}{}
+			d.grant(req, msg.Line, 0, false)
+		case stateS:
+			dl.sharers[req] = struct{}{}
+			d.grant(req, msg.Line, 0, false)
+		case stateM:
+			// Enter the transient MS_W state until the owner confirms the
+			// downgrade; the Fwd-GetS may land in the owner's xend drain
+			// window — the tripped-writer scenario of paper §3.4.
+			dl.trans = true
+			dl.reader = req
+			d.m.sendToCache(d.socket, dl.owner, Msg{Kind: MsgFwdGetS, Line: msg.Line, From: -1 - d.socket, Requester: req})
+		}
+	case MsgGetM:
+		switch dl.state {
+		case stateI:
+			dl.state = stateM
+			dl.owner = req
+			d.grant(req, msg.Line, 0, true)
+		case stateS:
+			n := 0
+			for s := range dl.sharers {
+				if s != req {
+					n++
+				}
+			}
+			// Grant first, then fan the invalidations out back-to-back.
+			d.grant(req, msg.Line, n, true)
+			for _, s := range sortedSet(dl.sharers) {
+				if s != req {
+					d.m.sendToCache(d.socket, s, Msg{Kind: MsgInv, Line: msg.Line, From: -1 - d.socket, Requester: req})
+				}
+			}
+			dl.state = stateM
+			dl.owner = req
+			clear(dl.sharers)
+		case stateM:
+			if dl.owner == req {
+				// Stale request after a raced handoff; re-grant.
+				d.grant(req, msg.Line, 0, true)
+				return
+			}
+			owner := dl.owner
+			dl.owner = req
+			d.m.sendToCache(d.socket, owner, Msg{Kind: MsgFwdGetM, Line: msg.Line, From: -1 - d.socket, Requester: req})
+		}
+	default:
+		panic("machine: directory received " + msg.Kind.String())
+	}
+}
+
+func (d *directory) grant(req int, line uint64, needAcks int, excl bool) {
+	d.m.sendToCache(d.socket, req, Msg{Kind: MsgData, Line: line, From: -1 - d.socket, Requester: req, NeedAcks: needAcks, Excl: excl})
+}
+
+// sortedSet returns the sharer set in ascending core order so that
+// invalidation fan-out order — and therefore the whole simulation — is
+// deterministic despite map storage.
+func sortedSet(set map[int]struct{}) []int {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,204 @@
+package machine
+
+// This file implements the hardware-transactional-memory layer of the
+// simulated machine, modeled on Intel RTM as described in paper §2 and §3.3:
+// transactional accesses mark lines in the private cache, conflicts are
+// resolved requester-wins by aborting the core that receives a conflicting
+// coherence message, transactional writes are store-buffered and drained by
+// xend, and flat nesting is supported with an abort flag that records
+// whether the conflict hit inside a nested region.
+
+// AbortStatus describes why a transaction aborted, mirroring the abort
+// reason bit mask that _xbegin returns on Intel hardware.
+type AbortStatus struct {
+	// Explicit is set when the transaction aborted itself (_xabort);
+	// Code carries the argument.
+	Explicit bool
+	Code     uint8
+	// Conflict is set when a conflicting coherence message caused the abort.
+	Conflict bool
+	// Capacity is set when the transaction's footprint overflowed the
+	// configured speculative-state capacity (Config.TxCapacityLines).
+	Capacity bool
+	// Nested is set when the abort hit while execution was inside a
+	// nested transaction. TxCAS uses this to tell read-step conflicts
+	// from write-step conflicts (paper §4.2).
+	Nested bool
+}
+
+var txnIDs uint64
+
+// txn is an active hardware transaction on one core.
+type txn struct {
+	id    uint64
+	proc  *Proc
+	depth int // 1 = top level; >=2 inside a nested region
+
+	readSet  map[uint64]struct{}
+	writeSet map[uint64]struct{}
+	writeBuf map[Addr]uint64
+
+	// pendingW counts transactional writes whose GetM has not completed.
+	// xend blocks until it reaches zero — the store-buffer drain that
+	// opens the tripped-writer window.
+	pendingW   int
+	committing bool
+	commitFn   func() // wake the proc blocked in xend
+
+	// stalledFwd holds Fwd-GetS requests stalled by the §3.4.1 fix; they
+	// are serviced after commit (or on abort).
+	stalledFwd []Msg
+}
+
+func (t *txn) reads(line uint64) bool {
+	_, ok := t.readSet[line]
+	return ok
+}
+
+func (t *txn) writes(line uint64) bool {
+	_, ok := t.writeSet[line]
+	return ok
+}
+
+// beginTx starts a transaction on this core. The simulator supports one
+// hardware thread per core, so at most one transaction per cache.
+func (c *cache) beginTx(p *Proc) {
+	if c.txn != nil {
+		panic("machine: nested Transaction call (use Tx.Nested for flat nesting)")
+	}
+	txnIDs++
+	c.txn = &txn{
+		id:       txnIDs,
+		proc:     p,
+		depth:    1,
+		readSet:  make(map[uint64]struct{}),
+		writeSet: make(map[uint64]struct{}),
+		writeBuf: make(map[Addr]uint64),
+	}
+	c.m.Stats.TxStarted++
+	if n := c.m.cfg.SpuriousAbortEvery; n > 0 && txnIDs%uint64(n) == 0 {
+		// Fault injection: an "interrupt" lands somewhere inside the
+		// transaction's window and aborts it for a non-conflict reason.
+		id := c.txn.id
+		delay := 5 + (id*2654435761)%150
+		c.m.eng.Schedule(delay, func() {
+			if t := c.txn; t != nil && t.id == id {
+				c.m.Stats.TxAbortSpurious++
+				c.abortTx(AbortStatus{Nested: t.depth >= 2}, false)
+			}
+		})
+	}
+}
+
+func (c *cache) txnID() uint64 {
+	if c.txn == nil {
+		return 0
+	}
+	return c.txn.id
+}
+
+// txOverCapacity reports whether adding line would overflow the
+// transaction's speculative-state capacity.
+func (c *cache) txOverCapacity(t *txn, line uint64) bool {
+	capLines := c.m.cfg.TxCapacityLines
+	if capLines <= 0 {
+		return false
+	}
+	if t.reads(line) || t.writes(line) {
+		return false
+	}
+	return len(t.readSet)+len(t.writeSet) >= capLines
+}
+
+// txStore buffers a transactional write and issues the GetM for the line
+// without blocking the core (store-buffer semantics). The written value
+// becomes globally visible only at commit.
+func (c *cache) txStore(addr Addr, v uint64) {
+	t := c.txn
+	if t == nil {
+		panic("machine: txStore outside transaction")
+	}
+	c.m.Stats.Stores++
+	line := LineOf(addr)
+	t.writeSet[line] = struct{}{}
+	t.writeBuf[addr] = v
+	if c.lines[line] == stateM {
+		c.m.Stats.StoreHits++
+		return
+	}
+	id := t.id
+	t.pendingW++
+	c.request(line, true, func() {
+		cur := c.txn
+		if cur == nil || cur.id != id {
+			return // transaction already aborted; ownership arrives anyway
+		}
+		cur.pendingW--
+		if cur.committing && cur.pendingW == 0 {
+			c.commitTx()
+		}
+	})
+}
+
+// tryCommit is called when the proc executes xend. If stores are still
+// draining, the proc blocks until the last GetM completes.
+func (c *cache) tryCommit(wake func()) {
+	t := c.txn
+	if t == nil {
+		panic("machine: commit outside transaction")
+	}
+	t.commitFn = wake
+	if t.pendingW == 0 {
+		c.commitTx()
+		return
+	}
+	t.committing = true
+}
+
+// commitTx makes the transaction's writes globally visible and clears the
+// transactional state.
+func (c *cache) commitTx() {
+	t := c.txn
+	for a, v := range t.writeBuf {
+		c.m.mem[a] = v
+	}
+	c.txn = nil
+	c.m.Stats.TxCommits++
+	// Service reads stalled by the §3.4.1 fix: they now observe the
+	// committed value.
+	for _, msg := range t.stalledFwd {
+		c.handleNow(msg)
+	}
+	if t.commitFn != nil {
+		fn := t.commitFn
+		c.m.eng.Schedule(c.m.cfg.CommitCycles, fn)
+	}
+}
+
+// abortTx discards the transaction and resumes the proc at its abort
+// handler. tripped records whether the abort hit a writer that was already
+// draining its xend (the tripped-writer problem, §3.4).
+func (c *cache) abortTx(st AbortStatus, tripped bool) {
+	t := c.txn
+	if t == nil {
+		return
+	}
+	c.txn = nil
+	c.m.Stats.TxAborts++
+	if st.Conflict {
+		c.m.Stats.TxAbortConflict++
+	}
+	if st.Explicit {
+		c.m.Stats.TxAbortExplicit++
+	}
+	if st.Nested {
+		c.m.Stats.TxAbortNested++
+	}
+	if tripped {
+		c.m.Stats.TrippedWriters++
+	}
+	for _, msg := range t.stalledFwd {
+		c.handleNow(msg)
+	}
+	t.proc.abortWake(st)
+}

@@ -1,0 +1,342 @@
+package machine
+
+import "testing"
+
+func TestTransactionCommitVisibility(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	b := m.AllocLine(8, 0)
+	var ok bool
+	m.Go(0, func(p *Proc) {
+		ok, _ = p.Transaction(func(tx *Tx) {
+			tx.Write(a, 1)
+			tx.Write(b, 2)
+		})
+	})
+	m.Run()
+	if !ok {
+		t.Fatal("uncontended transaction aborted")
+	}
+	if m.Peek(a) != 1 || m.Peek(b) != 2 {
+		t.Fatalf("commit not visible: a=%d b=%d", m.Peek(a), m.Peek(b))
+	}
+	if m.Stats.TxCommits != 1 {
+		t.Fatalf("TxCommits = %d, want 1", m.Stats.TxCommits)
+	}
+}
+
+func TestExplicitAbortDiscardsWrites(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	var ok bool
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		ok, st = p.Transaction(func(tx *Tx) {
+			tx.Write(a, 99)
+			tx.Abort(7)
+		})
+	})
+	m.Run()
+	if ok {
+		t.Fatal("aborted transaction reported committed")
+	}
+	if !st.Explicit || st.Code != 7 {
+		t.Fatalf("abort status = %+v, want explicit code 7", st)
+	}
+	if m.Peek(a) != 0 {
+		t.Fatalf("aborted write leaked: a=%d", m.Peek(a))
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Poke(a, 10)
+	var inside, after uint64
+	m.Go(0, func(p *Proc) {
+		p.Transaction(func(tx *Tx) {
+			tx.Write(a, 20)
+			inside = tx.Read(a)
+		})
+		after = p.Read(a)
+	})
+	m.Run()
+	if inside != 20 {
+		t.Fatalf("transactional read-own-write = %d, want 20", inside)
+	}
+	if after != 20 {
+		t.Fatalf("post-commit read = %d, want 20", after)
+	}
+}
+
+// A writer's GetM must abort readers holding the line transactionally, and
+// the aborted transaction's writes must not appear.
+func TestConflictAbortsReader(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	out := m.AllocLine(8, 0)
+	var st AbortStatus
+	var ok bool
+	m.Go(0, func(p *Proc) {
+		ok, st = p.Transaction(func(tx *Tx) {
+			tx.Read(a)
+			tx.Delay(10_000) // park inside the transaction
+			tx.Write(out, 1)
+		})
+	})
+	m.Go(1, func(p *Proc) {
+		p.Delay(500)
+		p.Write(a, 5)
+	})
+	m.Run()
+	if ok {
+		t.Fatal("conflicted transaction committed")
+	}
+	if !st.Conflict {
+		t.Fatalf("abort status = %+v, want conflict", st)
+	}
+	if m.Peek(out) != 0 {
+		t.Fatal("aborted transaction's write leaked")
+	}
+}
+
+// Nested flag: a conflict that hits inside Tx.Nested must be flagged.
+func TestNestedConflictFlag(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		_, st = p.Transaction(func(tx *Tx) {
+			tx.Nested(func(tx *Tx) {
+				tx.Read(a)
+				tx.Delay(10_000)
+			})
+			tx.Write(a, 1)
+		})
+	})
+	m.Go(1, func(p *Proc) {
+		p.Delay(500)
+		p.Write(a, 9)
+	})
+	m.Run()
+	if !st.Conflict || !st.Nested {
+		t.Fatalf("abort status = %+v, want nested conflict", st)
+	}
+	if m.Stats.TxAbortNested != 1 {
+		t.Fatalf("TxAbortNested = %d, want 1", m.Stats.TxAbortNested)
+	}
+}
+
+// A conflict after the nested region must NOT set the nested flag: TxCAS
+// relies on this to distinguish read-step from write-step conflicts.
+func TestPostNestedConflictNotFlagged(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	b := m.AllocLine(8, 0)
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		_, st = p.Transaction(func(tx *Tx) {
+			tx.Nested(func(tx *Tx) {
+				tx.Read(b)
+			})
+			tx.Read(a)
+			tx.Delay(10_000) // conflict arrives here, outside the nested region
+		})
+	})
+	m.Go(1, func(p *Proc) {
+		p.Delay(500)
+		p.Write(a, 9)
+	})
+	m.Run()
+	if !st.Conflict || st.Nested {
+		t.Fatalf("abort status = %+v, want non-nested conflict", st)
+	}
+}
+
+// Two transactions racing to write the same line: exactly one commits.
+func TestRequesterWins(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	commits := 0
+	for c := 0; c < 6; c++ {
+		c := c
+		m.Go(c, func(p *Proc) {
+			// Stagger starts: perfectly synchronized writers all abort each
+			// other (no winner), which real hardware's timing skew prevents.
+			p.Delay(uint64(c) * 100)
+			ok, _ := p.Transaction(func(tx *Tx) {
+				v := tx.Read(a)
+				if v != 0 {
+					tx.Abort(1)
+				}
+				tx.Delay(300)
+				tx.Write(a, uint64(c)+1)
+			})
+			if ok {
+				commits++
+			}
+		})
+	}
+	m.Run()
+	if commits != 1 {
+		t.Fatalf("commits = %d, want exactly 1", commits)
+	}
+	if m.Peek(a) == 0 {
+		t.Fatal("winning write not applied")
+	}
+}
+
+// The tripped-writer scenario of paper Figure 3: a writer in its xend drain
+// gets aborted by a concurrent remote read.
+func TestTrippedWriter(t *testing.T) {
+	cfg := small()
+	cfg.TrippedWriterFix = false
+	m := New(cfg)
+	a := m.AllocLine(8, 0)
+	// Seed sharers so the writer's GetM needs invalidation acks (a drain
+	// window long enough for the read to land in).
+	for c := 2; c < 8; c++ {
+		m.Go(c, func(p *Proc) { p.Read(a) })
+	}
+	var ok bool
+	m.Go(0, func(p *Proc) {
+		p.Delay(2_000) // let sharers settle
+		ok, _ = p.Transaction(func(tx *Tx) {
+			tx.Read(a)
+			tx.Write(a, 1)
+			// xend now drains the GetM; the remote read below lands in
+			// that window.
+		})
+	})
+	m.Go(1, func(p *Proc) {
+		p.Delay(2_000)
+		p.Delay(cfg.HitCycles + cfg.HopCycles) // arrive mid-drain
+		p.Read(a)
+	})
+	m.Run()
+	if ok {
+		t.Skip("scheduling did not produce the tripped-writer window (timing-sensitive)")
+	}
+	if m.Stats.TrippedWriters == 0 {
+		t.Fatalf("writer aborted but not counted as tripped: %+v", m.Stats)
+	}
+}
+
+// With the §3.4.1 fix the same schedule commits: the Fwd-GetS is stalled
+// until the transaction commits.
+func TestTrippedWriterFix(t *testing.T) {
+	for _, fix := range []bool{false, true} {
+		cfg := small()
+		cfg.TrippedWriterFix = fix
+		m := New(cfg)
+		a := m.AllocLine(8, 0)
+		for c := 2; c < 8; c++ {
+			m.Go(c, func(p *Proc) { p.Read(a) })
+		}
+		var ok bool
+		var reader uint64
+		m.Go(0, func(p *Proc) {
+			p.Delay(2_000)
+			ok, _ = p.Transaction(func(tx *Tx) {
+				tx.Read(a)
+				tx.Write(a, 42)
+			})
+		})
+		m.Go(1, func(p *Proc) {
+			p.Delay(2_000 + cfg.HitCycles + cfg.HopCycles)
+			reader = p.Read(a)
+		})
+		m.Run()
+		if fix {
+			if !ok {
+				t.Fatal("with fix enabled, the tripped writer still aborted")
+			}
+			if m.Stats.FixStalls == 0 {
+				t.Skip("schedule did not exercise the stall window")
+			}
+			if reader != 42 {
+				t.Fatalf("stalled reader observed %d, want committed 42", reader)
+			}
+		}
+	}
+}
+
+// Aborts must not leak into subsequent transactions on the same core.
+func TestAbortThenRetrySucceeds(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	var attempts, committed int
+	m.Go(0, func(p *Proc) {
+		for {
+			attempts++
+			ok, _ := p.Transaction(func(tx *Tx) {
+				v := tx.Read(a)
+				tx.Delay(200)
+				tx.Write(a, v+1)
+			})
+			if ok {
+				committed++
+				return
+			}
+			if attempts > 100 {
+				t.Error("transaction never committed")
+				return
+			}
+		}
+	})
+	m.Go(1, func(p *Proc) {
+		// One interfering write early on.
+		p.Delay(50)
+		p.Write(a, 100)
+	})
+	m.Run()
+	if committed != 1 {
+		t.Fatalf("committed = %d", committed)
+	}
+	if m.Peek(a) != 101 {
+		t.Fatalf("final value = %d, want 101", m.Peek(a))
+	}
+}
+
+func TestNonTxOpInsideTransactionPanics(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("plain Read inside transaction did not panic")
+			}
+			// Unwind cleanly so the machine can finish.
+			p.m.caches[p.core].txn = nil
+		}()
+		p.Transaction(func(tx *Tx) {
+			p.Read(a)
+		})
+	})
+	m.Run()
+}
+
+func TestTransactionStatsConsistent(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	n := 6
+	for c := 0; c < n; c++ {
+		m.Go(c, func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Transaction(func(tx *Tx) {
+					v := tx.Read(a)
+					tx.Delay(100)
+					tx.Write(a, v+1)
+				})
+			}
+		})
+	}
+	m.Run()
+	if m.Stats.TxStarted != m.Stats.TxCommits+m.Stats.TxAborts {
+		t.Fatalf("started %d != commits %d + aborts %d",
+			m.Stats.TxStarted, m.Stats.TxCommits, m.Stats.TxAborts)
+	}
+	if m.Peek(a) != uint64(m.Stats.TxCommits) {
+		t.Fatalf("value %d != commits %d (lost or duplicated increments)", m.Peek(a), m.Stats.TxCommits)
+	}
+}

@@ -1,0 +1,355 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	cfg := Default()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 8
+	return cfg
+}
+
+func TestReadWriteSingleProc(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	var got uint64
+	m.Go(0, func(p *Proc) {
+		p.Write(a, 42)
+		got = p.Read(a)
+	})
+	m.Run()
+	if got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+	if m.Peek(a) != 42 {
+		t.Fatalf("memory = %d, want 42", m.Peek(a))
+	}
+}
+
+func TestAllocSeparatesLines(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	b := m.AllocLine(8, 0)
+	if LineOf(a) == LineOf(b) {
+		t.Fatalf("AllocLine returned addresses on the same line: %#x %#x", a, b)
+	}
+	c := m.Alloc(8, 1)
+	if m.homeOf(LineOf(c)) != 1 {
+		t.Fatalf("socket-1 allocation homed at %d", m.homeOf(LineOf(c)))
+	}
+	if m.homeOf(LineOf(a)) != 0 {
+		t.Fatalf("socket-0 allocation homed at %d", m.homeOf(LineOf(a)))
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Poke(a, 5)
+	var ok1, ok2 bool
+	m.Go(0, func(p *Proc) {
+		ok1 = p.CAS(a, 5, 6)
+		ok2 = p.CAS(a, 5, 7)
+	})
+	m.Run()
+	if !ok1 || ok2 {
+		t.Fatalf("CAS results = %v,%v; want true,false", ok1, ok2)
+	}
+	if m.Peek(a) != 6 {
+		t.Fatalf("memory = %d, want 6", m.Peek(a))
+	}
+}
+
+func TestFAAAndSwap(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	var old1, old2, old3 uint64
+	m.Go(0, func(p *Proc) {
+		old1 = p.FAA(a, 3)
+		old2 = p.FAA(a, 4)
+		old3 = p.Swap(a, 100)
+	})
+	m.Run()
+	if old1 != 0 || old2 != 3 || old3 != 7 {
+		t.Fatalf("FAA/Swap olds = %d,%d,%d; want 0,3,7", old1, old2, old3)
+	}
+	if m.Peek(a) != 100 {
+		t.Fatalf("memory = %d, want 100", m.Peek(a))
+	}
+}
+
+// FAA from many cores must produce every value exactly once: atomicity.
+func TestConcurrentFAAAtomicity(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	const perProc = 50
+	n := m.Config().NumCores()
+	for c := 0; c < n; c++ {
+		m.Go(c, func(p *Proc) {
+			for i := 0; i < perProc; i++ {
+				p.FAA(a, 1)
+			}
+		})
+	}
+	m.Run()
+	if got, want := m.Peek(a), uint64(n*perProc); got != want {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+}
+
+// Contended CAS: exactly one of a wave of CASs on the same old value wins.
+func TestConcurrentCASOneWinner(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	wins := 0
+	n := m.Config().NumCores()
+	for c := 0; c < n; c++ {
+		c := c
+		m.Go(c, func(p *Proc) {
+			p.Read(a) // warm to Shared so all start poised
+			if p.CAS(a, 0, uint64(c)+1) {
+				wins++
+			}
+		})
+	}
+	m.Run()
+	if wins != 1 {
+		t.Fatalf("CAS winners = %d, want 1", wins)
+	}
+	if m.Peek(a) == 0 {
+		t.Fatal("no CAS took effect")
+	}
+}
+
+// Single-writer invariant: at no quiescent point may two caches hold the
+// same line in M.
+func TestSingleWriterInvariant(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	line := LineOf(a)
+	n := m.Config().NumCores()
+	var violation []int
+	for c := 0; c < n; c++ {
+		m.Go(c, func(p *Proc) {
+			for i := 0; i < 30; i++ {
+				switch p.RandN(4) {
+				case 0:
+					p.Read(a)
+				case 1:
+					p.Write(a, p.RandN(100))
+				case 2:
+					p.FAA(a, 1)
+				case 3:
+					p.CAS(a, p.RandN(10), p.RandN(10))
+				}
+				if owners := m.MOwners(line); len(owners) > 1 && violation == nil {
+					violation = owners
+				}
+			}
+		})
+	}
+	m.Run()
+	if violation != nil {
+		t.Fatalf("coherence violation: M owners = %v", violation)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (uint64, Stats, uint64) {
+		m := New(small())
+		a := m.AllocLine(8, 0)
+		for c := 0; c < m.Config().NumCores(); c++ {
+			m.Go(c, func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.FAA(a, p.RandN(7)+1)
+					p.Read(a)
+				}
+			})
+		}
+		m.Run()
+		return m.Peek(a), m.Stats, m.Now()
+	}
+	v1, s1, t1 := run()
+	v2, s2, t2 := run()
+	if v1 != v2 || s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic execution: (%d,%v,%d) vs (%d,%v,%d)", v1, s1, t1, v2, s2, t2)
+	}
+}
+
+// Contended FAA latency must grow with the number of contenders (paper
+// §3.2: average cost ~ C/2 handoffs), while a single thread stays fast.
+func TestFAALatencyGrowsWithContention(t *testing.T) {
+	avg := func(threads int) float64 {
+		cfg := Default()
+		m := New(cfg)
+		a := m.AllocLine(8, 0)
+		const ops = 60
+		var total uint64
+		for c := 0; c < threads; c++ {
+			m.Go(c, func(p *Proc) {
+				start := p.Now()
+				for i := 0; i < ops; i++ {
+					p.FAA(a, 1)
+				}
+				total += p.Now() - start
+			})
+		}
+		m.Run()
+		return float64(total) / float64(threads*ops)
+	}
+	l1, l8, l32 := avg(1), avg(8), avg(32)
+	if !(l1 < l8 && l8 < l32) {
+		t.Fatalf("FAA latency not increasing: 1->%.0f 8->%.0f 32->%.0f cycles", l1, l8, l32)
+	}
+	if l32 < 8*l1 {
+		t.Fatalf("FAA latency at 32 threads (%.0f) not dominated by serialization (1 thread: %.0f)", l32, l1)
+	}
+}
+
+// Reads of a line another core keeps modified still observe latest values.
+func TestReaderSeesWriterValues(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	stop := m.AllocLine(8, 0)
+	var lastSeen uint64
+	m.Go(0, func(p *Proc) {
+		for i := uint64(1); i <= 100; i++ {
+			p.Write(a, i)
+		}
+		p.Write(stop, 1)
+	})
+	m.Go(1, func(p *Proc) {
+		mono := true
+		var prev uint64
+		for p.Read(stop) == 0 {
+			v := p.Read(a)
+			if v < prev {
+				mono = false
+			}
+			prev = v
+		}
+		lastSeen = prev
+		if !mono {
+			t.Error("reader observed non-monotonic values of a monotonically written word")
+		}
+	})
+	m.Run()
+	if lastSeen > 100 {
+		t.Fatalf("reader saw impossible value %d", lastSeen)
+	}
+}
+
+func TestNUMAHopCost(t *testing.T) {
+	cfg := small()
+	m := New(cfg)
+	if got := m.hopCores(0, 0); got != cfg.HopCycles {
+		t.Fatalf("intra-socket hop = %d, want %d", got, cfg.HopCycles)
+	}
+	if got := m.hopCores(0, 1); got != cfg.HopCycles*cfg.NUMAFactor {
+		t.Fatalf("cross-socket hop = %d, want %d", got, cfg.HopCycles*cfg.NUMAFactor)
+	}
+}
+
+// Cross-socket RMW traffic must be slower than intra-socket.
+func TestNUMALatencyPenalty(t *testing.T) {
+	run := func(core int) uint64 {
+		m := New(small())
+		a := m.AllocLine(8, 0) // homed on socket 0
+		var dur uint64
+		m.Go(core, func(p *Proc) {
+			start := p.Now()
+			for i := 0; i < 20; i++ {
+				p.FAA(a, 1)
+				// Hand the line away so every FAA re-acquires it.
+				p.Delay(1)
+			}
+			dur = p.Now() - start
+		})
+		// A socket-0 thread keeps taking the line back.
+		m.Run()
+		return dur
+	}
+	local := run(0)
+	remote := run(small().CoresPerSocket) // first core of socket 1
+	if remote <= local {
+		t.Fatalf("remote FAA loop (%d cycles) not slower than local (%d)", remote, local)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) {
+		for p.Read(a) == 0 { // spins forever; no writer exists
+			p.Delay(10)
+			if p.Now() > 1_000_000 {
+				return // give up: not a protocol deadlock, just bounded
+			}
+		}
+	})
+	m.Run() // must terminate via the proc's own bound, not hang
+}
+
+// Property: any interleaving of single-proc writes then reads round-trips.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		m := New(small())
+		addrs := make([]Addr, len(vals))
+		for i := range vals {
+			addrs[i] = m.Alloc(8, i%2)
+		}
+		ok := true
+		m.Go(0, func(p *Proc) {
+			for i, v := range vals {
+				p.Write(addrs[i], v)
+			}
+			for i, v := range vals {
+				if p.Read(addrs[i]) != v {
+					ok = false
+				}
+			}
+		})
+		m.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekPoke(t *testing.T) {
+	m := New(small())
+	a := m.Alloc(8, 0)
+	m.Poke(a, 77)
+	if m.Peek(a) != 77 {
+		t.Fatal("Poke/Peek round trip failed")
+	}
+}
+
+func TestBadTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero cores did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestBadCorePanics(t *testing.T) {
+	m := New(small())
+	defer func() {
+		if recover() == nil {
+			t.Error("Go on out-of-range core did not panic")
+		}
+	}()
+	m.Go(10_000, func(*Proc) {})
+}

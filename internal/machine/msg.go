@@ -1,0 +1,71 @@
+package machine
+
+// MsgKind identifies a coherence protocol message type.
+type MsgKind uint8
+
+// Coherence message kinds, per the MSI directory protocol of Sorin et al.
+// (the protocol the paper's §3 analysis is phrased in).
+const (
+	// MsgGetS asks the directory for Shared (read) permission.
+	MsgGetS MsgKind = iota
+	// MsgGetM asks the directory for Modified (write) permission.
+	MsgGetM
+	// MsgFwdGetS tells the current owner to downgrade to Shared and send
+	// the line to the requester.
+	MsgFwdGetS
+	// MsgFwdGetM tells the current owner to invalidate and hand the line
+	// to the requester.
+	MsgFwdGetM
+	// MsgInv tells a sharer to invalidate its copy and acknowledge to the
+	// requester.
+	MsgInv
+	// MsgInvAck acknowledges an invalidation to the requesting core.
+	MsgInvAck
+	// MsgData grants the line to the requester. NeedAcks tells the
+	// requester how many invalidation acknowledgments to wait for.
+	MsgData
+	// MsgDownAck confirms to the directory that an owner downgraded
+	// Modified->Shared in response to a Fwd-GetS. The directory holds the
+	// line in a transient state until this arrives, so that a read cannot
+	// fork a second ownership chain while an exclusive handoff chain is
+	// still draining.
+	MsgDownAck
+
+	numMsgKinds
+)
+
+var msgKindNames = [...]string{
+	MsgGetS:    "GetS",
+	MsgGetM:    "GetM",
+	MsgFwdGetS: "Fwd-GetS",
+	MsgFwdGetM: "Fwd-GetM",
+	MsgInv:     "Inv",
+	MsgInvAck:  "Inv-Ack",
+	MsgData:    "Data",
+	MsgDownAck: "DownAck",
+}
+
+// String returns the protocol name of the message kind.
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return "?"
+}
+
+// Msg is a coherence message in flight.
+type Msg struct {
+	Kind MsgKind
+	Line uint64 // cache line number (address >> 6)
+	// From is the sending endpoint (core id, or -1 for a directory).
+	From int
+	// Requester is the core on whose behalf the transaction runs: the
+	// destination of Data and Inv-Ack, and the final owner for forwards.
+	Requester int
+	// NeedAcks is meaningful for MsgData: invalidation acks the requester
+	// must collect before the line is granted.
+	NeedAcks int
+	// Excl reports whether Data grants Modified (true) or Shared (false)
+	// permission.
+	Excl bool
+}

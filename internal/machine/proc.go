@@ -1,0 +1,357 @@
+package machine
+
+// Proc is a simulated hardware thread. Simulated programs are ordinary Go
+// functions that call Proc methods for every shared-memory access; each
+// call suspends the goroutine until the simulated operation completes, so
+// computation between calls takes zero simulated time.
+//
+// A Proc's goroutine and the event engine hand control back and forth over
+// a pair of unbuffered channels, so exactly one goroutine runs at any
+// moment and the simulation is deterministic.
+type Proc struct {
+	m    *Machine
+	core int
+	idx  int
+
+	wake  chan opResult
+	yield chan struct{}
+
+	waiter  *waiter
+	rng     uint64
+	running bool
+
+	opStart uint64 // Now() when the current blocking op began (for latency probes)
+}
+
+type opResult struct {
+	val     uint64
+	aborted bool
+	st      AbortStatus
+}
+
+// waiter represents one blocking operation; completion and abort paths race
+// benignly through the done flag.
+type waiter struct {
+	done bool
+}
+
+func newProc(m *Machine, core, idx int) *Proc {
+	seed := 0x9E3779B97F4A7C15 ^ (uint64(idx+1) * 0xBF58476D1CE4E5B9) ^ (m.cfg.Seed * 0x94D049BB133111EB)
+	if seed == 0 {
+		seed = 1
+	}
+	return &Proc{
+		m:     m,
+		core:  core,
+		idx:   idx,
+		wake:  make(chan opResult),
+		yield: make(chan struct{}),
+		rng:   seed,
+	}
+}
+
+func (p *Proc) start(body func(*Proc)) {
+	go func() {
+		<-p.wake // wait for the engine to start us
+		body(p)
+		p.m.running--
+		p.yield <- struct{}{} // hand control back; goroutine exits
+	}()
+	p.m.eng.Schedule(0, func() { p.resume(opResult{}) })
+}
+
+// resume transfers control to the proc goroutine and blocks the engine
+// until the proc parks again or finishes. Engine context only.
+func (p *Proc) resume(res opResult) {
+	if p.running {
+		panic("machine: resume of a proc that is not parked")
+	}
+	p.running = true
+	p.wake <- res
+	<-p.yield
+}
+
+// park transfers control back to the engine and blocks until resumed.
+// Proc-goroutine context only.
+func (p *Proc) park() opResult {
+	p.running = false
+	p.yield <- struct{}{}
+	return <-p.wake
+}
+
+// blockOn registers w as the current waiter and parks.
+func (p *Proc) blockOn(w *waiter) opResult {
+	p.waiter = w
+	p.opStart = p.m.eng.Now()
+	return p.park()
+}
+
+// complete is called from engine context when the op a proc is blocked on
+// finishes.
+func (p *Proc) complete(w *waiter, res opResult) {
+	if w.done {
+		return // superseded by an abort
+	}
+	w.done = true
+	p.waiter = nil
+	p.resume(res)
+}
+
+// abortWake resumes a proc whose transaction was just aborted while it was
+// blocked (on a transactional access, a delay, or an xend drain).
+func (p *Proc) abortWake(st AbortStatus) {
+	w := p.waiter
+	if w == nil || w.done {
+		// The proc is not blocked; this can only happen for self-aborts,
+		// which are handled synchronously on the proc goroutine.
+		return
+	}
+	w.done = true
+	p.waiter = nil
+	p.resume(opResult{aborted: true, st: st})
+}
+
+func (p *Proc) cache() *cache { return p.m.caches[p.core] }
+
+// Core returns the hardware thread (core) this proc is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Index returns the proc's creation index (a dense thread id).
+func (p *Proc) Index() int { return p.idx }
+
+// Socket returns the NUMA node of the proc's core.
+func (p *Proc) Socket() int { return p.m.cfg.SocketOf(p.core) }
+
+// Machine returns the machine this proc runs on.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the current simulated time in cycles.
+func (p *Proc) Now() uint64 { return p.m.eng.Now() }
+
+// RandN returns a deterministic pseudo-random number in [0, n).
+func (p *Proc) RandN(n uint64) uint64 {
+	// xorshift64*
+	x := p.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.rng = x
+	return (x * 0x2545F4914F6CDD1D) % n
+}
+
+func (p *Proc) checkNoTx(op string) {
+	if p.cache().txn != nil {
+		panic("machine: " + op + " inside a transaction; use Tx methods")
+	}
+}
+
+// Read performs a coherent load of the 64-bit word at a.
+func (p *Proc) Read(a Addr) uint64 {
+	p.checkNoTx("Read")
+	w := &waiter{}
+	var out uint64
+	p.cache().load(a, false, func(v uint64) {
+		out = v
+		p.complete(w, opResult{val: v})
+	})
+	p.blockOn(w)
+	return out
+}
+
+// Write performs a coherent store of v to the word at a.
+func (p *Proc) Write(a Addr, v uint64) {
+	p.checkNoTx("Write")
+	w := &waiter{}
+	p.cache().store(a, v, func() { p.complete(w, opResult{}) })
+	p.blockOn(w)
+}
+
+// CAS atomically compares the word at a with old and, if equal, stores new.
+// It reports whether the swap happened. Like hardware CAS, it acquires
+// exclusive ownership of the line whether it succeeds or fails.
+func (p *Proc) CAS(a Addr, old, new uint64) bool {
+	p.checkNoTx("CAS")
+	w := &waiter{}
+	ok := false
+	p.cache().rmw(a, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			ok = true
+			return new, true
+		}
+		return 0, false
+	}, func(uint64) { p.complete(w, opResult{}) })
+	p.blockOn(w)
+	return ok
+}
+
+// FAA atomically adds delta to the word at a and returns the previous value.
+func (p *Proc) FAA(a Addr, delta uint64) uint64 {
+	p.checkNoTx("FAA")
+	w := &waiter{}
+	var out uint64
+	p.cache().rmw(a, func(cur uint64) (uint64, bool) {
+		return cur + delta, true
+	}, func(old uint64) {
+		out = old
+		p.complete(w, opResult{})
+	})
+	p.blockOn(w)
+	return out
+}
+
+// Swap atomically stores v to the word at a and returns the previous value.
+func (p *Proc) Swap(a Addr, v uint64) uint64 {
+	p.checkNoTx("Swap")
+	w := &waiter{}
+	var out uint64
+	p.cache().rmw(a, func(uint64) (uint64, bool) {
+		return v, true
+	}, func(old uint64) {
+		out = old
+		p.complete(w, opResult{})
+	})
+	p.blockOn(w)
+	return out
+}
+
+// Delay stalls the proc for the given number of cycles. Inside a
+// transaction, use Tx.Delay instead so conflicts can preempt the wait.
+func (p *Proc) Delay(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	w := &waiter{}
+	p.m.eng.Schedule(cycles, func() { p.complete(w, opResult{}) })
+	p.blockOn(w)
+}
+
+// ---------------------------------------------------------------------------
+// Transactions.
+
+// txAbortPanic unwinds the proc goroutine to the enclosing Transaction call,
+// playing the role of the hardware checkpoint restore.
+type txAbortPanic struct{ st AbortStatus }
+
+// Tx provides memory operations inside a hardware transaction. All methods
+// may abort, in which case control transfers to the enclosing Transaction
+// call and the body does not continue.
+type Tx struct{ p *Proc }
+
+// Transaction runs body inside a hardware transaction and attempts to
+// commit it when body returns. It reports whether the commit succeeded;
+// on abort, st describes the reason. Like real HTM, there is no guarantee
+// a transaction ever commits; callers must implement their own retry or
+// fallback policy.
+func (p *Proc) Transaction(body func(*Tx)) (committed bool, st AbortStatus) {
+	c := p.cache()
+	c.beginTx(p)
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(txAbortPanic)
+			if !ok {
+				panic(r)
+			}
+			committed = false
+			st = ab.st
+			// Checkpoint restore cost.
+			p.Delay(p.m.cfg.AbortCycles)
+		}
+	}()
+	body(&Tx{p})
+	// xend: drain the store buffer, then commit.
+	w := &waiter{}
+	c.tryCommit(func() { p.complete(w, opResult{}) })
+	res := p.blockOn(w)
+	if res.aborted {
+		committed = false
+		st = res.st
+		p.Delay(p.m.cfg.AbortCycles)
+		return
+	}
+	return true, AbortStatus{}
+}
+
+func (t *Tx) check(res opResult) uint64 {
+	if res.aborted {
+		panic(txAbortPanic{st: res.st})
+	}
+	return res.val
+}
+
+// Read loads the word at a transactionally, adding its line to the read set.
+func (t *Tx) Read(a Addr) uint64 {
+	p := t.p
+	w := &waiter{}
+	p.cache().load(a, true, func(v uint64) { p.complete(w, opResult{val: v}) })
+	return t.check(p.blockOn(w))
+}
+
+// Write buffers a transactional store to a, adding its line to the write
+// set and issuing the ownership request without blocking (store-buffer
+// semantics; the write drains at commit). It aborts if the write set
+// would overflow the speculative-state capacity.
+func (t *Tx) Write(a Addr, v uint64) {
+	c := t.p.cache()
+	if tn := c.txn; tn != nil && c.txOverCapacity(tn, LineOf(a)) {
+		c.m.Stats.TxAbortCapacity++
+		st := AbortStatus{Capacity: true, Nested: tn.depth >= 2}
+		c.txn = nil
+		c.m.Stats.TxAborts++
+		for _, msg := range tn.stalledFwd {
+			c.handleNow(msg)
+		}
+		panic(txAbortPanic{st: st})
+	}
+	c.txStore(a, v)
+}
+
+// Delay stalls for the given number of cycles, aborting early if a conflict
+// arrives — this implements the intra-transaction delay of paper §4.1.
+func (t *Tx) Delay(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	p := t.p
+	w := &waiter{}
+	p.m.eng.Schedule(cycles, func() { p.complete(w, opResult{}) })
+	t.check(p.blockOn(w))
+}
+
+// Abort aborts the transaction explicitly with the given code (_xabort).
+// It does not return.
+func (t *Tx) Abort(code uint8) {
+	c := t.p.cache()
+	st := AbortStatus{Explicit: true, Code: code, Nested: c.txn != nil && c.txn.depth >= 2}
+	// Self-abort: tear down state synchronously, then unwind.
+	tn := c.txn
+	c.txn = nil
+	c.m.Stats.TxAborts++
+	c.m.Stats.TxAbortExplicit++
+	if st.Nested {
+		c.m.Stats.TxAbortNested++
+	}
+	for _, msg := range tn.stalledFwd {
+		c.handleNow(msg)
+	}
+	panic(txAbortPanic{st: st})
+}
+
+// Nested runs body inside a nested transaction. The simulated HTM uses flat
+// nesting (like Intel RTM): the nested transaction does not commit
+// independently, but aborts that hit inside it are flagged Nested in the
+// AbortStatus, which is the facility TxCAS exploits (paper §4.2).
+func (t *Tx) Nested(body func(*Tx)) {
+	c := t.p.cache()
+	if c.txn == nil {
+		panic("machine: Nested outside transaction")
+	}
+	c.txn.depth++
+	defer func() {
+		// On abort the panic unwinds through here; the txn is already
+		// gone, so only decrement when it survives.
+		if c.txn != nil {
+			c.txn.depth--
+		}
+	}()
+	body(t)
+}

@@ -1,0 +1,269 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// Upgrade path: a sharer that writes must go through GetM and collect an
+// invalidation ack from the other sharer.
+func TestSharedToModifiedUpgrade(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) { p.Read(a) })
+	m.Go(1, func(p *Proc) { p.Read(a) })
+	m.Run()
+	m.Go(0, func(p *Proc) { p.Write(a, 7) })
+	m.Run()
+	if tr.Count(MsgInv) != 1 {
+		t.Fatalf("Inv count = %d, want 1 (one other sharer)", tr.Count(MsgInv))
+	}
+	if tr.Count(MsgInvAck) != 1 {
+		t.Fatalf("Inv-Ack count = %d, want 1", tr.Count(MsgInvAck))
+	}
+	if m.Peek(a) != 7 {
+		t.Fatalf("value = %d", m.Peek(a))
+	}
+}
+
+// Owner-to-owner handoff: a second writer's GetM is forwarded to the
+// first, which hands the line over with a Data message.
+func TestOwnerHandoff(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) { p.Write(a, 1) })
+	m.Run()
+	m.Go(1, func(p *Proc) { p.Write(a, 2) })
+	m.Run()
+	if tr.Count(MsgFwdGetM) != 1 {
+		t.Fatalf("Fwd-GetM count = %d, want 1", tr.Count(MsgFwdGetM))
+	}
+	if m.Peek(a) != 2 {
+		t.Fatalf("value = %d", m.Peek(a))
+	}
+}
+
+// Read of a modified line: the directory forwards the read, the owner
+// downgrades and confirms with DownAck, and the reader gets the data.
+func TestFwdGetSDowngrade(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) { p.Write(a, 9) })
+	m.Run()
+	var got uint64
+	m.Go(1, func(p *Proc) { got = p.Read(a) })
+	m.Run()
+	if got != 9 {
+		t.Fatalf("reader got %d, want 9", got)
+	}
+	if tr.Count(MsgFwdGetS) != 1 || tr.Count(MsgDownAck) != 1 {
+		t.Fatalf("FwdGetS=%d DownAck=%d, want 1 and 1", tr.Count(MsgFwdGetS), tr.Count(MsgDownAck))
+	}
+	// The ex-owner can still read without traffic (it kept Shared).
+	before := m.Stats.Msgs[MsgGetS]
+	m.Go(0, func(p *Proc) { _ = p.Read(a) })
+	m.Run()
+	if m.Stats.Msgs[MsgGetS] != before {
+		t.Fatal("downgraded owner lost its Shared copy")
+	}
+}
+
+// Requests arriving while the directory is in the transient downgrade
+// state must queue and then complete.
+func TestTransientQueueing(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) { p.Write(a, 1) })
+	m.Run()
+	// Burst of readers and a writer while the first Fwd-GetS is in flight.
+	var sum uint64
+	for c := 1; c < 6; c++ {
+		m.Go(c, func(p *Proc) { sum += p.Read(a) })
+	}
+	m.Go(6, func(p *Proc) { p.Write(a, 2) })
+	m.Go(7, func(p *Proc) { p.FAA(a, 10) })
+	m.Run() // must not deadlock
+	if v := m.Peek(a); v != 12 && v != 2 && v != 11 {
+		// Final value depends on interleaving of the write and FAA, but
+		// the FAA's +10 must never be lost.
+		t.Logf("final value %d", v)
+	}
+}
+
+// An RMW holds the line and defers forwarded requests until it finishes;
+// the deferred request then completes.
+func TestRMWDefersForwards(t *testing.T) {
+	cfg := small()
+	cfg.RMWHold = 200 // widen the hold window
+	m := New(cfg)
+	a := m.AllocLine(8, 0)
+	var readerVal uint64
+	var readerDone uint64
+	m.Go(0, func(p *Proc) {
+		p.FAA(a, 5)
+	})
+	m.Go(1, func(p *Proc) {
+		p.Delay(30) // land mid-hold
+		readerVal = p.Read(a)
+		readerDone = p.Now()
+	})
+	m.Run()
+	if readerVal != 5 {
+		t.Fatalf("reader saw %d, want 5 (post-RMW value)", readerVal)
+	}
+	if readerDone < 200 {
+		t.Fatalf("reader finished at %d, inside the RMW hold window", readerDone)
+	}
+}
+
+func TestTraceFormat(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) { p.Write(a, 1) })
+	m.Run()
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "GetM") || !strings.Contains(out, "Dir0") {
+		t.Errorf("trace missing expected records:\n%s", out)
+	}
+	if !strings.Contains(out, "Data") {
+		t.Errorf("trace missing Data grant:\n%s", out)
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	b := m.AllocLine(8, 0)
+	tr := &Tracer{Filter: LineOf(a)}
+	m.Tracer = tr
+	m.Go(0, func(p *Proc) {
+		p.Write(a, 1)
+		p.Write(b, 2)
+	})
+	m.Run()
+	for _, e := range tr.Events {
+		if e.Msg.Line != LineOf(a) {
+			t.Fatalf("filtered trace contains foreign line %#x", e.Msg.Line)
+		}
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("filter dropped everything")
+	}
+}
+
+// Messages counted in Stats must match what the tracer saw.
+func TestStatsMatchTrace(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	a := m.AllocLine(8, 0)
+	for c := 0; c < 6; c++ {
+		m.Go(c, func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.FAA(a, 1)
+				p.Read(a)
+			}
+		})
+	}
+	m.Run()
+	var total uint64
+	for _, n := range m.Stats.Msgs {
+		total += n
+	}
+	if int(total) != len(tr.Events) {
+		t.Fatalf("stats total %d != trace events %d", total, len(tr.Events))
+	}
+}
+
+// Hyperthread-style interleaving on one core is forbidden by design (one
+// proc per core keeps the model simple); two procs on one core would
+// corrupt the cache's single-txn assumption, so Go on the same core twice
+// is the caller's responsibility — document by testing current behavior:
+// both procs run, sharing the cache, which is exactly two hyperthreads
+// sharing a private cache.
+func TestTwoProcsShareACore(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	m.Go(0, func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.FAA(a, 1)
+		}
+	})
+	m.Go(0, func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.FAA(a, 1)
+		}
+	})
+	m.Run()
+	if m.Peek(a) != 40 {
+		t.Fatalf("value = %d, want 40", m.Peek(a))
+	}
+}
+
+func TestSwapReturnsPrevious(t *testing.T) {
+	m := New(small())
+	a := m.AllocLine(8, 0)
+	vals := make([]uint64, 0, 8)
+	for c := 0; c < 4; c++ {
+		c := c
+		m.Go(c, func(p *Proc) {
+			old := p.Swap(a, uint64(c)+1)
+			vals = append(vals, old)
+		})
+	}
+	m.Run()
+	// The four swaps plus the final memory value form a permutation of
+	// {0, 1, 2, 3, 4}: each value handed off exactly once.
+	seen := map[uint64]bool{m.Peek(a): true}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("value %d seen twice across swap chain", v)
+		}
+		seen[v] = true
+	}
+	for want := uint64(0); want < 5; want++ {
+		if !seen[want] {
+			t.Fatalf("value %d lost in swap chain", want)
+		}
+	}
+}
+
+func TestAllocSocketHoming(t *testing.T) {
+	m := New(small())
+	tr := &Tracer{}
+	m.Tracer = tr
+	// A line homed on socket 1, accessed from socket 0, pays cross-socket
+	// latency to the directory.
+	a := m.AllocLine(8, 1)
+	var dur0, dur1 uint64
+	m.Go(0, func(p *Proc) {
+		start := p.Now()
+		p.Read(a)
+		dur0 = p.Now() - start
+	})
+	m.Run()
+	b := m.AllocLine(8, 0)
+	m.Go(1, func(p *Proc) { _ = b }) // placate; measure socket-local below
+	m.Run()
+	m2 := New(small())
+	c := m2.AllocLine(8, 0)
+	m2.Go(0, func(p *Proc) {
+		start := p.Now()
+		p.Read(c)
+		dur1 = p.Now() - start
+	})
+	m2.Run()
+	if dur0 <= dur1 {
+		t.Fatalf("remote-homed read (%d) not slower than local-homed (%d)", dur0, dur1)
+	}
+}

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent records one protocol message send, for reproducing the
+// message-dynamics diagrams of paper Figures 2 and 3.
+type TraceEvent struct {
+	Time uint64
+	Msg  Msg
+	To   string
+}
+
+// From names the sending endpoint.
+func (e TraceEvent) From() string {
+	if e.Msg.From < 0 {
+		return fmt.Sprintf("Dir%d", -1-e.Msg.From)
+	}
+	return fmt.Sprintf("C%d", e.Msg.From)
+}
+
+// String formats the event as a one-line trace record.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("t=%-6d %-8s %s -> %s  line=%#x", e.Time, e.Msg.Kind, e.From(), e.To, e.Msg.Line)
+	if e.Msg.Kind == MsgData {
+		s += fmt.Sprintf(" acks=%d excl=%v", e.Msg.NeedAcks, e.Msg.Excl)
+	}
+	return s
+}
+
+// Tracer collects protocol events. Attach one to Machine.Tracer to record;
+// Filter, if nonzero, restricts recording to a single line.
+type Tracer struct {
+	Filter uint64
+	Events []TraceEvent
+}
+
+func (t *Tracer) record(now uint64, msg Msg, to string) {
+	if t.Filter != 0 && msg.Line != t.Filter {
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{Time: now, Msg: msg, To: to})
+}
+
+// Dump writes the trace to w, one event per line.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Count returns how many recorded events have the given kind.
+func (t *Tracer) Count(kind MsgKind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Msg.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

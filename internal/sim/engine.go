@@ -1,0 +1,118 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Events are ordered by (time, sequence) so that executions are fully
+// reproducible: scheduling the same events in the same order always yields
+// the same execution, independent of map iteration order or goroutine
+// scheduling. Time is an abstract uint64 cycle count.
+package sim
+
+import "container/heap"
+
+// Time is simulated time, in cycles.
+type Time = uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events scheduled for the same cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// all scheduling must happen from the goroutine that calls Step or Run
+// (or from callbacks it invokes).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+	// MaxSteps, if nonzero, bounds the number of events Run will process
+	// before panicking. It guards against livelocked simulations in tests.
+	MaxSteps uint64
+}
+
+// New returns a new Engine starting at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles (possibly zero). Events scheduled for
+// the same cycle run in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step runs the next event, advancing time to its timestamp.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.steps++
+	if e.MaxSteps != 0 && e.steps > e.MaxSteps {
+		panic("sim: exceeded MaxSteps; simulation is likely livelocked")
+	}
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances time to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

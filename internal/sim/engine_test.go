@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events ran out of scheduling order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(1, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "a0") })
+		e.Schedule(5, func() { got = append(got, "a5") })
+	})
+	e.Schedule(3, func() { got = append(got, "b") })
+	e.Run()
+	want := []string{"a", "a0", "b", "a5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(15, func() { ran++ })
+	e.RunUntil(10)
+	if ran != 1 {
+		t.Fatalf("RunUntil(10) ran %d events, want 1", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("Run ran %d events total, want 2", ran)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine reported work")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := New()
+	e.MaxSteps = 10
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("livelocked engine did not panic at MaxSteps")
+		}
+	}()
+	e.Run()
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine's clock ends at the max delay.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var last Time
+		mono := true
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					mono = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return mono && (len(delays) == 0 || e.Now() == max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		var out []Time
+		for i := 0; i < 50; i++ {
+			d := Time(i * 37 % 13)
+			e.Schedule(d, func() {
+				out = append(out, e.Now())
+				if len(out) < 200 {
+					e.Schedule(Time(len(out)%7), func() { out = append(out, e.Now()) })
+				}
+			})
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic timestamps at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

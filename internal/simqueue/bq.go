@@ -1,0 +1,129 @@
+package simqueue
+
+import "repro/internal/machine"
+
+// BQ is the original baskets queue of Hoffman, Shalev, and Shavit (the
+// paper's BQ-Original baseline): a Michael-Scott-style linked queue whose
+// enqueuers, on a failed CAS, push their node into an implicit LIFO basket
+// hanging off the same predecessor instead of chasing the new tail.
+// Further insertions into a basket are cut off by a "deleted" bit that a
+// dequeuer sets in the predecessor's next pointer — the property that makes
+// the queue linearizable (paper §5.2.2's discussion of the original design).
+//
+// Node layout:
+//
+//	+0   next (tagged pointer: low bit = deleted)   (line 0)
+//	+8   index (unused; kept for layout symmetry)
+//	+64  value                                       (line 1)
+type BQ struct {
+	m     *Machine
+	headA machine.Addr
+	tailA machine.Addr
+}
+
+const (
+	bqOffNext  = 0
+	bqOffValue = 64
+	bqNodeSize = 128
+)
+
+// NewBQ allocates an original baskets queue on m.
+func NewBQ(m *Machine, socket int) *BQ {
+	q := &BQ{m: m}
+	q.headA = m.AllocLine(8, socket)
+	q.tailA = m.AllocLine(8, socket)
+	sentinel := m.AllocLine(bqNodeSize, socket)
+	m.Poke(q.headA, sentinel)
+	m.Poke(q.tailA, sentinel)
+	return q
+}
+
+// Name implements Queue.
+func (q *BQ) Name() string { return "BQ-Original" }
+
+func (q *BQ) newNode(p *machine.Proc, v uint64) uint64 {
+	n := q.m.AllocLine(bqNodeSize, p.Socket())
+	p.Write(n+bqOffValue, v)
+	return n
+}
+
+// Enqueue appends v, joining the current tail's basket if its linking CAS
+// fails.
+func (q *BQ) Enqueue(p *machine.Proc, tid int, v uint64) {
+	checkValue(v)
+	n := q.newNode(p, v)
+	for {
+		tail := p.Read(q.tailA)
+		next := p.Read(tail + bqOffNext)
+		if isDeleted(next) {
+			// This tail is already consumed; catch the tail pointer up.
+			q.fixTail(p, tail)
+			continue
+		}
+		if ptrOf(next) == 0 {
+			if p.CAS(tail+bqOffNext, next, tag(n, false)) {
+				p.CAS(q.tailA, tail, n)
+				return
+			}
+			// CAS failed: a winner linked concurrently. Join the basket:
+			// push our node between tail and its (growing) suffix. All
+			// basket members are concurrent with the winner, so any
+			// internal order is linearizable.
+			for {
+				next = p.Read(tail + bqOffNext)
+				if isDeleted(next) || ptrOf(next) == 0 {
+					break // basket closed by a dequeuer; start over
+				}
+				p.Write(n+bqOffNext, tag(ptrOf(next), false))
+				if p.CAS(tail+bqOffNext, next, tag(n, false)) {
+					return
+				}
+			}
+		} else {
+			// Tail is stale; help it forward and retry.
+			q.fixTail(p, tail)
+		}
+	}
+}
+
+// fixTail advances the queue's tail pointer to the last linked node.
+func (q *BQ) fixTail(p *machine.Proc, tail uint64) {
+	last := tail
+	for {
+		nx := p.Read(last + bqOffNext)
+		if ptrOf(nx) == 0 {
+			break
+		}
+		last = ptrOf(nx)
+	}
+	if last != tail {
+		p.CAS(q.tailA, tail, last)
+	}
+}
+
+// Dequeue claims the node after head by setting the deleted bit in head's
+// next pointer — which simultaneously closes head's basket to inserters —
+// then swings head forward.
+func (q *BQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	for {
+		head := p.Read(q.headA)
+		next := p.Read(head + bqOffNext)
+		if isDeleted(next) {
+			// Someone claimed this successor; help advance head.
+			p.CAS(q.headA, head, ptrOf(next))
+			continue
+		}
+		if ptrOf(next) == 0 {
+			return 0, false // empty
+		}
+		// Keep tail from lagging behind head.
+		if p.Read(q.tailA) == head {
+			p.CAS(q.tailA, head, ptrOf(next))
+		}
+		if p.CAS(head+bqOffNext, next, tag(ptrOf(next), true)) {
+			v := p.Read(ptrOf(next) + bqOffValue)
+			p.CAS(q.headA, head, ptrOf(next))
+			return v, true
+		}
+	}
+}

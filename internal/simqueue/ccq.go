@@ -1,0 +1,160 @@
+package simqueue
+
+import "repro/internal/machine"
+
+// CCQ is a combining queue in the style of Fatourou & Kallimanis's
+// CC-Queue (CC-Synch combining over a sequential two-lock-free queue): a
+// thread SWAPs its request node onto a global combining list and spins
+// locally; the thread at the head of the list becomes the combiner and
+// serially applies a batch of pending operations.
+//
+// Per-thread request node layout (each on its own lines):
+//
+//	+0   wait      (spun on locally; cleared by the combiner)
+//	+8   completed (1 if the combiner applied the op)
+//	+16  isEnqueue
+//	+24  arg       (enqueue value)
+//	+32  ret       (dequeue result; sentinelEmpty = queue empty)
+//	+64  next      (combining-list link, separate line)
+type CCQ struct {
+	m *Machine
+
+	lockA machine.Addr // combining-list tail (SWAP target)
+	headA machine.Addr // sequential queue head (combiner-only)
+	tailA machine.Addr // sequential queue tail (combiner-only)
+
+	// nodes holds each thread's spare request node. CC-Synch rotates node
+	// ownership: an op leaves its spare at the combining-list tail and
+	// takes ownership of the node it announced its request in.
+	nodes []uint64
+
+	// CombineLimit bounds how many requests one combiner serves.
+	CombineLimit int
+}
+
+const (
+	ccWait    = 0
+	ccDone    = 8
+	ccIsEnq   = 16
+	ccArg     = 24
+	ccRet     = 32
+	ccNext    = 64
+	ccNodeLen = 128
+
+	// Sequential queue node layout.
+	ccqValOff  = 0
+	ccqNextOff = 8
+	ccqNodeLen = 64
+)
+
+// NewCCQ allocates a combining queue for the given number of threads.
+func NewCCQ(m *Machine, threads, socket int) *CCQ {
+	q := &CCQ{m: m, nodes: make([]uint64, threads), CombineLimit: 3 * threads}
+	if q.CombineLimit == 0 {
+		q.CombineLimit = 1
+	}
+	q.lockA = m.AllocLine(8, socket)
+	q.headA = m.AllocLine(8, socket)
+	q.tailA = m.AllocLine(8, socket)
+	for i := range q.nodes {
+		q.nodes[i] = m.AllocLine(ccNodeLen, socket)
+	}
+	// Dummy node at the combining-list tail: its owner-to-be is the first
+	// arriving thread, which becomes the combiner immediately.
+	dummy := m.AllocLine(ccNodeLen, socket)
+	m.Poke(q.lockA, dummy)
+	// Sequential queue sentinel.
+	s := m.AllocLine(ccqNodeLen, socket)
+	m.Poke(q.headA, s)
+	m.Poke(q.tailA, s)
+	return q
+}
+
+// Name implements Queue.
+func (q *CCQ) Name() string { return "CC-Queue" }
+
+// apply runs the CC-Synch protocol for one operation and returns the
+// request's result word.
+func (q *CCQ) apply(p *machine.Proc, tid int, isEnq bool, arg uint64) uint64 {
+	// Leave our spare node at the list tail; we get the previous node to
+	// announce our request in, and keep it as next op's spare.
+	mine := q.nodes[tid]
+	p.Write(mine+ccWait, 1)
+	p.Write(mine+ccDone, 0)
+	p.Write(mine+ccNext, 0)
+
+	prev := p.Swap(q.lockA, mine)
+	q.nodes[tid] = prev
+	if isEnq {
+		p.Write(prev+ccIsEnq, 1)
+	} else {
+		p.Write(prev+ccIsEnq, 0)
+	}
+	p.Write(prev+ccArg, arg)
+	p.Write(prev+ccNext, mine)
+
+	// Spin locally until the combiner either serves us or hands us the
+	// combiner role.
+	for p.Read(prev+ccWait) != 0 {
+		p.Delay(32)
+	}
+	if p.Read(prev+ccDone) != 0 {
+		return p.Read(prev + ccRet)
+	}
+
+	// We are the combiner: serve pending requests starting at our node.
+	cur := prev
+	served := 0
+	for served < q.CombineLimit {
+		next := p.Read(cur + ccNext)
+		if next == 0 {
+			break
+		}
+		q.applySequential(p, cur)
+		p.Write(cur+ccDone, 1)
+		p.Write(cur+ccWait, 0)
+		cur = next
+		served++
+	}
+	// Hand the combiner role to cur's owner (or, if cur is the list tail,
+	// to whichever thread swaps in next and finds wait already clear).
+	p.Write(cur+ccWait, 0)
+	return p.Read(prev + ccRet)
+}
+
+// applySequential executes one announced operation against the sequential
+// queue. Only the combiner calls it, so plain reads/writes suffice.
+func (q *CCQ) applySequential(p *machine.Proc, req uint64) {
+	if p.Read(req+ccIsEnq) != 0 {
+		n := q.m.AllocLine(ccqNodeLen, p.Socket())
+		p.Write(n+ccqValOff, p.Read(req+ccArg))
+		tail := p.Read(q.tailA)
+		p.Write(tail+ccqNextOff, n)
+		p.Write(q.tailA, n)
+		p.Write(req+ccRet, 0)
+		return
+	}
+	head := p.Read(q.headA)
+	next := p.Read(head + ccqNextOff)
+	if next == 0 {
+		p.Write(req+ccRet, sentinelEmpty)
+		return
+	}
+	p.Write(q.headA, next)
+	p.Write(req+ccRet, p.Read(next+ccqValOff))
+}
+
+// Enqueue appends v through the combiner.
+func (q *CCQ) Enqueue(p *machine.Proc, tid int, v uint64) {
+	checkValue(v)
+	q.apply(p, tid, true, v)
+}
+
+// Dequeue removes the oldest element through the combiner.
+func (q *CCQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	r := q.apply(p, tid, false, 0)
+	if r == sentinelEmpty {
+		return 0, false
+	}
+	return r, true
+}

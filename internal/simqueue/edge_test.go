@@ -1,0 +1,141 @@
+package simqueue
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// A dequeuer that overtakes its enqueuer poisons the cell; the enqueuer
+// must fall forward to a fresh index and the element must still arrive.
+func TestFAAQPoisonedCellRecovery(t *testing.T) {
+	m := testMachine(1)
+	q := NewFAAQ(m, FAAQOptions{SegSize: 8, Threads: 1})
+	m.Go(0, func(p *machine.Proc) {
+		// Manually play an overtaking dequeuer: claim index 0 and poison
+		// its cell before any enqueuer arrives.
+		idx := p.FAA(q.deqA, 1)
+		cell := q.findCell(p, 0, idx)
+		if got := p.Swap(cell, sentinelEmpty); got != 0 {
+			t.Errorf("expected to poison an empty cell, found %#x", got)
+		}
+		// The enqueuer now claims index 0, finds it poisoned, retries at 1.
+		q.Enqueue(p, 0, 42)
+		if got := p.Read(q.enqA); got != 2 {
+			t.Errorf("enqueue counter = %d, want 2 (one poisoned attempt)", got)
+		}
+		// The next dequeue claims index 1 and finds the element.
+		v, ok := q.Dequeue(p, 0)
+		if !ok || v != 42 {
+			t.Errorf("dequeue got %d,%v; want 42,true", v, ok)
+		}
+	})
+	m.Run()
+}
+
+// With CombineLimit 1 the combiner role is handed over constantly; all
+// elements still arrive exactly once.
+func TestCCQTinyCombineLimit(t *testing.T) {
+	const threads, per = 6, 20
+	m := testMachine(threads)
+	q := NewCCQ(m, threads, 0)
+	q.CombineLimit = 1
+	for c := 0; c < threads; c++ {
+		c := c
+		m.Go(c, func(p *machine.Proc) {
+			for i := 0; i < per; i++ {
+				q.Enqueue(p, c, value(c, i))
+			}
+		})
+	}
+	m.Run()
+	seen := map[uint64]bool{}
+	m.Go(0, func(p *machine.Proc) {
+		for {
+			v, ok := q.Dequeue(p, 0)
+			if !ok {
+				return
+			}
+			if seen[v] {
+				t.Errorf("duplicate %#x", v)
+			}
+			seen[v] = true
+		}
+	})
+	m.Run()
+	if len(seen) != threads*per {
+		t.Fatalf("drained %d of %d", len(seen), threads*per)
+	}
+}
+
+// The BQ tail pointer may lag arbitrarily; enqueues must find the real
+// tail and repair it.
+func TestBQTailLagRepair(t *testing.T) {
+	m := testMachine(2)
+	q := NewBQ(m, 0)
+	m.Go(0, func(p *machine.Proc) {
+		for i := 0; i < 30; i++ {
+			q.Enqueue(p, 0, value(0, i))
+		}
+		// Drag the tail pointer all the way back to the head sentinel.
+		head := p.Read(q.headA)
+		p.Write(q.tailA, head)
+		// Enqueues must recover by walking to the real tail.
+		for i := 30; i < 40; i++ {
+			q.Enqueue(p, 0, value(0, i))
+		}
+		for i := 0; i < 40; i++ {
+			v, ok := q.Dequeue(p, 0)
+			if !ok || v != value(0, i) {
+				t.Errorf("index %d: got %#x,%v", i, v, ok)
+				return
+			}
+		}
+	})
+	m.Run()
+}
+
+// Dequeue on a drained-then-refilled SBQ keeps working across node
+// boundaries (head passes retired nodes, reclamation recycles them).
+func TestSBQDrainRefillCycles(t *testing.T) {
+	m := testMachine(2)
+	q := NewSBQ(m, SBQOptions{BasketSize: 2, Enqueuers: 2, Threads: 2})
+	m.Go(0, func(p *machine.Proc) {
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 10; i++ {
+				q.Enqueue(p, 0, value(round, i))
+			}
+			for i := 0; i < 10; i++ {
+				v, ok := q.Dequeue(p, 0)
+				if !ok || v != value(round, i) {
+					t.Errorf("round %d index %d: got %#x,%v", round, i, v, ok)
+					return
+				}
+			}
+			if _, ok := q.Dequeue(p, 0); ok {
+				t.Errorf("round %d: drained queue not empty", round)
+				return
+			}
+		}
+	})
+	m.Run()
+	if q.FreedNodes == 0 {
+		t.Error("reclamation never recycled a node across drain cycles")
+	}
+}
+
+// The WF-Queue stand-in reports emptiness without claiming an index when
+// the counters say the queue is drained.
+func TestFAAQEmptyDoesNotClaim(t *testing.T) {
+	m := testMachine(1)
+	q := NewFAAQ(m, FAAQOptions{SegSize: 8, Threads: 1})
+	m.Go(0, func(p *machine.Proc) {
+		if _, ok := q.Dequeue(p, 0); ok {
+			t.Error("fresh queue returned an element")
+		}
+		if got := p.Read(q.deqA); got != 0 {
+			t.Errorf("empty dequeue advanced the counter to %d", got)
+		}
+	})
+	m.Run()
+}

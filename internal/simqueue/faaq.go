@@ -1,0 +1,134 @@
+package simqueue
+
+import "repro/internal/machine"
+
+// FAAQ is an FAA-based "infinite array" queue: enqueuers and dequeuers
+// claim cells with one fetch-and-add each on a pair of global counters, and
+// resolve enqueue/dequeue races on a cell with a CAS/SWAP protocol.
+//
+// It stands in for Yang & Mellor-Crummey's WF-Queue, the paper's fastest
+// baseline: this is exactly WF-Queue's fast path, whose contended-FAA cost
+// profile is what the paper compares SBQ against (§6.1 notes the slow path
+// never runs in practice). The wait-free helping machinery is omitted, so
+// the progress guarantee here is lock-free rather than wait-free; see
+// DESIGN.md for the substitution rationale.
+//
+// Layout: the queue holds enqueue/dequeue counters on separate lines and a
+// linked list of fixed-size segments of cells.
+type FAAQ struct {
+	m       *Machine
+	segSize int
+
+	enqA   machine.Addr // enqueue counter
+	deqA   machine.Addr // dequeue counter
+	firstA machine.Addr // pointer to the first segment
+
+	// per-thread cached segment pointer to avoid rewalking the list
+	lastSeg []uint64
+}
+
+const (
+	faaqSegID    = 0  // segment's first cell index
+	faaqSegNext  = 8  // next segment pointer
+	faaqSegCells = 64 // cells start on their own line
+)
+
+// FAAQOptions configures an FAAQ.
+type FAAQOptions struct {
+	// SegSize is the number of cells per segment (default 1024).
+	SegSize int
+	// Threads sizes the per-thread segment caches.
+	Threads int
+	// Socket homes the queue's memory.
+	Socket int
+}
+
+// NewFAAQ allocates an FAA-based queue on m.
+func NewFAAQ(m *Machine, opt FAAQOptions) *FAAQ {
+	if opt.SegSize <= 0 {
+		opt.SegSize = 1024
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
+	q := &FAAQ{m: m, segSize: opt.SegSize, lastSeg: make([]uint64, opt.Threads)}
+	q.enqA = m.AllocLine(8, opt.Socket)
+	q.deqA = m.AllocLine(8, opt.Socket)
+	q.firstA = m.AllocLine(8, opt.Socket)
+	seg := q.newSeg(opt.Socket, 0)
+	m.Poke(q.firstA, seg)
+	for i := range q.lastSeg {
+		q.lastSeg[i] = seg
+	}
+	return q
+}
+
+// Name implements Queue.
+func (q *FAAQ) Name() string { return "FAA-Queue" }
+
+func (q *FAAQ) newSeg(socket int, firstIdx uint64) uint64 {
+	s := q.m.AllocLine(faaqSegCells+8*q.segSize, socket)
+	q.m.Poke(s+faaqSegID, firstIdx)
+	return s
+}
+
+// findCell walks (and extends) the segment list to the cell with global
+// index idx, caching the segment per thread.
+func (q *FAAQ) findCell(p *machine.Proc, tid int, idx uint64) machine.Addr {
+	seg := q.lastSeg[tid]
+	segFirst := p.Read(seg + faaqSegID)
+	if segFirst > idx {
+		// Cached segment is past idx (stale cache after wraparound never
+		// happens — indices are monotonic — but a fresh thread may cache
+		// a later segment than a lagging dequeuer needs).
+		seg = p.Read(q.firstA)
+		segFirst = p.Read(seg + faaqSegID)
+	}
+	for idx >= segFirst+uint64(q.segSize) {
+		next := p.Read(seg + faaqSegNext)
+		if next == 0 {
+			n := q.newSeg(p.Socket(), segFirst+uint64(q.segSize))
+			if !p.CAS(seg+faaqSegNext, 0, n) {
+				next = p.Read(seg + faaqSegNext)
+			} else {
+				next = n
+			}
+		}
+		seg = next
+		segFirst = p.Read(seg + faaqSegID)
+	}
+	q.lastSeg[tid] = seg
+	return seg + faaqSegCells + 8*machine.Addr(idx-segFirst)
+}
+
+// Enqueue claims a cell with one FAA and publishes v in it; if a racing
+// dequeuer already poisoned the cell, it retries with a fresh index.
+func (q *FAAQ) Enqueue(p *machine.Proc, tid int, v uint64) {
+	checkValue(v)
+	for {
+		idx := p.FAA(q.enqA, 1)
+		cell := q.findCell(p, tid, idx)
+		if p.CAS(cell, 0, v) {
+			return
+		}
+		// Cell was taken by a dequeuer that overtook us; try the next.
+	}
+}
+
+// Dequeue claims a cell with one FAA and takes its value, poisoning cells
+// whose enqueuer has not arrived yet.
+func (q *FAAQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	for {
+		if p.Read(q.deqA) >= p.Read(q.enqA) {
+			return 0, false // empty
+		}
+		idx := p.FAA(q.deqA, 1)
+		cell := q.findCell(p, tid, idx)
+		v := p.Swap(cell, sentinelEmpty)
+		if v != 0 {
+			return v, true
+		}
+		// The enqueuer assigned this cell has not written yet; it will
+		// see the poison and retry elsewhere. Claim the next cell.
+	}
+}

@@ -1,0 +1,205 @@
+package simqueue
+
+import "repro/internal/machine"
+
+// LCRQ is a simulated LCRQ-style queue (Morrison & Afek, PPoPP 2013): a
+// linked list of bounded concurrent ring queues whose slots are claimed
+// with FAA. It is the related-work predecessor of the paper's WF-Queue
+// baseline; the harness exposes it as an optional extra variant.
+//
+// The original uses a double-width CAS on a cell's (index, value) pair;
+// the simulator's memory is single-word, so each cell holds a pointer to
+// an immutable two-word slot record, replaced with a single-word CAS —
+// the same translation the native port uses for Go's lack of DWCAS.
+type LCRQ struct {
+	m        *Machine
+	ringSize int
+
+	headRingA machine.Addr
+	tailRingA machine.Addr
+}
+
+const (
+	lcrqHeadOff  = 0
+	lcrqTailOff  = 64
+	lcrqNextOff  = 128
+	lcrqCellsOff = 192
+
+	lcrqClosedBit = uint64(1) << 63
+)
+
+// slot record layout: +0 index, +8 value (0 = empty).
+
+// LCRQOptions configures a simulated LCRQ.
+type LCRQOptions struct {
+	// RingSize is the number of cells per ring (default 64).
+	RingSize int
+	// Socket homes the queue's control words and initial ring.
+	Socket int
+}
+
+// NewLCRQ allocates an LCRQ on m.
+func NewLCRQ(m *Machine, opt LCRQOptions) *LCRQ {
+	if opt.RingSize <= 0 {
+		opt.RingSize = 64
+	}
+	q := &LCRQ{m: m, ringSize: opt.RingSize}
+	q.headRingA = m.AllocLine(8, opt.Socket)
+	q.tailRingA = m.AllocLine(8, opt.Socket)
+	r := q.newRing(opt.Socket)
+	m.Poke(q.headRingA, r)
+	m.Poke(q.tailRingA, r)
+	return q
+}
+
+// Name implements Queue.
+func (q *LCRQ) Name() string { return "LCRQ" }
+
+// newRing allocates a ring with every cell pointing at an empty slot for
+// its first-lap index.
+func (q *LCRQ) newRing(socket int) uint64 {
+	r := q.m.AllocLine(lcrqCellsOff+8*q.ringSize, socket)
+	for i := 0; i < q.ringSize; i++ {
+		s := q.m.Alloc(16, socket)
+		q.m.Poke(s, uint64(i)) // index
+		q.m.Poke(s+8, 0)       // empty
+		q.m.Poke(r+lcrqCellsOff+8*uint64(i), s)
+	}
+	return r
+}
+
+func (q *LCRQ) newSlot(p *machine.Proc, idx, val uint64) uint64 {
+	s := q.m.Alloc(16, p.Socket())
+	// Initialization writes are local-cache stores before publication.
+	p.Write(s, idx)
+	p.Write(s+8, val)
+	return s
+}
+
+func (q *LCRQ) cellAddrOf(ring uint64, idx uint64) machine.Addr {
+	return ring + lcrqCellsOff + 8*(idx%uint64(q.ringSize))
+}
+
+// ringEnqueue attempts to place v in ring r; false means the ring closed.
+func (q *LCRQ) ringEnqueue(p *machine.Proc, r uint64, v uint64) bool {
+	for tries := 0; ; tries++ {
+		t := p.FAA(r+lcrqTailOff, 1)
+		if t&lcrqClosedBit != 0 {
+			return false
+		}
+		cell := q.cellAddrOf(r, t)
+		s := p.Read(cell)
+		idx := p.Read(s)
+		val := p.Read(s + 8)
+		if val == 0 && idx <= t {
+			ns := q.newSlot(p, t, v)
+			if p.CAS(cell, s, ns) {
+				return true
+			}
+		}
+		if t-p.Read(r+lcrqHeadOff) >= uint64(q.ringSize) || tries > 2*q.ringSize {
+			q.closeRing(p, r)
+			return false
+		}
+	}
+}
+
+func (q *LCRQ) closeRing(p *machine.Proc, r uint64) {
+	for {
+		t := p.Read(r + lcrqTailOff)
+		if t&lcrqClosedBit != 0 {
+			return
+		}
+		if p.CAS(r+lcrqTailOff, t, t|lcrqClosedBit) {
+			return
+		}
+	}
+}
+
+// ringDequeue attempts to take the oldest element of ring r.
+func (q *LCRQ) ringDequeue(p *machine.Proc, r uint64) (uint64, bool) {
+	for {
+		h := p.FAA(r+lcrqHeadOff, 1)
+		cell := q.cellAddrOf(r, h)
+		for {
+			s := p.Read(cell)
+			idx := p.Read(s)
+			val := p.Read(s + 8)
+			if val != 0 && idx == h {
+				ns := q.newSlot(p, h+uint64(q.ringSize), 0)
+				if p.CAS(cell, s, ns) {
+					return val, true
+				}
+				continue
+			}
+			if val == 0 && idx <= h {
+				// The enqueuer for h has not arrived: re-arm the cell
+				// past h so a late enqueuer cannot publish into a slot
+				// we have logically passed.
+				ns := q.newSlot(p, h+uint64(q.ringSize), 0)
+				if !p.CAS(cell, s, ns) {
+					continue
+				}
+			}
+			break
+		}
+		if t := p.Read(r+lcrqTailOff) &^ lcrqClosedBit; t <= h+1 {
+			q.fixState(p, r)
+			return 0, false
+		}
+	}
+}
+
+// fixState repairs head > tail after empty dequeue bursts.
+func (q *LCRQ) fixState(p *machine.Proc, r uint64) {
+	for {
+		h := p.Read(r + lcrqHeadOff)
+		t := p.Read(r + lcrqTailOff)
+		if t&lcrqClosedBit != 0 || t >= h {
+			return
+		}
+		if p.CAS(r+lcrqTailOff, t, h) {
+			return
+		}
+	}
+}
+
+// Enqueue appends v, opening a fresh ring when the current one closes.
+func (q *LCRQ) Enqueue(p *machine.Proc, tid int, v uint64) {
+	checkValue(v)
+	for {
+		r := p.Read(q.tailRingA)
+		if next := p.Read(r + lcrqNextOff); next != 0 {
+			p.CAS(q.tailRingA, r, next)
+			continue
+		}
+		if q.ringEnqueue(p, r, v) {
+			return
+		}
+		nr := q.newRing(p.Socket())
+		q.ringEnqueue(p, nr, v) // trivially succeeds on a private ring
+		if p.CAS(r+lcrqNextOff, 0, nr) {
+			p.CAS(q.tailRingA, r, nr)
+			return
+		}
+		// Lost the race to append a ring; the abandoned one is garbage.
+	}
+}
+
+// Dequeue removes the oldest element.
+func (q *LCRQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	for {
+		r := p.Read(q.headRingA)
+		if v, ok := q.ringDequeue(p, r); ok {
+			return v, true
+		}
+		next := p.Read(r + lcrqNextOff)
+		if next == 0 {
+			return 0, false
+		}
+		if v, ok := q.ringDequeue(p, r); ok {
+			return v, true
+		}
+		p.CAS(q.headRingA, r, next)
+	}
+}

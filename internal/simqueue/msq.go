@@ -1,0 +1,72 @@
+package simqueue
+
+import "repro/internal/machine"
+
+// MSQ is the classic Michael-Scott lock-free queue: the baseline the
+// baskets queue improves on. Its enqueue retries a contended CAS on the
+// tail node's next pointer until it wins, which is precisely the blind
+// retry behavior the paper's §1 identifies as non-scalable.
+type MSQ struct {
+	m     *Machine
+	headA machine.Addr
+	tailA machine.Addr
+}
+
+const (
+	msqNextOff  = 0
+	msqValueOff = 64
+	msqNodeLen  = 128
+)
+
+// NewMSQ allocates a Michael-Scott queue on m.
+func NewMSQ(m *Machine, socket int) *MSQ {
+	q := &MSQ{m: m}
+	q.headA = m.AllocLine(8, socket)
+	q.tailA = m.AllocLine(8, socket)
+	s := m.AllocLine(msqNodeLen, socket)
+	m.Poke(q.headA, s)
+	m.Poke(q.tailA, s)
+	return q
+}
+
+// Name implements Queue.
+func (q *MSQ) Name() string { return "MS-Queue" }
+
+// Enqueue appends v, retrying its linking CAS until it succeeds.
+func (q *MSQ) Enqueue(p *machine.Proc, tid int, v uint64) {
+	checkValue(v)
+	n := q.m.AllocLine(msqNodeLen, p.Socket())
+	p.Write(n+msqValueOff, v)
+	for {
+		tail := p.Read(q.tailA)
+		next := p.Read(tail + msqNextOff)
+		if next != 0 {
+			p.CAS(q.tailA, tail, next)
+			continue
+		}
+		if p.CAS(tail+msqNextOff, 0, n) {
+			p.CAS(q.tailA, tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest element by swinging head forward.
+func (q *MSQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	for {
+		head := p.Read(q.headA)
+		tail := p.Read(q.tailA)
+		next := p.Read(head + msqNextOff)
+		if next == 0 {
+			return 0, false
+		}
+		if head == tail {
+			p.CAS(q.tailA, tail, next)
+			continue
+		}
+		v := p.Read(next + msqValueOff)
+		if p.CAS(q.headA, head, next) {
+			return v, true
+		}
+	}
+}

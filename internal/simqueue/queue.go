@@ -1,0 +1,68 @@
+// Package simqueue implements the concurrent queues evaluated in the paper
+// on the simulated machine: SBQ (the scalable baskets queue, Algorithms 2-9,
+// with TxCAS or CAS try_append), the original baskets queue, an FAA-based
+// queue standing in for Yang & Mellor-Crummey's wait-free queue, the
+// CC-Synch combining queue, and the Michael-Scott queue.
+//
+// Every queue operates on simulated memory through machine.Proc operations,
+// so its performance emerges from the simulated coherence protocol exactly
+// as the paper's analysis predicts.
+//
+// Thread-id convention: callers pass a dense global thread id. Queues with
+// per-thread state (protector slots, basket cells, combiner nodes) size it
+// from the Threads/Enqueuers constructor parameters; enqueuer threads must
+// use ids 0..Enqueuers-1.
+package simqueue
+
+import "repro/internal/machine"
+
+// Queue is an MPMC FIFO queue living in simulated memory.
+type Queue interface {
+	// Enqueue appends v. v must be a valid element value (see ValidValue).
+	Enqueue(p *machine.Proc, tid int, v uint64)
+	// Dequeue removes and returns the oldest element, or ok=false if the
+	// queue appeared empty.
+	Dequeue(p *machine.Proc, tid int) (v uint64, ok bool)
+	// Name identifies the implementation in benchmark output.
+	Name() string
+}
+
+// Element sentinels. Queues reserve a couple of values for internal use;
+// elements must avoid them.
+const (
+	// sentinelInsert marks a basket cell not yet written by its inserter.
+	sentinelInsert = 0
+	// sentinelEmpty marks a basket or ring cell claimed by an extractor.
+	sentinelEmpty = ^uint64(0)
+)
+
+// MinValue and MaxValue bound the element values accepted by every queue in
+// this package.
+const (
+	MinValue = uint64(1)
+	MaxValue = ^uint64(0) - 1
+)
+
+// ValidValue reports whether v may be stored in the queues of this package.
+func ValidValue(v uint64) bool { return v >= MinValue && v <= MaxValue }
+
+func checkValue(v uint64) {
+	if !ValidValue(v) {
+		panic("simqueue: element value collides with an internal sentinel")
+	}
+}
+
+// Tagged pointers: the original baskets queue stores a "deleted" mark in the
+// low bit of a next pointer. Simulated nodes are 64-byte aligned, so the
+// bit is free, exactly as in the paper's C implementation.
+
+func tag(ptr uint64, deleted bool) uint64 {
+	if deleted {
+		return ptr | 1
+	}
+	return ptr
+}
+
+func ptrOf(w uint64) uint64 { return w &^ 1 }
+
+func isDeleted(w uint64) bool { return w&1 != 0 }

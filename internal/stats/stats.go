@@ -1,0 +1,118 @@
+// Package stats provides the small set of statistics the benchmark harness
+// and the shape-asserting tests need: summary statistics, percentiles, and
+// least-squares linear fits (used to assert that a latency curve is "flat"
+// or "linear" without pinning exact numbers).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit is a least-squares line y = Intercept + Slope*x.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination; near 1 means the line
+	// explains the data well.
+	R2 float64
+}
+
+// LinearFit fits a least-squares line through (xs[i], ys[i]). It panics if
+// the slices differ in length or have fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: linear fit needs >= 2 paired points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	f := Fit{}
+	if sxx == 0 {
+		f.Slope = 0
+		f.Intercept = my
+		f.R2 = 0
+		return f
+	}
+	f.Slope = sxy / sxx
+	f.Intercept = my - f.Slope*mx
+	if syy == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !approx(s.Stddev, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !approx(got, 2.5, 1e-12) {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 1 || xs[3] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty sample")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 5 + 2x
+	f := LinearFit(xs, ys)
+	if !approx(f.Slope, 2, 1e-12) || !approx(f.Intercept, 5, 1e-12) || !approx(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	f := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !approx(f.Slope, 0, 1e-12) || !approx(f.Intercept, 4, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitDegenerateX(t *testing.T) {
+	f := LinearFit([]float64{2, 2}, []float64{1, 3})
+	if f.Slope != 0 || f.Intercept != 2 {
+		t.Fatalf("degenerate fit = %+v", f)
+	}
+}
+
+// Property: the fit of y = a + b*x recovers a and b for any sane inputs.
+func TestLinearFitProperty(t *testing.T) {
+	f := func(a, b int8, n uint8) bool {
+		if n < 2 {
+			return true
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = float64(a) + float64(b)*float64(i)
+		}
+		fit := LinearFit(xs, ys)
+		return approx(fit.Slope, float64(b), 1e-9) && approx(fit.Intercept, float64(a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is nonnegative.
+func TestSummaryProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip inputs whose sums or squares overflow float64; the
+			// statistics themselves are then meaningless.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package baskets implements the original baskets queue (Hoffman, Shalev
+// & Shavit; the paper's BQ-Original baseline): a Michael-Scott-style
+// linked queue whose enqueuers, on a failed linking CAS, push their node
+// into an implicit LIFO basket between the stale tail and its successors
+// instead of chasing the new tail.
+//
+// The original C algorithm tags next pointers with a "deleted" bit;
+// dequeuers set it to claim a node, and setting it simultaneously closes
+// the predecessor's basket to further insertions — the property that makes
+// the queue linearizable. Go's garbage collector forbids pointer tagging,
+// so each next field holds an atomically replaced edge record (pointer +
+// deleted flag); retired records are garbage collected.
+package baskets
+
+import "sync/atomic"
+
+type node[T any] struct {
+	v    T
+	next atomic.Pointer[edge[T]]
+}
+
+// edge is an atomically-replaced (pointer, deleted) pair.
+type edge[T any] struct {
+	to      *node[T]
+	deleted bool
+}
+
+// Queue is an original-style baskets queue.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	s := &node[T]{}
+	s.next.Store(&edge[T]{})
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue appends v. If the linking CAS fails, the enqueuer joins the
+// basket at the same predecessor: the failure itself proves the presence
+// of concurrent enqueuers, so their elements may enter in any order.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{v: v}
+	n.next.Store(&edge[T]{})
+	for {
+		tail := q.tail.Load()
+		w := tail.next.Load()
+		if w.deleted {
+			q.fixTail(tail)
+			continue
+		}
+		if w.to == nil {
+			if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
+				q.tail.CompareAndSwap(tail, n)
+				return
+			}
+			// Failed: a winner linked concurrently. Push into the basket
+			// between tail and its (growing) chain of concurrent nodes.
+			for {
+				w = tail.next.Load()
+				if w.deleted || w.to == nil {
+					break // basket closed by a dequeuer; start over
+				}
+				n.next.Store(&edge[T]{to: w.to})
+				if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
+					return
+				}
+			}
+		} else {
+			q.fixTail(tail)
+		}
+	}
+}
+
+// fixTail advances the queue's tail pointer to the last linked node.
+func (q *Queue[T]) fixTail(tail *node[T]) {
+	last := tail
+	for {
+		w := last.next.Load()
+		if w.to == nil {
+			break
+		}
+		last = w.to
+	}
+	if last != tail {
+		q.tail.CompareAndSwap(tail, last)
+	}
+}
+
+// Dequeue claims the node after head by marking head's next edge deleted —
+// which closes head's basket — then swings head forward.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		w := head.next.Load()
+		if w.deleted {
+			q.head.CompareAndSwap(head, w.to)
+			continue
+		}
+		if w.to == nil {
+			return zero, false
+		}
+		if q.tail.Load() == head {
+			q.tail.CompareAndSwap(head, w.to)
+		}
+		if head.next.CompareAndSwap(w, &edge[T]{to: w.to, deleted: true}) {
+			v := w.to.v
+			q.head.CompareAndSwap(head, w.to)
+			return v, true
+		}
+	}
+}

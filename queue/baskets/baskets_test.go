@@ -1,0 +1,65 @@
+package baskets_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/queue"
+	"repro/queue/baskets"
+	"repro/queue/queuetest"
+)
+
+func factory() queuetest.Factory {
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return baskets.New[uint64]() })
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, factory())
+}
+
+func TestAlternating(t *testing.T) {
+	q := baskets.New[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("round %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+// Concurrent enqueuers whose CASs collide land in a basket; every element
+// must still come out exactly once.
+func TestBasketBurst(t *testing.T) {
+	q := baskets.New[int]()
+	const writers = 16
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(w*per + i)
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make([]bool, writers*per)
+	n := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+		n++
+	}
+	if n != writers*per {
+		t.Fatalf("drained %d of %d", n, writers*per)
+	}
+}

@@ -1,0 +1,67 @@
+package ccq_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/queue"
+	"repro/queue/ccq"
+	"repro/queue/queuetest"
+)
+
+func factory() queuetest.Factory {
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return ccq.New[uint64](0) })
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, factory())
+}
+
+func TestCombinerHandoff(t *testing.T) {
+	// A tiny combine limit forces frequent combiner handoffs.
+	q := ccq.New[int](1)
+	const writers = 8
+	const per = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(w*per + i)
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make([]bool, writers*per)
+	n := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+		n++
+	}
+	if n != writers*per {
+		t.Fatalf("drained %d of %d", n, writers*per)
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := ccq.New[int](0)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue(1)
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue not empty")
+	}
+}

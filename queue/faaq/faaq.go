@@ -1,0 +1,119 @@
+// Package faaq implements an FAA-based "infinite array" MPMC queue:
+// enqueuers and dequeuers each claim a cell with one fetch-and-add on a
+// global counter and resolve enqueue/dequeue races per cell with an
+// atomic state protocol.
+//
+// This is the fast path of Yang & Mellor-Crummey's wait-free queue (the
+// paper's fastest baseline, WF-Queue), without the wait-free helping slow
+// path: the paper notes operations make progress in practice, so the
+// contended-FAA cost profile — the property SBQ is compared against — is
+// the fast path's. Progress here is lock-free rather than wait-free; see
+// DESIGN.md for the substitution rationale.
+package faaq
+
+import "sync/atomic"
+
+// SegSize is the number of cells per segment.
+const SegSize = 1024
+
+// Cell states.
+const (
+	cellEmpty uint32 = iota // no one has arrived
+	cellFull                // enqueuer published a value
+	cellTaken               // dequeuer claimed (possibly poisoning) the cell
+)
+
+type cell[T any] struct {
+	state atomic.Uint32
+	v     T
+}
+
+type segment[T any] struct {
+	id    uint64 // index of cells[0]
+	next  atomic.Pointer[segment[T]]
+	cells [SegSize]cell[T]
+}
+
+// Queue is an FAA-based queue. Old segments are reclaimed by the garbage
+// collector once head traffic moves past them.
+type Queue[T any] struct {
+	enqIdx atomic.Uint64
+	deqIdx atomic.Uint64
+	// enqSeg/deqSeg cache the segments serving the current indices; they
+	// lag safely because segments are found by walking next pointers.
+	enqSeg atomic.Pointer[segment[T]]
+	deqSeg atomic.Pointer[segment[T]]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	s := &segment[T]{}
+	q.enqSeg.Store(s)
+	q.deqSeg.Store(s)
+	return q
+}
+
+// findCell returns the cell with global index idx, walking (and extending)
+// the segment list from start. start must have been loaded from the cache
+// BEFORE idx was claimed: the cache trails its counter, so a pre-claim
+// snapshot can never overshoot idx's segment, and holding the snapshot
+// keeps older segments alive against the GC while we walk.
+func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx uint64) *cell[T] {
+	seg := start
+	for seg.id != idx/SegSize {
+		next := seg.next.Load()
+		if next == nil {
+			n := &segment[T]{id: seg.id + 1}
+			if seg.next.CompareAndSwap(nil, n) {
+				next = n
+			} else {
+				next = seg.next.Load()
+			}
+		}
+		seg = next
+	}
+	// Advance the cache monotonically; it stays behind the counter
+	// because idx was claimed from it.
+	for {
+		cur := cache.Load()
+		if cur.id >= seg.id || cache.CompareAndSwap(cur, seg) {
+			break
+		}
+	}
+	return &seg.cells[idx%SegSize]
+}
+
+// Enqueue claims a cell with one FAA and publishes v; if a fast dequeuer
+// already poisoned the cell, it claims the next one.
+func (q *Queue[T]) Enqueue(v T) {
+	for {
+		seg := q.enqSeg.Load() // snapshot before the claim; see findCell
+		idx := q.enqIdx.Add(1) - 1
+		c := findCell(&q.enqSeg, seg, idx)
+		c.v = v
+		if c.state.CompareAndSwap(cellEmpty, cellFull) {
+			return
+		}
+		// Poisoned by an overtaking dequeuer; retry at a fresh index.
+	}
+}
+
+// Dequeue claims a cell with one FAA and takes its value, poisoning cells
+// whose enqueuer has not arrived.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		if q.deqIdx.Load() >= q.enqIdx.Load() {
+			return zero, false
+		}
+		seg := q.deqSeg.Load() // snapshot before the claim; see findCell
+		idx := q.deqIdx.Add(1) - 1
+		c := findCell(&q.deqSeg, seg, idx)
+		if c.state.Swap(cellTaken) == cellFull {
+			return c.v, true
+		}
+		// The enqueuer of this cell has not arrived; it will see the
+		// poison and move on. Claim the next cell.
+	}
+}

@@ -1,0 +1,49 @@
+package faaq_test
+
+import (
+	"testing"
+
+	"repro/queue"
+	"repro/queue/faaq"
+	"repro/queue/queuetest"
+)
+
+func factory() queuetest.Factory {
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return faaq.New[uint64]() })
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, factory())
+}
+
+func TestSegmentBoundaryCrossing(t *testing.T) {
+	q := faaq.New[int]()
+	n := faaq.SegSize*3 + 17
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("index %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestRefillAfterDrain(t *testing.T) {
+	q := faaq.New[int]()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			q.Enqueue(round*100 + i)
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*100+i {
+				t.Fatalf("round %d index %d: got %d,%v", round, i, v, ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package lcrq implements an LCRQ-style queue after Morrison & Afek's
+// "Fast Concurrent Queues for x86 Processors" (PPoPP 2013) — the FAA-only
+// queue the paper's related-work section credits as the predecessor of
+// its fastest baseline. A queue is a linked list of bounded Concurrent
+// Ring Queues (CRQs); operations claim ring slots with fetch-and-add, and
+// a ring that livelocks or fills is closed and succeeded by a fresh one.
+//
+// The original relies on a double-width CAS to update a cell's
+// (safe, index, value) triple atomically. Go has no DWCAS, so each cell
+// holds an atomically replaced slot record instead (one small allocation
+// per update, absorbed by the GC) — the standard translation of
+// tagged-word algorithms into Go used throughout this repository.
+package lcrq
+
+import "sync/atomic"
+
+// RingSize is the number of cells per CRQ.
+const RingSize = 256
+
+// slot is a cell's immutable state record.
+type slot[T any] struct {
+	idx  uint64
+	val  *T
+	safe bool
+}
+
+type cell[T any] struct {
+	s atomic.Pointer[slot[T]]
+	_ [40]byte
+}
+
+const closedBit = uint64(1) << 63
+
+// crq is one bounded ring.
+type crq[T any] struct {
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64 // high bit: closed
+	_     [56]byte
+	next  atomic.Pointer[crq[T]]
+	cells [RingSize]cell[T]
+}
+
+func newCRQ[T any](startIdx uint64) *crq[T] {
+	q := &crq[T]{}
+	q.head.Store(startIdx)
+	q.tail.Store(startIdx)
+	for i := range q.cells {
+		s := &slot[T]{idx: startIdx + uint64(i), safe: true}
+		q.cells[i].s.Store(s)
+	}
+	return q
+}
+
+// enqueue attempts to place v; it reports false if the ring closed.
+func (q *crq[T]) enqueue(v *T) bool {
+	for tries := 0; ; tries++ {
+		t := q.tail.Add(1) - 1
+		if t&closedBit != 0 {
+			return false
+		}
+		c := &q.cells[t%RingSize]
+		s := c.s.Load()
+		if s.val == nil && s.idx <= t && (s.safe || q.head.Load() <= t) {
+			if c.s.CompareAndSwap(s, &slot[T]{idx: t, val: v, safe: true}) {
+				return true
+			}
+		}
+		// Starvation or a full ring: close and let the LCRQ append a
+		// fresh ring.
+		if t-q.head.Load() >= RingSize || tries > 4*RingSize {
+			q.close()
+			return false
+		}
+	}
+}
+
+func (q *crq[T]) close() {
+	for {
+		t := q.tail.Load()
+		if t&closedBit != 0 {
+			return
+		}
+		if q.tail.CompareAndSwap(t, t|closedBit) {
+			return
+		}
+	}
+}
+
+// dequeue attempts to take the oldest element; ok=false means the ring is
+// (transiently) empty.
+func (q *crq[T]) dequeue() (*T, bool) {
+	for {
+		h := q.head.Add(1) - 1
+		c := &q.cells[h%RingSize]
+		for {
+			s := c.s.Load()
+			if s.val != nil && s.idx == h {
+				// Take the value; re-arm the cell for index h+RingSize.
+				if c.s.CompareAndSwap(s, &slot[T]{idx: h + RingSize, safe: s.safe}) {
+					return s.val, true
+				}
+				continue
+			}
+			// The cell's enqueuer has not arrived (or belongs to an older
+			// epoch): mark the cell unsafe for index h so a late enqueuer
+			// cannot publish into a slot we have logically passed.
+			if s.idx <= h+RingSize {
+				var next *slot[T]
+				if s.val == nil {
+					next = &slot[T]{idx: h + RingSize, safe: s.safe}
+				} else {
+					next = &slot[T]{idx: s.idx, val: s.val, safe: false}
+				}
+				if !c.s.CompareAndSwap(s, next) {
+					continue
+				}
+			}
+			break
+		}
+		// Empty check: if the ring holds nothing ahead of h, give up.
+		if tail := q.tail.Load() &^ closedBit; tail <= h+1 {
+			q.fixState()
+			return nil, false
+		}
+	}
+}
+
+// fixState repairs head > tail after an empty dequeue burst, as in the
+// original algorithm, so later enqueues are not spuriously starved.
+func (q *crq[T]) fixState() {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		if t&closedBit != 0 || t >= h {
+			return
+		}
+		if q.tail.CompareAndSwap(t, h) {
+			return
+		}
+	}
+}
+
+// Queue is an LCRQ: a list of CRQs with head and tail ring pointers.
+type Queue[T any] struct {
+	head atomic.Pointer[crq[T]]
+	tail atomic.Pointer[crq[T]]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	r := newCRQ[T](0)
+	q.head.Store(r)
+	q.tail.Store(r)
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue[T]) Enqueue(v T) {
+	for {
+		r := q.tail.Load()
+		if next := r.next.Load(); next != nil {
+			q.tail.CompareAndSwap(r, next)
+			continue
+		}
+		if r.enqueue(&v) {
+			return
+		}
+		// Ring closed: append a successor and retry there.
+		nr := newCRQ[T](0)
+		nr.enqueue(&v)
+		if r.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(r, nr)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest element.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		r := q.head.Load()
+		if v, ok := r.dequeue(); ok {
+			return *v, true
+		}
+		// Ring drained. If it has no successor the queue is empty;
+		// otherwise retire it and move on.
+		next := r.next.Load()
+		if next == nil {
+			return zero, false
+		}
+		// Re-check after observing next: an enqueue may have slipped in.
+		if v, ok := r.dequeue(); ok {
+			return *v, true
+		}
+		q.head.CompareAndSwap(r, next)
+	}
+}

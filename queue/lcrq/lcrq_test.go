@@ -1,0 +1,121 @@
+package lcrq_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/queue"
+	"repro/queue/lcrq"
+	"repro/queue/queuetest"
+)
+
+func factory() queuetest.Factory {
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return lcrq.New[uint64]() })
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, factory())
+}
+
+func TestRingBoundaryCrossing(t *testing.T) {
+	q := lcrq.New[int]()
+	n := lcrq.RingSize*3 + 17
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("index %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestRefillCycles(t *testing.T) {
+	q := lcrq.New[int]()
+	for round := 0; round < 8; round++ {
+		for i := 0; i < lcrq.RingSize/2; i++ {
+			q.Enqueue(round*1000 + i)
+		}
+		for i := 0; i < lcrq.RingSize/2; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*1000+i {
+				t.Fatalf("round %d index %d: got %d,%v", round, i, v, ok)
+			}
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatalf("round %d: queue should be empty", round)
+		}
+	}
+}
+
+// Force ring closing by overfilling a single ring without dequeues.
+func TestRingClosesAndSucceeds(t *testing.T) {
+	q := lcrq.New[int]()
+	n := lcrq.RingSize * 4
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d reported empty", i)
+		}
+		if v != i {
+			t.Fatalf("index %d: got %d (FIFO broken across ring boundary)", i, v)
+		}
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	q := lcrq.New[uint64]()
+	const writers = 8
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(uint64(w+1)<<32 | uint64(i+1))
+			}
+		}()
+	}
+	seen := make(map[uint64]bool, writers*per)
+	var mu sync.Mutex
+	got := 0
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if got >= writers*per {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				if v, ok := q.Dequeue(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("duplicate %#x", v)
+					}
+					seen[v] = true
+					got++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got != writers*per {
+		t.Fatalf("delivered %d of %d", got, writers*per)
+	}
+}

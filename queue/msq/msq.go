@@ -1,0 +1,71 @@
+// Package msq implements the Michael-Scott lock-free MPMC queue, the
+// classic CAS-based design the baskets queue builds on. Its enqueue
+// blindly retries a contended CAS on the tail node's next pointer — the
+// non-scalable behavior the paper's introduction starts from.
+package msq
+
+import "sync/atomic"
+
+type node[T any] struct {
+	v    T
+	next atomic.Pointer[node[T]]
+}
+
+// Queue is a Michael-Scott queue. The zero value is not usable; call New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	s := &node[T]{}
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue appends v, retrying its linking CAS until it wins.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest element.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return zero, false
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.v
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}

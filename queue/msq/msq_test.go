@@ -1,0 +1,44 @@
+package msq_test
+
+import (
+	"testing"
+
+	"repro/queue"
+	"repro/queue/msq"
+	"repro/queue/queuetest"
+)
+
+func factory() queuetest.Factory {
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return msq.New[uint64]() })
+}
+
+func TestConformance(t *testing.T) {
+	queuetest.RunAll(t, factory())
+}
+
+func TestAlternating(t *testing.T) {
+	q := msq.New[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("round %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestTwoInFlight(t *testing.T) {
+	q := msq.New[int]()
+	for i := 0; i < 50; i++ {
+		q.Enqueue(2 * i)
+		q.Enqueue(2*i + 1)
+		v1, ok1 := q.Dequeue()
+		v2, ok2 := q.Dequeue()
+		if !ok1 || !ok2 || v1 != 2*i || v2 != 2*i+1 {
+			t.Fatalf("round %d: got (%d,%v) (%d,%v)", i, v1, ok1, v2, ok2)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package queue defines the multi-producer/multi-consumer FIFO queue
+// interface shared by this repository's native Go implementations:
+//
+//   - repro/queue/msq: the Michael-Scott lock-free queue
+//   - repro/queue/baskets: the original baskets queue
+//   - repro/queue/sbq: the scalable baskets queue (the paper's SBQ) with
+//     pluggable baskets and append strategies
+//   - repro/queue/faaq: an FAA-based infinite-array queue (the fast path
+//     of Yang & Mellor-Crummey's wait-free queue)
+//   - repro/queue/ccq: a CC-Synch combining queue
+//
+// These are the paper's algorithms on real Go atomics. Go exposes no
+// hardware transactional memory, so the native SBQ ships with CAS-based
+// try_append strategies (the paper's SBQ-CAS variant); the HTM-backed
+// TxCAS lives in the simulated track (see DESIGN.md). Memory reclamation
+// is delegated to the Go garbage collector, which provides the safety the
+// paper's epoch scheme provides in C; the epoch scheme itself is
+// implemented faithfully on the simulator.
+package queue
+
+// Queue is a linearizable MPMC FIFO queue.
+//
+// Implementations with per-thread state (notably SBQ) hand out one Queue
+// view per goroutine; see each package's constructor.
+type Queue[T any] interface {
+	// Enqueue appends v to the queue.
+	Enqueue(v T)
+	// Dequeue removes and returns the oldest element, or ok=false if the
+	// queue appeared empty.
+	Dequeue() (v T, ok bool)
+}

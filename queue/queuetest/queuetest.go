@@ -1,0 +1,191 @@
+// Package queuetest provides a conformance suite for the native queue
+// implementations: sequential FIFO checks, concurrent exactly-once
+// delivery, and full linearizability checking of recorded histories via
+// the aspect-oriented method of paper §5.3.2 (VFresh/VRepeat/VOrd/VWit).
+//
+// Timestamps come from a shared atomic counter, which gives every
+// operation interval a place in one total order — exactly what the
+// checker requires.
+package queuetest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/linearize"
+	"repro/queue"
+)
+
+// Factory builds one queue instance for a test run and hands out
+// per-goroutine views of it. producers tells the factory how many
+// producer views will be requested (SBQ sizes its baskets from it).
+type Factory func(producers int) (producerView func(i int) queue.Queue[uint64], consumerView func(i int) queue.Queue[uint64])
+
+// Shared adapts a single shared queue instance into a Factory.
+func Shared(mk func(producers int) queue.Queue[uint64]) Factory {
+	return func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+		q := mk(producers)
+		view := func(int) queue.Queue[uint64] { return q }
+		return view, view
+	}
+}
+
+func value(tid, seq int) uint64 { return uint64(tid+1)<<32 | uint64(seq+1) }
+
+// CheckSequential verifies FIFO order and emptiness on one goroutine.
+func CheckSequential(t *testing.T, f Factory) {
+	t.Helper()
+	prod, cons := f(1)
+	p, c := prod(0), cons(0)
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		p.Enqueue(value(0, i))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d reported empty", i)
+		}
+		if v != value(0, i) {
+			t.Fatalf("position %d: got %#x want %#x", i, v, value(0, i))
+		}
+	}
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+// CheckConcurrent runs producers and consumers concurrently, verifies
+// exactly-once delivery, and checks the recorded history for
+// linearizability violations.
+func CheckConcurrent(t *testing.T, f Factory, producers, consumers, perProducer int) {
+	t.Helper()
+	prodView, consView := f(producers)
+	var clock atomic.Uint64
+	tick := func() uint64 { return clock.Add(1) }
+
+	histories := make([][]linearize.Op, producers+consumers)
+	var produced atomic.Int64
+	var delivered atomic.Int64
+	want := int64(producers * perProducer)
+
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pi := pi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := prodView(pi)
+			h := histories[pi][:0]
+			for i := 0; i < perProducer; i++ {
+				start := tick()
+				q.Enqueue(value(pi, i))
+				h = append(h, linearize.Op{Kind: linearize.Enq, Value: value(pi, i), Start: start, End: tick(), Thread: pi})
+			}
+			histories[pi] = h
+			produced.Add(int64(perProducer))
+		}()
+	}
+	for ci := 0; ci < consumers; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := consView(ci)
+			idx := producers + ci
+			var h []linearize.Op
+			for {
+				if delivered.Load() >= want && produced.Load() >= want {
+					break
+				}
+				start := tick()
+				v, ok := q.Dequeue()
+				end := tick()
+				if ok {
+					h = append(h, linearize.Op{Kind: linearize.Deq, Value: v, Start: start, End: end, Thread: idx})
+					delivered.Add(1)
+				} else {
+					h = append(h, linearize.Op{Kind: linearize.Deq, Empty: true, Start: start, End: end, Thread: idx})
+				}
+			}
+			histories[idx] = h
+		}()
+	}
+	wg.Wait()
+	if got := delivered.Load(); got != want {
+		t.Fatalf("delivered %d of %d elements", got, want)
+	}
+	var all []linearize.Op
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	if v := linearize.Check(all); v != nil {
+		t.Fatalf("history not linearizable: %v", v)
+	}
+}
+
+// CheckDrainMultiset enqueues concurrently, then drains sequentially and
+// verifies the exact multiset of elements comes back.
+func CheckDrainMultiset(t *testing.T, f Factory, producers, perProducer int) {
+	t.Helper()
+	prodView, consView := f(producers)
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		pi := pi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := prodView(pi)
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(value(pi, i))
+			}
+		}()
+	}
+	wg.Wait()
+	q := consView(0)
+	seen := make(map[uint64]bool, producers*perProducer)
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate element %#x", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("drained %d of %d elements", len(seen), producers*perProducer)
+	}
+}
+
+// RunAll runs the whole conformance suite over a set of concurrency
+// shapes. Callers with -short get a reduced load.
+func RunAll(t *testing.T, f Factory) {
+	t.Helper()
+	t.Run("Sequential", func(t *testing.T) { CheckSequential(t, f) })
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	shapes := []struct {
+		name string
+		p, c int
+	}{
+		{"p1c1", 1, 1},
+		{"p4c4", 4, 4},
+		{"p8c2", 8, 2},
+		{"p2c8", 2, 8},
+	}
+	for _, s := range shapes {
+		s := s
+		t.Run("Concurrent/"+s.name, func(t *testing.T) {
+			CheckConcurrent(t, f, s.p, s.c, per)
+		})
+	}
+	t.Run("DrainMultiset", func(t *testing.T) { CheckDrainMultiset(t, f, 8, per) })
+}

@@ -1,0 +1,58 @@
+package sbq_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/basket"
+	"repro/queue/sbq"
+)
+
+// The basic pattern: one handle per producer goroutine, shared dequeues.
+func Example() {
+	const producers = 2
+	q := sbq.New[int](producers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h := q.NewHandle()
+		base := (p + 1) * 10
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				h.Enqueue(base + i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var got []int
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	sort.Ints(got)
+	fmt.Println(got)
+	// Output: [10 11 12 20 21 22]
+}
+
+// Plugging a custom basket: the partitioned basket trades strict
+// single-counter extraction for lower dequeue contention.
+func ExampleNewWithOptions() {
+	q := sbq.NewWithOptions[string](4, 0, func() basket.Basket[string] {
+		return basket.NewPartitioned[string](4, 4, 2)
+	})
+	h := q.NewHandle()
+	h.Enqueue("a")
+	h.Enqueue("b")
+	v1, _ := q.Dequeue()
+	v2, _ := q.Dequeue()
+	_, ok := q.Dequeue()
+	fmt.Println(v1, v2, ok)
+	// Output: a b false
+}

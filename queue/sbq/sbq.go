@@ -1,0 +1,223 @@
+// Package sbq implements the paper's scalable baskets queue natively in
+// Go: the modular baskets queue of §5.2 (Algorithms 2-6) with a pluggable
+// basket (§5.2.1) and a pluggable try_append CAS strategy.
+//
+// Go exposes no hardware transactional memory and its runtime would abort
+// transactional sections, so the native SBQ cannot use TxCAS; it ships
+// with PlainCAS and DelayedCAS (the SBQ-CAS variant the paper evaluates to
+// isolate TxCAS's contribution, §6.1). The HTM-backed SBQ runs on the
+// repository's simulated machine (repro/internal/simqueue).
+//
+// The basket must guarantee the property of §5.3.2: once the basket is
+// indicated empty, every future Extract fails. Both baskets in
+// repro/basket satisfy it.
+//
+// Threads interact with the queue through handles: each producer goroutine
+// needs its own Handle (carrying its basket cell index and its reusable
+// node); consumers may share one or use handles too. Memory reclamation is
+// delegated to Go's garbage collector; the paper's epoch scheme is
+// reproduced on the simulator where memory is manual.
+package sbq
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/basket"
+)
+
+// node is a queue node: a basket plus a link and a position index.
+type node[T any] struct {
+	basket basket.Basket[T]
+	next   atomic.Pointer[node[T]]
+	index  uint64
+}
+
+// appendFn attempts CAS(next, nil, n) and reports success. PlainCAS and
+// delayed-CAS strategies are selected through the constructors.
+type appendFn[T any] func(next *atomic.Pointer[node[T]], n *node[T]) bool
+
+// Queue is the scalable baskets queue.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+
+	enqueuers int
+	tryCAS    appendFn[T]
+	newBasket func() basket.Basket[T]
+
+	producers atomic.Int64 // handles issued
+}
+
+// New returns a queue for the given number of producer handles using the
+// scalable basket and a plain-CAS try_append.
+func New[T any](enqueuers int) *Queue[T] {
+	return NewWithOptions[T](enqueuers, 0, nil)
+}
+
+// NewDelayedCAS returns a queue whose try_append delays before its CAS,
+// the paper's SBQ-CAS configuration.
+func NewDelayedCAS[T any](enqueuers int, delay time.Duration) *Queue[T] {
+	return NewWithOptions[T](enqueuers, delay, nil)
+}
+
+// NewWithOptions returns a queue with full control: producer-handle count,
+// try_append delay (zero for plain CAS), and an optional basket
+// constructor (nil selects the scalable basket).
+func NewWithOptions[T any](enqueuers int, appendDelay time.Duration, newBasket func() basket.Basket[T]) *Queue[T] {
+	if enqueuers <= 0 {
+		panic("sbq: enqueuers must be positive")
+	}
+	q := &Queue[T]{enqueuers: enqueuers}
+	if newBasket == nil {
+		newBasket = func() basket.Basket[T] { return basket.NewScalable[T](enqueuers, enqueuers) }
+	}
+	q.newBasket = newBasket
+	if appendDelay > 0 {
+		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
+			// Busy-wait: time.Sleep cannot resolve sub-microsecond delays
+			// (the paper's delay is ~270ns), and yielding would defeat
+			// the point of pacing the CAS.
+			for start := time.Now(); time.Since(start) < appendDelay; {
+			}
+			return next.CompareAndSwap(nil, n)
+		}
+	} else {
+		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
+			return next.CompareAndSwap(nil, n)
+		}
+	}
+	sentinel := &node[T]{basket: newBasket()}
+	// The sentinel's basket must read as exhausted.
+	for {
+		if _, ok := sentinel.basket.Extract(); !ok {
+			break
+		}
+	}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Handle is a per-goroutine view of the queue. Producer handles own a
+// basket cell index and the node-reuse slot of §5.2.2. A Handle must not
+// be shared between goroutines.
+type Handle[T any] struct {
+	q        *Queue[T]
+	id       int // basket cell index for this producer
+	reserved *node[T]
+}
+
+// NewHandle issues a producer handle. At most Enqueuers handles may be
+// issued; more panic. Consumers may also use handles (the id is unused on
+// the dequeue path), or call Queue.Dequeue directly.
+func (q *Queue[T]) NewHandle() *Handle[T] {
+	id := int(q.producers.Add(1)) - 1
+	if id >= q.enqueuers {
+		panic("sbq: more producer handles than configured enqueuers")
+	}
+	return &Handle[T]{q: q, id: id}
+}
+
+// tryAppend is Algorithm 4.
+type appendStatus int
+
+const (
+	appendSuccess appendStatus = iota
+	appendFailure
+	appendBadTail
+)
+
+func (q *Queue[T]) tryAppend(tail, n *node[T]) appendStatus {
+	if tail.next.Load() != nil {
+		return appendBadTail
+	}
+	if q.tryCAS(&tail.next, n) {
+		return appendSuccess
+	}
+	return appendFailure
+}
+
+// advanceNode is Algorithm 6: advance *ptr to at least n.
+func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T]) {
+	for {
+		old := ptr.Load()
+		if old.index >= n.index {
+			return
+		}
+		if ptr.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Enqueue is Algorithm 3: append a fresh node carrying the element in this
+// handle's basket cell, or — profiting from the failed CAS — drop the
+// element into the basket of the node that won.
+func (h *Handle[T]) Enqueue(v T) {
+	q := h.q
+	t := q.tail.Load()
+	n := h.reserved
+	if n == nil {
+		n = &node[T]{basket: q.newBasket()}
+	} else {
+		n.basket.ResetOwn(h.id) // undo the previous insertion (§5.2.2)
+	}
+	n.basket.Insert(h.id, v)
+	for {
+		n.index = t.index + 1
+		switch q.tryAppend(t, n) {
+		case appendSuccess:
+			q.tail.CompareAndSwap(t, n)
+			h.reserved = nil
+			return
+		case appendFailure:
+			t = t.next.Load()
+			if t.basket.Insert(h.id, v) {
+				h.reserved = n // keep the unappended node for reuse
+				return
+			}
+		}
+		// BAD_TAIL or basket refusal: find the real tail, catch the
+		// queue's tail pointer up, and retry.
+		for {
+			nx := t.next.Load()
+			if nx == nil {
+				break
+			}
+			t = nx
+		}
+		advanceNode(&q.tail, t)
+	}
+}
+
+// Dequeue is Algorithm 5: find the first node with a non-exhausted basket
+// and extract from it.
+func (h *Handle[T]) Dequeue() (T, bool) { return h.q.Dequeue() }
+
+// Dequeue removes and returns the oldest element. Unlike Enqueue it needs
+// no per-thread state and may be called on the queue directly.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	var v T
+	var ok bool
+	for {
+		for h.basket.Empty() {
+			nx := h.next.Load()
+			if nx == nil {
+				break
+			}
+			h = nx
+		}
+		v, ok = h.basket.Extract()
+		if ok || h.next.Load() == nil {
+			break
+		}
+	}
+	advanceNode(&q.head, h)
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}

@@ -1,0 +1,150 @@
+package sbq_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/basket"
+	"repro/queue"
+	"repro/queue/queuetest"
+	"repro/queue/sbq"
+)
+
+// factory hands each producer goroutine its own handle, as SBQ requires.
+func factory(mk func(enqueuers int) *sbq.Queue[uint64]) queuetest.Factory {
+	return func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+		q := mk(producers)
+		handles := make([]queue.Queue[uint64], producers)
+		var mu sync.Mutex
+		prod := func(i int) queue.Queue[uint64] {
+			mu.Lock()
+			defer mu.Unlock()
+			if handles[i] == nil {
+				handles[i] = q.NewHandle()
+			}
+			return handles[i]
+		}
+		cons := func(int) queue.Queue[uint64] { return queueView[uint64]{q} }
+		return prod, cons
+	}
+}
+
+// queueView adapts the consumer side (Dequeue-only) to queue.Queue.
+type queueView[T any] struct{ q *sbq.Queue[T] }
+
+func (v queueView[T]) Enqueue(T) { panic("consumer view cannot enqueue") }
+func (v queueView[T]) Dequeue() (T, bool) {
+	return v.q.Dequeue()
+}
+
+func TestConformancePlainCAS(t *testing.T) {
+	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] { return sbq.New[uint64](e) }))
+}
+
+func TestConformanceDelayedCAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delayed CAS is slow by design")
+	}
+	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] {
+		return sbq.NewDelayedCAS[uint64](e, 200*time.Nanosecond)
+	}))
+}
+
+func TestConformanceClosingStackBasket(t *testing.T) {
+	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] {
+		return sbq.NewWithOptions[uint64](e, 0, func() basket.Basket[uint64] {
+			return basket.NewClosingStack[uint64]()
+		})
+	}))
+}
+
+func TestConformancePartitionedBasket(t *testing.T) {
+	// The §8 future-work extension: partitioned extraction must preserve
+	// queue linearizability.
+	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] {
+		return sbq.NewWithOptions[uint64](e, 0, func() basket.Basket[uint64] {
+			return basket.NewPartitioned[uint64](e, e, 2)
+		})
+	}))
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := sbq.New[int](1)
+	h := q.NewHandle()
+	for i := 0; i < 500; i++ {
+		h.Enqueue(i)
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("index %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestHandleLimit(t *testing.T) {
+	q := sbq.New[int](1)
+	q.NewHandle()
+	defer func() {
+		if recover() == nil {
+			t.Error("excess handle did not panic")
+		}
+	}()
+	q.NewHandle()
+}
+
+func TestBadEnqueuersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero enqueuers did not panic")
+		}
+	}()
+	sbq.New[int](0)
+}
+
+func TestNodeReuseKeepsElements(t *testing.T) {
+	// Hammer one producer against one consumer so failed appends and node
+	// reuse happen, and verify no element is lost or duplicated.
+	q := sbq.New[uint64](2)
+	h1, h2 := q.NewHandle(), q.NewHandle()
+	const per = 5000
+	var wg sync.WaitGroup
+	for i, h := range []*sbq.Handle[uint64]{h1, h2} {
+		i, h := i, h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				h.Enqueue(uint64(i+1)<<32 | uint64(k))
+			}
+		}()
+	}
+	seen := make(map[uint64]bool, 2*per)
+	var mu sync.Mutex
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := 0
+			for got < per {
+				if v, ok := q.Dequeue(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("duplicate %#x", v)
+					}
+					seen[v] = true
+					mu.Unlock()
+					got++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 2*per {
+		t.Fatalf("saw %d of %d elements", len(seen), 2*per)
+	}
+}

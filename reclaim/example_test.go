@@ -1,0 +1,42 @@
+package reclaim_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/reclaim"
+)
+
+type node struct {
+	index uint64
+	value string
+}
+
+// The Algorithm 7 discipline: protect before reading, retire after the
+// structure's head moves past a node, collect to recycle.
+func ExampleDomain() {
+	freed := 0
+	d := reclaim.NewDomain[node](2,
+		func(n *node) uint64 { return n.index },
+		func(*node) { freed++ },
+	)
+
+	var head atomic.Pointer[node]
+	head.Store(&node{index: 0, value: "first"})
+
+	// Reader: announce, then use.
+	n := d.Protect(0, head.Load)
+	_ = n.value
+
+	// Writer: replace the head and retire the old node.
+	old := head.Swap(&node{index: 1, value: "second"})
+	d.Retire(old)
+
+	// Nothing can be freed while the reader's announcement stands.
+	fmt.Println(d.Collect())
+	d.Unprotect(0)
+	fmt.Println(d.Collect(), freed)
+	// Output:
+	// 0
+	// 1 1
+}

@@ -1,0 +1,165 @@
+// Package reclaim provides index-based epoch reclamation in the style the
+// paper adapts from Yang & Mellor-Crummey (Algorithm 7): threads announce
+// the oldest node they might touch in a per-thread protector slot, retired
+// nodes carry monotonically increasing indices, and a collector frees
+// every retired node whose index lies strictly below the minimum announced
+// index.
+//
+// Native Go code does not strictly need manual reclamation — the garbage
+// collector already prevents use-after-free — but high-churn structures
+// benefit from recycling nodes through freelists, and recycling re-creates
+// the ABA hazards manual memory management has. This package provides the
+// paper's protection discipline for that use. The simulated track
+// implements Algorithm 7 verbatim inside SBQ (repro/internal/simqueue),
+// where memory really is manual.
+//
+// Like all epoch schemes, reclamation stalls (but safety holds) if a
+// thread parks forever between Protect and Unprotect.
+package reclaim
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Domain manages reclamation for one data structure. The type parameter
+// is the node type; nodes must expose a monotonically increasing index
+// through the indexOf function supplied at construction.
+type Domain[T any] struct {
+	indexOf func(*T) uint64
+	recycle func(*T)
+
+	slots []pslot[T]
+
+	// retired is a Treiber list of retired nodes awaiting collection,
+	// linked through retiredLink records to keep T itself intrusive-free.
+	retired atomic.Pointer[retiredNode[T]]
+	// collecting provides the mutual exclusion of Algorithm 7's SWAP.
+	collecting atomic.Bool
+
+	// Freed counts nodes handed to recycle, for observability.
+	Freed atomic.Uint64
+}
+
+type pslot[T any] struct {
+	p atomic.Pointer[T]
+	_ [56]byte
+}
+
+type retiredNode[T any] struct {
+	n    *T
+	next *retiredNode[T]
+}
+
+// NewDomain creates a domain for up to threads participants. indexOf maps
+// a node to its index; recycle receives nodes that are safe to reuse (it
+// may push them onto a freelist or simply drop them for the GC).
+func NewDomain[T any](threads int, indexOf func(*T) uint64, recycle func(*T)) *Domain[T] {
+	if threads <= 0 {
+		panic("reclaim: threads must be positive")
+	}
+	if indexOf == nil {
+		panic("reclaim: indexOf is required")
+	}
+	if recycle == nil {
+		recycle = func(*T) {}
+	}
+	return &Domain[T]{
+		indexOf: indexOf,
+		recycle: recycle,
+		slots:   make([]pslot[T], threads),
+	}
+}
+
+// Protect announces and returns the node load yields, re-reading until the
+// announcement is visible before the load's result changed — the
+// announce-and-verify loop of Algorithm 7's protect. load must read the
+// shared pointer (e.g. the queue head) with an atomic load.
+func (d *Domain[T]) Protect(tid int, load func() *T) *T {
+	s := &d.slots[tid]
+	for {
+		n := load()
+		s.p.Store(n)
+		if load() == n {
+			return n
+		}
+	}
+}
+
+// Unprotect clears thread tid's announcement.
+func (d *Domain[T]) Unprotect(tid int) {
+	d.slots[tid].p.Store(nil)
+}
+
+// Retire hands a node to the domain for eventual recycling. The caller
+// must guarantee the node is unreachable to new Protect calls (e.g. the
+// queue head has moved past it).
+func (d *Domain[T]) Retire(n *T) {
+	rn := &retiredNode[T]{n: n}
+	for {
+		head := d.retired.Load()
+		rn.next = head
+		if d.retired.CompareAndSwap(head, rn) {
+			return
+		}
+	}
+}
+
+// minProtected returns the smallest announced index, or MaxUint64 when
+// nothing is protected.
+func (d *Domain[T]) minProtected() uint64 {
+	min := uint64(math.MaxUint64)
+	for i := range d.slots {
+		if n := d.slots[i].p.Load(); n != nil {
+			if idx := d.indexOf(n); idx < min {
+				min = idx
+			}
+		}
+	}
+	return min
+}
+
+// Collect recycles every retired node whose index is strictly below the
+// minimum protected index. At most one collector runs at a time (others
+// return immediately), mirroring Algorithm 7's SWAP-guarded free_nodes.
+// It returns the number of nodes recycled.
+func (d *Domain[T]) Collect() int {
+	if !d.collecting.CompareAndSwap(false, true) {
+		return 0
+	}
+	defer d.collecting.Store(false)
+
+	// Detach the whole retired list; survivors are re-retired below.
+	head := d.retired.Swap(nil)
+	if head == nil {
+		return 0
+	}
+	min := d.minProtected()
+	freed := 0
+	var survivors *retiredNode[T]
+	for rn := head; rn != nil; {
+		next := rn.next
+		if d.indexOf(rn.n) < min {
+			d.recycle(rn.n)
+			freed++
+		} else {
+			rn.next = survivors
+			survivors = rn
+		}
+		rn = next
+	}
+	// Push survivors back.
+	for survivors != nil {
+		next := survivors.next
+		for {
+			h := d.retired.Load()
+			survivors.next = h
+			if d.retired.CompareAndSwap(h, survivors) {
+				break
+			}
+		}
+		survivors = next
+	}
+	d.Freed.Add(uint64(freed))
+	return freed
+}

@@ -1,0 +1,196 @@
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+type tnode struct {
+	idx  uint64
+	next atomic.Pointer[tnode]
+}
+
+func idxOf(n *tnode) uint64 { return n.idx }
+
+func TestCollectFreesBelowMin(t *testing.T) {
+	var freed []uint64
+	d := NewDomain[tnode](2, idxOf, func(n *tnode) { freed = append(freed, n.idx) })
+	for i := uint64(0); i < 5; i++ {
+		d.Retire(&tnode{idx: i})
+	}
+	// Protect a node with index 3: 0,1,2 may go; 3,4 must stay.
+	guard := &tnode{idx: 3}
+	var cur atomic.Pointer[tnode]
+	cur.Store(guard)
+	d.Protect(0, cur.Load)
+	if n := d.Collect(); n != 3 {
+		t.Fatalf("Collect freed %d, want 3", n)
+	}
+	for _, f := range freed {
+		if f >= 3 {
+			t.Fatalf("freed protected-range index %d", f)
+		}
+	}
+	// After unprotecting, the rest goes.
+	d.Unprotect(0)
+	if n := d.Collect(); n != 2 {
+		t.Fatalf("second Collect freed %d, want 2", n)
+	}
+	if got := d.Freed.Load(); got != 5 {
+		t.Fatalf("Freed = %d, want 5", got)
+	}
+}
+
+func TestCollectNothingRetired(t *testing.T) {
+	d := NewDomain[tnode](1, idxOf, nil)
+	if n := d.Collect(); n != 0 {
+		t.Fatalf("Collect on empty domain freed %d", n)
+	}
+}
+
+func TestUnprotectedFreesEverything(t *testing.T) {
+	count := 0
+	d := NewDomain[tnode](4, idxOf, func(*tnode) { count++ })
+	for i := uint64(0); i < 10; i++ {
+		d.Retire(&tnode{idx: i})
+	}
+	if n := d.Collect(); n != 10 || count != 10 {
+		t.Fatalf("freed %d/%d, want 10", n, count)
+	}
+}
+
+func TestProtectAnnounceVerify(t *testing.T) {
+	d := NewDomain[tnode](1, idxOf, nil)
+	a := &tnode{idx: 1}
+	b := &tnode{idx: 2}
+	var cur atomic.Pointer[tnode]
+	cur.Store(a)
+	calls := 0
+	// The pointer changes between the announce-load and the verify-load
+	// exactly once; Protect must retry and return the stable value.
+	got := d.Protect(0, func() *tnode {
+		calls++
+		if calls == 2 {
+			cur.Store(b)
+		}
+		return cur.Load()
+	})
+	if got != b {
+		t.Fatalf("Protect returned %v, want the post-change node", got.idx)
+	}
+	if d.slots[0].p.Load() != b {
+		t.Fatal("announcement does not match returned node")
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero threads": func() { NewDomain[tnode](0, idxOf, nil) },
+		"nil indexOf":  func() { NewDomain[tnode](1, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The core safety property under concurrency: a node is never recycled
+// while any thread's announcement covers it (announced index <= node
+// index ... protection means index >= announced min is retained).
+func TestConcurrentSafety(t *testing.T) {
+	const threads = 8
+	const perThread = 2000
+	type shared struct {
+		head atomic.Pointer[tnode]
+	}
+	var s shared
+	first := &tnode{idx: 0}
+	s.head.Store(first)
+
+	var inUse sync.Map // *tnode -> true while some thread holds it protected
+	var violation atomic.Bool
+
+	d := NewDomain[tnode](threads, idxOf, func(n *tnode) {
+		if _, held := inUse.Load(n); held {
+			violation.Store(true)
+		}
+	})
+
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				n := d.Protect(tid, s.head.Load)
+				inUse.Store(n, true)
+				// Advance the shared head to a fresh node and retire the
+				// old one (only the thread that wins the CAS retires).
+				fresh := &tnode{idx: next.Add(1)}
+				if s.head.CompareAndSwap(n, fresh) {
+					inUse.Delete(n)
+					d.Unprotect(tid)
+					d.Retire(n)
+				} else {
+					inUse.Delete(n)
+					d.Unprotect(tid)
+				}
+				if i%64 == 0 {
+					d.Collect()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d.Collect()
+	if violation.Load() {
+		t.Fatal("a node was recycled while protected")
+	}
+	if d.Freed.Load() == 0 {
+		t.Fatal("nothing was ever freed")
+	}
+}
+
+// Property: Collect never frees an index >= the minimum announced index,
+// for arbitrary retire/protect configurations.
+func TestPropertyCollectRespectsMin(t *testing.T) {
+	f := func(retired []uint16, protected []uint16) bool {
+		if len(protected) > 8 {
+			protected = protected[:8]
+		}
+		var freed []uint64
+		d := NewDomain[tnode](8+1, idxOf, func(n *tnode) { freed = append(freed, n.idx) })
+		for _, r := range retired {
+			d.Retire(&tnode{idx: uint64(r)})
+		}
+		min := uint64(1 << 40)
+		for i, pr := range protected {
+			n := &tnode{idx: uint64(pr)}
+			var cur atomic.Pointer[tnode]
+			cur.Store(n)
+			d.Protect(i, cur.Load)
+			if uint64(pr) < min {
+				min = uint64(pr)
+			}
+		}
+		d.Collect()
+		for _, fidx := range freed {
+			if fidx >= min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
