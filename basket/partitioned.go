@@ -3,6 +3,8 @@ package basket
 import (
 	"math/rand/v2"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Partitioned is an extension beyond the paper: a basket with more
@@ -26,6 +28,7 @@ type Partitioned[T any] struct {
 	exhausted atomic.Int64
 	empty     atomic.Bool
 	bound     int
+	rec       obs.Recorder // nil unless telemetry is attached (WithRecorder)
 }
 
 type partition struct {
@@ -36,6 +39,9 @@ type partition struct {
 
 // NewPartitioned returns a basket with capacity cells, scanning the first
 // bound on extraction, split into k partitions. k is clamped to [1,bound].
+//
+// Deprecated: use New with WithCapacity, WithBound and WithPartitions,
+// which also accepts a telemetry recorder.
 func NewPartitioned[T any](capacity, bound, k int) *Partitioned[T] {
 	if capacity <= 0 {
 		panic("basket: capacity must be positive")
@@ -62,15 +68,38 @@ func NewPartitioned[T any](capacity, bound, k int) *Partitioned[T] {
 func (b *Partitioned[T]) Insert(id int, x T) bool {
 	c := &b.cells[id]
 	if c.state.Load() != cellInsert {
+		if r := b.rec; r != nil {
+			r.Inc(obs.BasketInsertFails)
+		}
 		return false
 	}
 	c.v = x
-	return c.state.CompareAndSwap(cellInsert, cellFull)
+	ok := c.state.CompareAndSwap(cellInsert, cellFull)
+	if r := b.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketInserts)
+		} else {
+			r.Inc(obs.BasketInsertFails)
+		}
+	}
+	return ok
 }
 
 // Extract claims indices from a random home partition, falling over to
 // the others only when it is exhausted.
 func (b *Partitioned[T]) Extract() (T, bool) {
+	v, ok := b.extract()
+	if r := b.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketExtracts)
+		} else {
+			r.Inc(obs.BasketExtractFails)
+		}
+	}
+	return v, ok
+}
+
+func (b *Partitioned[T]) extract() (T, bool) {
 	var zero T
 	if b.empty.Load() {
 		return zero, false

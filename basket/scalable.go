@@ -1,6 +1,10 @@
 package basket
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Cell states for the scalable basket.
 const (
@@ -25,13 +29,17 @@ type Scalable[T any] struct {
 	cells   []scell[T]
 	counter atomic.Uint64
 	empty   atomic.Bool
-	bound   int // extraction scans cells[0:bound] (the active inserters)
+	bound   int          // extraction scans cells[0:bound] (the active inserters)
+	rec     obs.Recorder // nil unless telemetry is attached (WithRecorder)
 }
 
 // NewScalable returns a basket with capacity cells, scanning only the
 // first bound cells on extraction. The paper's evaluation fixes capacity
 // at the machine's thread count and sets bound to the live enqueuer count
 // (§6.1). bound must not exceed capacity.
+//
+// Deprecated: use New with WithCapacity and WithBound, which also accepts
+// a telemetry recorder.
 func NewScalable[T any](capacity, bound int) *Scalable[T] {
 	if capacity <= 0 {
 		panic("basket: capacity must be positive")
@@ -47,16 +55,39 @@ func NewScalable[T any](capacity, bound int) *Scalable[T] {
 func (b *Scalable[T]) Insert(id int, x T) bool {
 	c := &b.cells[id]
 	if c.state.Load() != cellInsert {
+		if r := b.rec; r != nil {
+			r.Inc(obs.BasketInsertFails)
+		}
 		return false
 	}
 	c.v = x
-	return c.state.CompareAndSwap(cellInsert, cellFull)
+	ok := c.state.CompareAndSwap(cellInsert, cellFull)
+	if r := b.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketInserts)
+		} else {
+			r.Inc(obs.BasketInsertFails)
+		}
+	}
+	return ok
 }
 
 // Extract claims an index with FAA and takes whatever its inserter
 // published, retrying past cells whose inserter never arrived. The
 // extractor that claims the last index sets the empty bit.
 func (b *Scalable[T]) Extract() (T, bool) {
+	v, ok := b.extract()
+	if r := b.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketExtracts)
+		} else {
+			r.Inc(obs.BasketExtractFails)
+		}
+	}
+	return v, ok
+}
+
+func (b *Scalable[T]) extract() (T, bool) {
 	var zero T
 	if b.empty.Load() {
 		return zero, false

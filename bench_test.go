@@ -16,18 +16,13 @@ package repro
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/harness"
-	"repro/queue"
-	"repro/queue/baskets"
-	"repro/queue/ccq"
-	"repro/queue/faaq"
-	"repro/queue/lcrq"
-	"repro/queue/msq"
+	"repro/internal/obs"
+	"repro/queue/registry"
 	"repro/queue/sbq"
 )
 
@@ -182,61 +177,18 @@ func BenchmarkExtension_PartitionedDequeue(b *testing.B) {
 
 // --------------------------------------------------------------------------
 // Native companion benchmarks: the adoptable library on real hardware.
-
-type nativeImpl struct {
-	name string
-	mk   func(producers int) (prod func(i int) queue.Queue[uint64], cons queue.Queue[uint64])
-}
-
-type sbqCons struct{ q *sbq.Queue[uint64] }
-
-func (c sbqCons) Enqueue(uint64)          { panic("consumer view") }
-func (c sbqCons) Dequeue() (uint64, bool) { return c.q.Dequeue() }
-
-func nativeImpls() []nativeImpl {
-	sharedQ := func(q queue.Queue[uint64]) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-		return func(int) queue.Queue[uint64] { return q }, q
-	}
-	return []nativeImpl{
-		{"MS-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return sharedQ(msq.New[uint64]())
-		}},
-		{"BQ-Original", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return sharedQ(baskets.New[uint64]())
-		}},
-		{"FAA-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return sharedQ(faaq.New[uint64]())
-		}},
-		{"LCRQ", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return sharedQ(lcrq.New[uint64]())
-		}},
-		{"CC-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return sharedQ(ccq.New[uint64](0))
-		}},
-		{"SBQ-CAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			q := sbq.New[uint64](p)
-			var mu sync.Mutex
-			handles := map[int]queue.Queue[uint64]{}
-			return func(i int) queue.Queue[uint64] {
-				mu.Lock()
-				defer mu.Unlock()
-				if h, ok := handles[i]; ok {
-					return h
-				}
-				h := q.NewHandle()
-				handles[i] = h
-				return h
-			}, sbqCons{q}
-		}},
-	}
-}
+// Queue selection comes from queue/registry — one table shared with
+// cmd/sbqbench and the conformance suite.
 
 func BenchmarkNative_Enqueue(b *testing.B) {
-	for _, im := range nativeImpls() {
-		im := im
-		b.Run(im.name, func(b *testing.B) {
-			prod, _ := im.mk(1)
-			q := prod(0)
+	for _, name := range registry.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			inst, err := registry.Build(name, registry.Config{Producers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := inst.Producer(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Enqueue(uint64(i) + 1)
@@ -246,11 +198,14 @@ func BenchmarkNative_Enqueue(b *testing.B) {
 }
 
 func BenchmarkNative_EnqueueDequeuePair(b *testing.B) {
-	for _, im := range nativeImpls() {
-		im := im
-		b.Run(im.name, func(b *testing.B) {
-			prod, cons := im.mk(1)
-			q := prod(0)
+	for _, name := range registry.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			inst, err := registry.Build(name, registry.Config{Producers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, cons := inst.Producer(0), inst.Consumer(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Enqueue(uint64(i) + 1)
@@ -263,21 +218,25 @@ func BenchmarkNative_EnqueueDequeuePair(b *testing.B) {
 }
 
 func BenchmarkNative_ParallelMixed(b *testing.B) {
-	for _, im := range nativeImpls() {
-		im := im
-		b.Run(im.name, func(b *testing.B) {
+	for _, name := range registry.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
 			// RunParallel spawns GOMAXPROCS goroutines by default; size
 			// the producer-view pool with generous headroom so each
 			// goroutine gets a private view (SBQ handles must not be
 			// shared).
 			maxViews := 8*runtime.GOMAXPROCS(0) + 8
-			prod, cons := im.mk(maxViews)
+			inst, err := registry.Build(name, registry.Config{Producers: maxViews})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cons := inst.Consumer(0)
 			var next atomic.Int64
 			var val atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				id := int(next.Add(1)) - 1
-				q := prod(id % maxViews)
+				q := inst.Producer(id % maxViews)
 				for pb.Next() {
 					q.Enqueue(val.Add(1))
 					cons.Dequeue()
@@ -291,17 +250,17 @@ func BenchmarkNative_ParallelMixed(b *testing.B) {
 // try_append under parallel enqueue pressure (the SBQ-CAS tradeoff).
 func BenchmarkNative_SBQAppendStrategies(b *testing.B) {
 	strategies := []struct {
-		name string
-		mk   func(p int) *sbq.Queue[uint64]
+		name  string
+		delay time.Duration
 	}{
-		{"PlainCAS", func(p int) *sbq.Queue[uint64] { return sbq.New[uint64](p) }},
-		{"DelayedCAS", func(p int) *sbq.Queue[uint64] { return sbq.NewDelayedCAS[uint64](p, 270*time.Nanosecond) }},
+		{"PlainCAS", 0},
+		{"DelayedCAS", registry.DelayedCASDelay},
 	}
 	for _, s := range strategies {
 		s := s
 		b.Run(s.name, func(b *testing.B) {
 			maxViews := 8*runtime.GOMAXPROCS(0) + 8
-			q := s.mk(maxViews)
+			q := sbq.New[uint64](sbq.WithEnqueuers(maxViews), sbq.WithAppendDelay(s.delay))
 			var next atomic.Int64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -311,6 +270,38 @@ func BenchmarkNative_SBQAppendStrategies(b *testing.B) {
 				for pb.Next() {
 					i++
 					h.Enqueue(uint64(id+1)<<40 | i)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSBQ measures the telemetry layer's overhead on the SBQ hot path
+// under parallel mixed load. recorder=off (no WithRecorder) and
+// recorder=nop (obs.Nop, normalized away at construction) must be within
+// noise of each other — the disabled path is a single nil check per event
+// site — while recorder=stats shows the cost of live counters.
+func BenchmarkSBQ(b *testing.B) {
+	recorders := []struct {
+		name string
+		rec  func() obs.Recorder
+	}{
+		{"recorder=off", func() obs.Recorder { return nil }},
+		{"recorder=nop", func() obs.Recorder { return obs.Nop{} }},
+		{"recorder=stats", func() obs.Recorder { return obs.New() }},
+	}
+	for _, rc := range recorders {
+		rc := rc
+		b.Run(rc.name, func(b *testing.B) {
+			maxViews := 8*runtime.GOMAXPROCS(0) + 8
+			q := sbq.New[uint64](sbq.WithEnqueuers(maxViews), sbq.WithRecorder(rc.rec()))
+			var val atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := q.NewHandle()
+				for pb.Next() {
+					h.Enqueue(val.Add(1))
+					q.Dequeue()
 				}
 			})
 		})

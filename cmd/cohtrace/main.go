@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,20 +43,34 @@ func main() {
 	}
 }
 
-func newMachine(fix bool) (*machine.Machine, *machine.Tracer) {
+func newMachine(fix bool) (*machine.Machine, *machine.Tracer, *obs.Stats) {
 	cfg := machine.Default()
 	cfg.TrippedWriterFix = fix
 	m := machine.New(cfg)
 	tr := &machine.Tracer{}
 	m.Tracer = tr
-	return m, tr
+	rec := obs.New()
+	m.SetRecorder(rec)
+	return m, tr, rec
+}
+
+// dumpSnapshot prints the telemetry aggregated over the whole scenario —
+// the trace above it shows the order of events, the snapshot the totals.
+func dumpSnapshot(rec *obs.Stats) {
+	snap := rec.Snapshot()
+	fmt.Println("\ntelemetry snapshot:")
+	for _, sec := range []string{snap.FormatHTM(), snap.FormatCoherence()} {
+		if sec != "" {
+			fmt.Println(sec)
+		}
+	}
 }
 
 // standardCAS reproduces Figure 2a: n cores, all holding the line Shared,
 // CAS different values into it. Watch the Fwd-GetM chain serialize every
 // attempt — including the failing ones.
 func standardCAS(n int) {
-	m, tr := newMachine(false)
+	m, tr, rec := newMachine(false)
 	a := m.AllocLine(8, 0)
 	tr.Filter = machine.LineOf(a)
 	results := make([]bool, n)
@@ -81,6 +96,7 @@ func standardCAS(n int) {
 	fmt.Println("\nEvery CAS - successful or not - acquired M ownership in turn:")
 	fmt.Printf("Fwd-GetM chain length %d, total Data handoffs %d.\n",
 		tr.Count(machine.MsgFwdGetM), tr.Count(machine.MsgData))
+	dumpSnapshot(rec)
 }
 
 // htmCAS reproduces Figure 2b: the same contention pattern with
@@ -88,7 +104,7 @@ func standardCAS(n int) {
 // every reader concurrently; the losers abort within a constant number of
 // message delays.
 func htmCAS(n int) {
-	m, tr := newMachine(false)
+	m, tr, rec := newMachine(false)
 	a := m.AllocLine(8, 0)
 	tr.Filter = machine.LineOf(a)
 	results := make([]bool, n)
@@ -124,6 +140,7 @@ func htmCAS(n int) {
 	fmt.Println("\nThe winner's GetM triggered back-to-back invalidations; every")
 	fmt.Printf("failing transaction aborted on Inv receipt (Inv count %d), with no\n", tr.Count(machine.MsgInv))
 	fmt.Println("ownership handoffs to the losers.")
+	dumpSnapshot(rec)
 }
 
 // tripped reproduces Figure 3: C1's transactional write is draining (its
@@ -131,7 +148,7 @@ func htmCAS(n int) {
 // as a Fwd-GetS. Without the fix, the read trips the writer; with it, the
 // read is stalled until the commit.
 func tripped(fix bool) {
-	m, tr := newMachine(fix)
+	m, tr, rec := newMachine(fix)
 	a := m.AllocLine(8, 0)
 	tr.Filter = machine.LineOf(a)
 	cps := m.Config().CoresPerSocket
@@ -169,6 +186,7 @@ func tripped(fix bool) {
 	fmt.Printf("writer transaction: %s\n", commitMark(committed))
 	fmt.Printf("remote reader observed: %d\n", reader)
 	fmt.Printf("tripped writers: %d, fix stalls: %d\n", m.Stats.TrippedWriters, m.Stats.FixStalls)
+	dumpSnapshot(rec)
 }
 
 func mark(ok bool) string {

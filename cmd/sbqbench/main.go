@@ -4,7 +4,11 @@
 // adoptable library on contemporary hardware rather than reproducing the
 // paper's HTM results (cmd/sbqsim does that).
 //
+// Queue selection comes from repro/queue/registry, the same table the
+// benchmarks and conformance tests use.
+//
 //	sbqbench -workload enqueue|dequeue|mixed -threads 1,2,4,8 -ops 200000
+//	sbqbench -impl SBQ-DCAS -stats        # print telemetry snapshots
 package main
 
 import (
@@ -18,88 +22,24 @@ import (
 	"sync"
 	"time"
 
-	"repro/queue"
-	"repro/queue/baskets"
-	"repro/queue/ccq"
-	"repro/queue/faaq"
-	"repro/queue/lcrq"
-	"repro/queue/msq"
-	"repro/queue/sbq"
+	"repro/internal/obs"
+	"repro/queue/registry"
 )
-
-type impl struct {
-	name string
-	// build returns per-producer views and a shared consumer view.
-	build func(producers int) (func(i int) queue.Queue[uint64], queue.Queue[uint64])
-}
-
-func shared(q queue.Queue[uint64]) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-	return func(int) queue.Queue[uint64] { return q }, q
-}
-
-type sbqConsumer struct{ q *sbq.Queue[uint64] }
-
-func (c sbqConsumer) Enqueue(uint64)          { panic("consumer view") }
-func (c sbqConsumer) Dequeue() (uint64, bool) { return c.q.Dequeue() }
-
-func impls() []impl {
-	return []impl{
-		{"MS-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return shared(msq.New[uint64]())
-		}},
-		{"BQ-Original", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return shared(baskets.New[uint64]())
-		}},
-		{"FAA-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return shared(faaq.New[uint64]())
-		}},
-		{"LCRQ", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return shared(lcrq.New[uint64]())
-		}},
-		{"CC-Queue", func(int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			return shared(ccq.New[uint64](0))
-		}},
-		{"SBQ-CAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			q := sbq.New[uint64](p)
-			var mu sync.Mutex
-			handles := map[int]queue.Queue[uint64]{}
-			view := func(i int) queue.Queue[uint64] {
-				mu.Lock()
-				defer mu.Unlock()
-				if h, ok := handles[i]; ok {
-					return h
-				}
-				h := q.NewHandle()
-				handles[i] = h
-				return h
-			}
-			return view, sbqConsumer{q}
-		}},
-		{"SBQ-DCAS", func(p int) (func(int) queue.Queue[uint64], queue.Queue[uint64]) {
-			q := sbq.NewDelayedCAS[uint64](p, 270*time.Nanosecond)
-			var mu sync.Mutex
-			handles := map[int]queue.Queue[uint64]{}
-			view := func(i int) queue.Queue[uint64] {
-				mu.Lock()
-				defer mu.Unlock()
-				if h, ok := handles[i]; ok {
-					return h
-				}
-				h := q.NewHandle()
-				handles[i] = h
-				return h
-			}
-			return view, sbqConsumer{q}
-		}},
-	}
-}
 
 func main() {
 	workload := flag.String("workload", "enqueue", "enqueue, dequeue, or mixed")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,NumCPU)")
 	ops := flag.Int("ops", 100_000, "operations per thread")
 	only := flag.String("impl", "", "run a single implementation by name")
+	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
 	flag.Parse()
+
+	if *only != "" {
+		if _, ok := registry.Lookup(*only); !ok {
+			fmt.Fprintf(os.Stderr, "sbqbench: unknown impl %q (have %s)\n", *only, strings.Join(registry.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	var threadCounts []int
 	if *threadsFlag == "" {
@@ -124,20 +64,43 @@ func main() {
 		fmt.Printf(" %9dT", n)
 	}
 	fmt.Println("   [ns/op]")
-	for _, im := range impls() {
-		if *only != "" && im.name != *only {
+	type statRun struct {
+		threads int
+		snap    obs.Snapshot
+	}
+	for _, name := range registry.Names() {
+		if *only != "" && name != *only {
 			continue
 		}
-		fmt.Printf("%-12s", im.name)
+		var snaps []statRun
+		fmt.Printf("%-12s", name)
 		for _, n := range threadCounts {
-			ns := runOne(im, *workload, n, *ops)
+			var rec *obs.Stats
+			if *stats {
+				rec = obs.New()
+			}
+			ns := runOne(name, rec, *workload, n, *ops)
 			fmt.Printf(" %10.1f", ns)
+			if rec != nil {
+				snaps = append(snaps, statRun{n, rec.Snapshot()})
+			}
 		}
 		fmt.Println()
+		for _, sr := range snaps {
+			fmt.Printf("\n  %s @ %d threads:\n", name, sr.threads)
+			for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		if len(snaps) > 0 {
+			fmt.Println()
+		}
 	}
 }
 
-func runOne(im impl, workload string, threads, ops int) float64 {
+// runOne measures one (impl, workload, threads) cell and returns ns per
+// operation normalized to one thread.
+func runOne(name string, rec obs.Recorder, workload string, threads, ops int) float64 {
 	producers, consumers := threads, threads
 	switch workload {
 	case "enqueue":
@@ -153,7 +116,11 @@ func runOne(im impl, workload string, threads, ops int) float64 {
 	if nProd == 0 {
 		nProd = threads // prefill threads double as producers
 	}
-	prodView, consView := im.build(nProd)
+	inst, err := registry.Build(name, registry.Config{Producers: nProd, Recorder: rec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbqbench:", err)
+		os.Exit(2)
+	}
 
 	// Prefill for dequeue/mixed so consumers rarely see empty.
 	prefill := 0
@@ -171,7 +138,7 @@ func runOne(im impl, workload string, threads, ops int) float64 {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				q := prodView(i)
+				q := inst.Producer(i)
 				for k := 0; k < per; k++ {
 					q.Enqueue(uint64(i+1)<<32 | uint64(k+1))
 				}
@@ -189,7 +156,7 @@ func runOne(im impl, workload string, threads, ops int) float64 {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				q := prodView(i)
+				q := inst.Producer(i)
 				for k := 0; k < ops; k++ {
 					q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
 				}
@@ -199,12 +166,14 @@ func runOne(im impl, workload string, threads, ops int) float64 {
 	}
 	if workload != "enqueue" {
 		for i := 0; i < consumers; i++ {
+			i := i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				q := inst.Consumer(i)
 				got := 0
 				for got < ops {
-					if _, ok := consView.Dequeue(); ok {
+					if _, ok := q.Dequeue(); ok {
 						got++
 					} else {
 						runtime.Gosched()

@@ -10,6 +10,7 @@
 //	sbqsim -fig basket       basket size sweep (§5.3.4)
 //	sbqsim -fig fix          tripped-writer fix ablation (§3.4.1/§4.3)
 //	sbqsim -fig ext          partitioned-basket dequeue extension (§8 future work)
+//	sbqsim -fig obs          telemetry snapshots: CAS failure rates, HTM abort codes
 //	sbqsim -fig all          everything
 //
 // Flags -ops, -reps, -threads and -csv control scale and output format.
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6, 7, delay, basket, fix, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 5, 6, 7, delay, basket, fix, ext, obs, all")
 	ops := flag.Int("ops", 300, "operations per thread per repetition")
 	reps := flag.Int("reps", 3, "repetitions (distinct seeds)")
 	threadList := flag.String("threads", "", "comma-separated thread counts (default 1..44 sweep)")
@@ -97,6 +98,12 @@ func main() {
 		case "ext":
 			res := harness.RunDequeueOnly([]harness.Variant{harness.SBQHTM, harness.SBQHTMPart, harness.WFQueue}, o)
 			emit("§8 future-work extension: partitioned-basket dequeue latency [ns/op]", res)
+		case "obs":
+			variants := append([]harness.Variant{}, harness.AllVariants...)
+			variants = append(variants, harness.SBQHTMPart)
+			snaps := harness.RunTelemetry(variants, o)
+			fmt.Println("== Telemetry: per-queue CAS failure rates, HTM abort codes, coherence traffic ==")
+			harness.WriteTelemetry(os.Stdout, snaps)
 		case "fix":
 			rows := harness.RunFixAblation(o)
 			fmt.Println("== §3.4.1/§4.3 ablation: cross-socket TxCAS, tripped-writer fix ==")
@@ -112,7 +119,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, f := range []string{"1", "5", "6", "7", "delay", "basket", "fix", "ext"} {
+		for _, f := range []string{"1", "5", "6", "7", "delay", "basket", "fix", "ext", "obs"} {
 			run(f)
 		}
 		return

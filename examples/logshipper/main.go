@@ -32,7 +32,7 @@ const (
 )
 
 func main() {
-	q := sbq.New[event](handlers)
+	q := sbq.New[event](sbq.WithEnqueuers(handlers))
 
 	var wg sync.WaitGroup
 	start := time.Now()

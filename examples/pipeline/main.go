@@ -38,8 +38,8 @@ const (
 
 func main() {
 	// Stage queues. Each producing stage gets handles for its workers.
-	parsed := sbq.New[record](parsers)
-	hashed := sbq.New[digest](hashers)
+	parsed := sbq.New[record](sbq.WithEnqueuers(parsers))
+	hashed := sbq.New[digest](sbq.WithEnqueuers(hashers))
 
 	var wg sync.WaitGroup
 

@@ -20,7 +20,7 @@ func main() {
 
 	// SBQ sizes each node's basket from the producer count; every
 	// producer goroutine needs its own handle (it owns one basket cell).
-	q := sbq.New[string](producers)
+	q := sbq.New[string](sbq.WithEnqueuers(producers))
 
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

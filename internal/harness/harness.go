@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simqueue"
 	"repro/internal/stats"
 )
@@ -84,6 +85,15 @@ var AllVariants = []Variant{BQOriginal, CCQueue, SBQCAS, SBQHTM, WFQueue}
 // BuildQueue constructs the named variant for a machine with the given
 // producer and total thread counts.
 func BuildQueue(m *machine.Machine, v Variant, producers, threads, basketSize int) simqueue.Queue {
+	return BuildQueueRec(m, v, producers, threads, basketSize, nil)
+}
+
+// BuildQueueRec is BuildQueue with a queue-level telemetry recorder
+// attached where the variant supports one (the SBQ variants; the baseline
+// queues predate the telemetry layer and report only machine-level
+// counters). Machine-level telemetry is orthogonal: attach it with
+// machine.SetRecorder.
+func BuildQueueRec(m *machine.Machine, v Variant, producers, threads, basketSize int, rec obs.Recorder) simqueue.Queue {
 	if producers < 1 {
 		producers = 1
 	}
@@ -95,18 +105,18 @@ func BuildQueue(m *machine.Machine, v Variant, producers, threads, basketSize in
 		app, _ := simqueue.NewTxCASAppend(threads, core.DefaultOptions())
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
-			Append: app, Name: string(SBQHTM),
+			Append: app, Name: string(SBQHTM), Rec: rec,
 		})
 	case SBQHTMPart:
 		app, _ := simqueue.NewTxCASAppend(threads, core.DefaultOptions())
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
-			Append: app, Name: string(SBQHTMPart), Partitions: 2,
+			Append: app, Name: string(SBQHTMPart), Partitions: 2, Rec: rec,
 		})
 	case SBQCAS:
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
-			Append: simqueue.DelayedCAS(core.DefaultDelay), Name: string(SBQCAS),
+			Append: simqueue.DelayedCAS(core.DefaultDelay), Name: string(SBQCAS), Rec: rec,
 		})
 	case BQOriginal:
 		return simqueue.NewBQ(m, 0)

@@ -1,5 +1,7 @@
 package machine
 
+import "repro/internal/obs"
+
 // lstate is a cache line's stable coherence state.
 type lstate uint8
 
@@ -144,6 +146,7 @@ func (c *cache) load(addr Addr, tx bool, done func(val uint64)) {
 		if tx && c.txn != nil && c.txn.id == txid {
 			if c.txOverCapacity(c.txn, line) {
 				c.m.Stats.TxAbortCapacity++
+				c.m.obsInc(obs.TxAbortsCapacity)
 				c.abortTx(AbortStatus{Capacity: true, Nested: c.txn.depth >= 2}, false)
 				return
 			}
@@ -269,6 +272,7 @@ func (c *cache) handleNow(msg Msg) {
 			if c.txn != nil && c.txn.writes(line) {
 				if c.m.cfg.TrippedWriterFix && c.txn.committing && c.txn.pendingW == 1 {
 					c.m.Stats.FixStalls++
+					c.m.obsInc(obs.TxFixStalls)
 					c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
 					return
 				}
@@ -281,6 +285,7 @@ func (c *cache) handleNow(msg Msg) {
 			// Remote read of a transactionally written line we already own.
 			if c.m.cfg.TrippedWriterFix && c.txn.committing {
 				c.m.Stats.FixStalls++
+				c.m.obsInc(obs.TxFixStalls)
 				c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
 				return
 			}

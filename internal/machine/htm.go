@@ -1,5 +1,7 @@
 package machine
 
+import "repro/internal/obs"
+
 // This file implements the hardware-transactional-memory layer of the
 // simulated machine, modeled on Intel RTM as described in paper §2 and §3.3:
 // transactional accesses mark lines in the private cache, conflicts are
@@ -76,6 +78,7 @@ func (c *cache) beginTx(p *Proc) {
 		writeBuf: make(map[Addr]uint64),
 	}
 	c.m.Stats.TxStarted++
+	c.m.obsInc(obs.TxStarts)
 	if n := c.m.cfg.SpuriousAbortEvery; n > 0 && txnIDs%uint64(n) == 0 {
 		// Fault injection: an "interrupt" lands somewhere inside the
 		// transaction's window and aborts it for a non-conflict reason.
@@ -84,6 +87,7 @@ func (c *cache) beginTx(p *Proc) {
 		c.m.eng.Schedule(delay, func() {
 			if t := c.txn; t != nil && t.id == id {
 				c.m.Stats.TxAbortSpurious++
+				c.m.obsInc(obs.TxAbortsSpurious)
 				c.abortTx(AbortStatus{Nested: t.depth >= 2}, false)
 			}
 		})
@@ -164,6 +168,7 @@ func (c *cache) commitTx() {
 	}
 	c.txn = nil
 	c.m.Stats.TxCommits++
+	c.m.obsInc(obs.TxCommits)
 	// Service reads stalled by the §3.4.1 fix: they now observe the
 	// committed value.
 	for _, msg := range t.stalledFwd {
@@ -185,17 +190,22 @@ func (c *cache) abortTx(st AbortStatus, tripped bool) {
 	}
 	c.txn = nil
 	c.m.Stats.TxAborts++
+	c.m.obsInc(obs.TxAborts)
 	if st.Conflict {
 		c.m.Stats.TxAbortConflict++
+		c.m.obsInc(obs.TxAbortsConflict)
 	}
 	if st.Explicit {
 		c.m.Stats.TxAbortExplicit++
+		c.m.obsInc(obs.TxAbortsExplicit)
 	}
 	if st.Nested {
 		c.m.Stats.TxAbortNested++
+		c.m.obsInc(obs.TxAbortsNested)
 	}
 	if tripped {
 		c.m.Stats.TrippedWriters++
+		c.m.obsInc(obs.TxTrippedWriters)
 	}
 	for _, msg := range t.stalledFwd {
 		c.handleNow(msg)

@@ -21,6 +21,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,35 @@ type Machine struct {
 	Stats Stats
 	// Tracer, if non-nil, receives a protocol-level event stream.
 	Tracer *Tracer
+	// rec, if non-nil, additionally streams the counters into the shared
+	// telemetry layer (repro/internal/obs): coherence-message kinds, HTM
+	// starts/commits and per-reason aborts, and CAS outcomes. Set it with
+	// SetRecorder before Run.
+	rec obs.Recorder
+}
+
+// SetRecorder attaches a telemetry recorder; nil (or obs.Nop) detaches.
+func (m *Machine) SetRecorder(r obs.Recorder) { m.rec = obs.Normalize(r) }
+
+// obsInc forwards one event to the attached recorder, if any.
+func (m *Machine) obsInc(c obs.Counter) {
+	if r := m.rec; r != nil {
+		r.Inc(c)
+	}
+}
+
+// cohCounter maps a coherence message kind to its obs counter. The array
+// is explicit (not arithmetic on the enums) so reordering either side
+// cannot silently misattribute traffic.
+var cohCounter = [numMsgKinds]obs.Counter{
+	MsgGetS:    obs.CohGetS,
+	MsgGetM:    obs.CohGetM,
+	MsgFwdGetS: obs.CohFwdGetS,
+	MsgFwdGetM: obs.CohFwdGetM,
+	MsgInv:     obs.CohInv,
+	MsgInvAck:  obs.CohInvAck,
+	MsgData:    obs.CohData,
+	MsgDownAck: obs.CohDownAck,
 }
 
 // New creates a machine with the given configuration.
@@ -156,6 +186,7 @@ func (m *Machine) hopCores(socketA, socketB int) uint64 {
 // fromSocket identifies the sender's socket for NUMA accounting.
 func (m *Machine) sendToCache(fromSocket, dst int, msg Msg) {
 	m.Stats.Msgs[msg.Kind]++
+	m.obsInc(cohCounter[msg.Kind])
 	lat := m.hopCores(fromSocket, m.cfg.SocketOf(dst))
 	m.trace(msg, endpointName(dst))
 	m.eng.Schedule(lat, func() { m.caches[dst].receive(msg) })
@@ -164,6 +195,7 @@ func (m *Machine) sendToCache(fromSocket, dst int, msg Msg) {
 // sendToDir delivers msg to the home directory of msg.Line.
 func (m *Machine) sendToDir(fromSocket int, msg Msg) {
 	m.Stats.Msgs[msg.Kind]++
+	m.obsInc(cohCounter[msg.Kind])
 	home := m.homeOf(msg.Line)
 	lat := m.hopCores(fromSocket, home)
 	m.trace(msg, fmt.Sprintf("Dir%d", home))

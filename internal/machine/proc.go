@@ -1,5 +1,7 @@
 package machine
 
+import "repro/internal/obs"
+
 // Proc is a simulated hardware thread. Simulated programs are ordinary Go
 // functions that call Proc methods for every shared-memory access; each
 // call suspends the goroutine until the simulated operation completes, so
@@ -171,6 +173,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 // exclusive ownership of the line whether it succeeds or fails.
 func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	p.checkNoTx("CAS")
+	p.m.obsInc(obs.CASAttempts)
 	w := &waiter{}
 	ok := false
 	p.cache().rmw(a, func(cur uint64) (uint64, bool) {
@@ -181,6 +184,9 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		return 0, false
 	}, func(uint64) { p.complete(w, opResult{}) })
 	p.blockOn(w)
+	if !ok {
+		p.m.obsInc(obs.CASFailures)
+	}
 	return ok
 }
 
@@ -294,9 +300,11 @@ func (t *Tx) Write(a Addr, v uint64) {
 	c := t.p.cache()
 	if tn := c.txn; tn != nil && c.txOverCapacity(tn, LineOf(a)) {
 		c.m.Stats.TxAbortCapacity++
+		c.m.obsInc(obs.TxAbortsCapacity)
 		st := AbortStatus{Capacity: true, Nested: tn.depth >= 2}
 		c.txn = nil
 		c.m.Stats.TxAborts++
+		c.m.obsInc(obs.TxAborts)
 		for _, msg := range tn.stalledFwd {
 			c.handleNow(msg)
 		}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"time"
+
+	"repro/queue"
+)
+
+// Instrument wraps q so that every operation's wall-clock latency is
+// observed into r's EnqLatency/DeqLatency histograms. Counters are NOT
+// recorded here — the queue implementations record their own (pass the
+// same Recorder to the queue's WithRecorder option to get both).
+//
+// With a nil (or Nop) recorder the queue is returned unwrapped, so an
+// uninstrumented pipeline pays nothing.
+func Instrument[T any](q queue.Queue[T], r Recorder) queue.Queue[T] {
+	if r = Normalize(r); r == nil {
+		return q
+	}
+	return &instrumented[T]{q: q, r: r}
+}
+
+type instrumented[T any] struct {
+	q queue.Queue[T]
+	r Recorder
+}
+
+func (w *instrumented[T]) Enqueue(v T) {
+	start := time.Now()
+	w.q.Enqueue(v)
+	w.r.Observe(EnqLatency, uint64(time.Since(start).Nanoseconds()))
+}
+
+func (w *instrumented[T]) Dequeue() (T, bool) {
+	start := time.Now()
+	v, ok := w.q.Dequeue()
+	w.r.Observe(DeqLatency, uint64(time.Since(start).Nanoseconds()))
+	return v, ok
+}

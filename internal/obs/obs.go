@@ -1,0 +1,193 @@
+// Package obs is the repository's observability layer: near-zero-overhead
+// telemetry counters and coarse latency histograms shared by the native
+// queues (repro/queue/*), the baskets (repro/basket), and the simulated
+// track (repro/internal/machine, repro/internal/simqueue).
+//
+// The paper's whole argument is about which atomic operations fail and what
+// that failure costs (§3, §6.1): CAS failure rates, basket occupancy, and
+// HTM abort-code mixes are exactly the signals every performance change in
+// this repository must be steered by. This package makes them first-class:
+//
+//   - Counter enumerates the event counters (CAS attempts/failures, basket
+//     insert/extract outcomes, enqueue/dequeue retries, HTM abort codes,
+//     coherence message kinds).
+//   - Series enumerates the latency histograms (power-of-two buckets,
+//     backed by repro/internal/stats.Histogram).
+//   - Recorder is the interface instrumentation points call. Instrumented
+//     code holds a nil Recorder when telemetry is off, so the disabled path
+//     is a single nil check; Nop is an explicit no-op value for plumbing,
+//     normalized to nil by every constructor (see Normalize).
+//   - Stats is the concrete lock-free recorder: padded per-handle shards
+//     aggregated by Snapshot.
+//
+// Typical wiring:
+//
+//	rec := obs.New()
+//	q := sbq.New[uint64](sbq.WithEnqueuers(8), sbq.WithRecorder(rec))
+//	... run workload ...
+//	snap := rec.Snapshot()
+//	fmt.Println(snap.FormatQueue())
+package obs
+
+// Counter identifies one monotonically increasing event counter.
+type Counter uint8
+
+// Queue- and basket-level counters.
+const (
+	// EnqOps and DeqOps count completed queue operations; DeqEmpty counts
+	// dequeues that reported an empty queue.
+	EnqOps Counter = iota
+	DeqOps
+	DeqEmpty
+	// EnqRetries and DeqRetries count loop iterations beyond the first in
+	// an operation (tail chasing, poisoned cells, drained rings, ...).
+	EnqRetries
+	DeqRetries
+	// CASAttempts and CASFailures count the contended linking CAS of the
+	// linked queues (try_append in SBQ terms); CASFallbacks counts TxCAS
+	// operations resolved by the non-transactional fallback.
+	CASAttempts
+	CASFailures
+	CASFallbacks
+	// Basket insert/extract outcomes, recorded by the basket
+	// implementations themselves.
+	BasketInserts
+	BasketInsertFails
+	BasketExtracts
+	BasketExtractFails
+
+	// HTM counters (simulated track).
+	TxStarts
+	TxCommits
+	TxAborts
+	TxAbortsConflict
+	TxAbortsExplicit
+	TxAbortsNested
+	TxAbortsCapacity
+	TxAbortsSpurious
+	TxTrippedWriters
+	TxFixStalls
+
+	// Coherence message counters (simulated track), one per protocol
+	// message kind. CohGetS..CohDownAck must stay contiguous and in the
+	// machine's MsgKind order.
+	CohGetS
+	CohGetM
+	CohFwdGetS
+	CohFwdGetM
+	CohInv
+	CohInvAck
+	CohData
+	CohDownAck
+
+	// NumCounters bounds the Counter enum; it is not a counter.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	EnqOps:             "enq_ops",
+	DeqOps:             "deq_ops",
+	DeqEmpty:           "deq_empty",
+	EnqRetries:         "enq_retries",
+	DeqRetries:         "deq_retries",
+	CASAttempts:        "cas_attempts",
+	CASFailures:        "cas_failures",
+	CASFallbacks:       "cas_fallbacks",
+	BasketInserts:      "basket_inserts",
+	BasketInsertFails:  "basket_insert_fails",
+	BasketExtracts:     "basket_extracts",
+	BasketExtractFails: "basket_extract_fails",
+	TxStarts:           "tx_starts",
+	TxCommits:          "tx_commits",
+	TxAborts:           "tx_aborts",
+	TxAbortsConflict:   "tx_aborts_conflict",
+	TxAbortsExplicit:   "tx_aborts_explicit",
+	TxAbortsNested:     "tx_aborts_nested",
+	TxAbortsCapacity:   "tx_aborts_capacity",
+	TxAbortsSpurious:   "tx_aborts_spurious",
+	TxTrippedWriters:   "tx_tripped_writers",
+	TxFixStalls:        "tx_fix_stalls",
+	CohGetS:            "coh_gets",
+	CohGetM:            "coh_getm",
+	CohFwdGetS:         "coh_fwd_gets",
+	CohFwdGetM:         "coh_fwd_getm",
+	CohInv:             "coh_inv",
+	CohInvAck:          "coh_inv_ack",
+	CohData:            "coh_data",
+	CohDownAck:         "coh_down_ack",
+}
+
+// String returns the counter's snake_case name.
+func (c Counter) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return "?"
+}
+
+// Series identifies one latency histogram.
+type Series uint8
+
+// The latency series. Values are always nanoseconds — wall-clock on the
+// native track, simulated nanoseconds on the simulated track.
+const (
+	EnqLatency Series = iota
+	DeqLatency
+
+	// NumSeries bounds the Series enum; it is not a series.
+	NumSeries
+)
+
+var seriesNames = [NumSeries]string{
+	EnqLatency: "enq_ns",
+	DeqLatency: "deq_ns",
+}
+
+// String returns the series' snake_case name.
+func (s Series) String() string {
+	if s < NumSeries {
+		return seriesNames[s]
+	}
+	return "?"
+}
+
+// Recorder receives telemetry events. Implementations must be safe for
+// concurrent use. Instrumented code stores a Recorder field that is nil
+// when telemetry is disabled and guards every call with a nil check, so
+// the disabled fast path costs one predictable branch.
+type Recorder interface {
+	// Inc adds one to counter c.
+	Inc(c Counter)
+	// Add adds delta to counter c.
+	Add(c Counter, delta uint64)
+	// Observe records a nanosecond value in series s.
+	Observe(s Series, ns uint64)
+}
+
+// Nop is a Recorder that records nothing. Constructors normalize it to a
+// nil Recorder (see Normalize), so passing Nop{} is exactly as cheap as
+// passing no recorder at all: the disabled path is a single nil check and
+// these methods are never reached from hot paths.
+type Nop struct{}
+
+// Inc implements Recorder as a no-op.
+func (Nop) Inc(Counter) {}
+
+// Add implements Recorder as a no-op.
+func (Nop) Add(Counter, uint64) {}
+
+// Observe implements Recorder as a no-op.
+func (Nop) Observe(Series, uint64) {}
+
+// Normalize maps Nop (and nil) to nil so that instrumented code can treat
+// "no recorder" uniformly as a nil field. Every constructor accepting a
+// Recorder option passes it through Normalize.
+func Normalize(r Recorder) Recorder {
+	if r == nil {
+		return nil
+	}
+	if _, ok := r.(Nop); ok {
+		return nil
+	}
+	return r
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Snapshot is a point-in-time aggregation of a Stats recorder: one value
+// per Counter and one stats.Histogram per Series. It is a plain value type;
+// tests and tools may also build Snapshots directly.
+type Snapshot struct {
+	Counters [NumCounters]uint64
+	Series   [NumSeries]stats.Histogram
+}
+
+// Counter returns the value of counter c.
+func (s Snapshot) Counter(c Counter) uint64 { return s.Counters[c] }
+
+// Merge adds o's counters and histograms into s.
+func (s *Snapshot) Merge(o Snapshot) {
+	for c := range s.Counters {
+		s.Counters[c] += o.Counters[c]
+	}
+	for se := range s.Series {
+		s.Series[se].Merge(o.Series[se])
+	}
+}
+
+// Rate returns num/den as a fraction in [0,1], or 0 when den is zero.
+func (s Snapshot) Rate(num, den Counter) float64 {
+	d := s.Counters[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Counters[num]) / float64(d)
+}
+
+// CASFailureRate returns the fraction of CAS attempts that failed — the
+// paper's central per-queue signal (§3, §6.1).
+func (s Snapshot) CASFailureRate() float64 { return s.Rate(CASFailures, CASAttempts) }
+
+// AbortRate returns the fraction of started transactions that aborted.
+func (s Snapshot) AbortRate() float64 { return s.Rate(TxAborts, TxStarts) }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// FormatQueue renders the queue-level counters (ops, retries, CAS, basket
+// outcomes) as one or two lines. Zero groups are omitted.
+func (s Snapshot) FormatQueue() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops: enq=%d deq=%d empty=%d retries: enq=%d deq=%d",
+		s.Counters[EnqOps], s.Counters[DeqOps], s.Counters[DeqEmpty],
+		s.Counters[EnqRetries], s.Counters[DeqRetries])
+	if s.Counters[CASAttempts] > 0 {
+		fmt.Fprintf(&b, "\ncas: attempts=%d failures=%d (%s failed)",
+			s.Counters[CASAttempts], s.Counters[CASFailures], pct(s.CASFailureRate()))
+		if s.Counters[CASFallbacks] > 0 {
+			fmt.Fprintf(&b, " fallbacks=%d", s.Counters[CASFallbacks])
+		}
+	}
+	if s.Counters[BasketInserts]+s.Counters[BasketInsertFails]+
+		s.Counters[BasketExtracts]+s.Counters[BasketExtractFails] > 0 {
+		fmt.Fprintf(&b, "\nbasket: insert=%d/fail=%d extract=%d/fail=%d",
+			s.Counters[BasketInserts], s.Counters[BasketInsertFails],
+			s.Counters[BasketExtracts], s.Counters[BasketExtractFails])
+	}
+	return b.String()
+}
+
+// FormatHTM renders the HTM abort-code breakdown, or "" when no
+// transactions were recorded.
+func (s Snapshot) FormatHTM() string {
+	if s.Counters[TxStarts] == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "htm: started=%d commits=%d aborts=%d (%s)",
+		s.Counters[TxStarts], s.Counters[TxCommits], s.Counters[TxAborts], pct(s.AbortRate()))
+	fmt.Fprintf(&b, "\n     abort codes: conflict=%d explicit=%d nested=%d capacity=%d spurious=%d tripped-writers=%d fix-stalls=%d",
+		s.Counters[TxAbortsConflict], s.Counters[TxAbortsExplicit], s.Counters[TxAbortsNested],
+		s.Counters[TxAbortsCapacity], s.Counters[TxAbortsSpurious],
+		s.Counters[TxTrippedWriters], s.Counters[TxFixStalls])
+	return b.String()
+}
+
+// FormatCoherence renders the coherence-message breakdown, or "" when no
+// messages were recorded.
+func (s Snapshot) FormatCoherence() string {
+	var total uint64
+	for c := CohGetS; c <= CohDownAck; c++ {
+		total += s.Counters[c]
+	}
+	if total == 0 {
+		return ""
+	}
+	parts := make([]string, 0, int(CohDownAck-CohGetS)+1)
+	for c := CohGetS; c <= CohDownAck; c++ {
+		if v := s.Counters[c]; v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(c.String(), "coh_"), v))
+		}
+	}
+	return "coherence msgs: " + strings.Join(parts, " ")
+}
+
+// FormatLatency renders the non-empty latency series, or "" when none.
+func (s Snapshot) FormatLatency() string {
+	var lines []string
+	for se := Series(0); se < NumSeries; se++ {
+		if h := s.Series[se]; h.Count > 0 {
+			lines = append(lines, fmt.Sprintf("%s: %s", se, h))
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// String renders every non-empty section of the snapshot.
+func (s Snapshot) String() string {
+	var sections []string
+	for _, sec := range []string{s.FormatQueue(), s.FormatLatency(), s.FormatHTM(), s.FormatCoherence()} {
+		if sec != "" {
+			sections = append(sections, sec)
+		}
+	}
+	return strings.Join(sections, "\n")
+}

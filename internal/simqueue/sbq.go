@@ -3,6 +3,7 @@ package simqueue
 import (
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // SBQ is the scalable baskets queue (paper §5): a modular baskets queue
@@ -32,6 +33,7 @@ type SBQ struct {
 
 	tryAppend AppendFunc
 	name      string
+	rec       obs.Recorder // nil unless SBQOptions.Rec attached telemetry
 
 	enq  []enqState // per-enqueuer node reuse + freelists (indexed by tid)
 	free [][]uint64 // per-thread freelists of retired node addresses
@@ -100,6 +102,11 @@ type SBQOptions struct {
 	// (clamped to [1, Enqueuers]). 1 reproduces the paper's basket;
 	// higher values implement its §8 future work of scalable dequeues.
 	Partitions int
+	// Rec, when non-nil, receives queue-level telemetry (operation counts,
+	// try_append CAS outcomes, basket insert/extract outcomes). Machine-
+	// level telemetry (HTM aborts, coherence traffic) attaches to the
+	// Machine via SetRecorder instead, so the two layers stay separable.
+	Rec obs.Recorder
 }
 
 // NewSBQ allocates an SBQ on m.
@@ -136,6 +143,7 @@ func NewSBQ(m *Machine, opt SBQOptions) *SBQ {
 		partitions: opt.Partitions,
 		tryAppend:  opt.Append,
 		name:       opt.Name,
+		rec:        obs.Normalize(opt.Rec),
 		enq:        make([]enqState, opt.Threads),
 		free:       make([][]uint64, opt.Threads),
 	}
@@ -209,13 +217,33 @@ func (q *SBQ) allocNode(p *machine.Proc, tid int) uint64 {
 
 // basketInsert attempts to publish v in inserter eid's private cell.
 func (q *SBQ) basketInsert(p *machine.Proc, node uint64, eid int, v uint64) bool {
-	return p.CAS(q.cellAddr(node, eid), sentinelInsert, v)
+	ok := p.CAS(q.cellAddr(node, eid), sentinelInsert, v)
+	if r := q.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketInserts)
+		} else {
+			r.Inc(obs.BasketInsertFails)
+		}
+	}
+	return ok
 }
 
 // basketExtract removes some element, or fails if the basket is (or is
 // about to become) empty. tid selects the extractor's home partition when
 // partitioned extraction is enabled.
 func (q *SBQ) basketExtract(p *machine.Proc, node uint64, tid int) (uint64, bool) {
+	v, ok := q.basketExtractInner(p, node, tid)
+	if r := q.rec; r != nil {
+		if ok {
+			r.Inc(obs.BasketExtracts)
+		} else {
+			r.Inc(obs.BasketExtractFails)
+		}
+	}
+	return v, ok
+}
+
+func (q *SBQ) basketExtractInner(p *machine.Proc, node uint64, tid int) (uint64, bool) {
 	if p.Read(node+q.offEmpty()) != 0 {
 		return 0, false
 	}
@@ -280,8 +308,14 @@ func (q *SBQ) tryAppendNode(p *machine.Proc, tid int, tail, newNode uint64) appe
 	if p.Read(tail+offNext) != 0 {
 		return appendBadTail
 	}
+	if r := q.rec; r != nil {
+		r.Inc(obs.CASAttempts)
+	}
 	if q.tryAppend(p, tid, tail+offNext, 0, newNode) {
 		return appendSuccess
+	}
+	if r := q.rec; r != nil {
+		r.Inc(obs.CASFailures)
 	}
 	return appendFailure
 }
@@ -303,7 +337,15 @@ func (q *SBQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 		p.Write(q.cellAddr(n, tid), sentinelInsert)
 	}
 	q.basketInsert(p, n, tid, v)
-	for {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		p.Write(n+offIndex, p.Read(t+offIndex)+1)
 		status := q.tryAppendNode(p, tid, t, n)
 		if status == appendSuccess {
@@ -337,7 +379,12 @@ func (q *SBQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 	h := q.protect(p, q.headA, tid)
 	var elem uint64
 	var ok bool
-	for {
+	for rounds := 0; ; rounds++ {
+		if rounds > 0 {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqRetries)
+			}
+		}
 		for q.basketEmpty(p, h) {
 			nx := p.Read(h + offNext)
 			if nx == 0 {
@@ -353,6 +400,13 @@ func (q *SBQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 	q.advanceNode(p, q.headA, h)
 	q.freeNodes(p, tid)
 	q.unprotect(p, tid)
+	if r := q.rec; r != nil {
+		if ok {
+			r.Inc(obs.DeqOps)
+		} else {
+			r.Inc(obs.DeqEmpty)
+		}
+	}
 	return elem, ok
 }
 

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// HistBuckets is the bucket count of the power-of-two histograms used by
+// the observability layer (repro/internal/obs). Bucket 0 holds the value 0
+// and bucket i (i >= 1) holds values in [2^(i-1), 2^i). With 40 buckets the
+// histogram spans [0, 2^39) — about nine minutes at nanosecond resolution —
+// which comfortably covers any per-operation queue latency.
+const HistBuckets = 40
+
+// BucketOf returns the histogram bucket index for v: 0 for zero, otherwise
+// the bit length of v, clamped to the last bucket.
+func BucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketBounds returns the half-open value range [lo, hi) covered by bucket
+// i. The last bucket's hi is MaxUint64 (it absorbs all larger values).
+func BucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i <= 0:
+		return 0, 1
+	case i >= HistBuckets-1:
+		return uint64(1) << (HistBuckets - 2), math.MaxUint64
+	default:
+		return uint64(1) << (i - 1), uint64(1) << i
+	}
+}
+
+// Histogram is a fixed-shape power-of-two histogram snapshot: bucket counts
+// plus the exact count and sum of observed values. It is a plain value type
+// (no atomics); the concurrent recording front-end lives in
+// repro/internal/obs, which aggregates into this type.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Observe records v. Not safe for concurrent use; this is the aggregation
+// backend, not the lock-free front-end.
+func (h *Histogram) Observe(v uint64) {
+	h.Buckets[BucketOf(v)]++
+	h.Count++
+	h.Sum += v
+}
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Mean returns the exact mean of observed values (zero when empty).
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an estimate of the q-th quantile (0..1), interpolating
+// linearly within the containing bucket. It returns zero when empty.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo, hi := BucketBounds(i)
+			if i == HistBuckets-1 {
+				return float64(lo) // unbounded bucket: report its floor
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - seen) / float64(c)
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		seen += float64(c)
+	}
+	lo, _ := BucketBounds(HistBuckets - 1)
+	return float64(lo)
+}
+
+// String renders a compact one-line summary, with durations scaled from
+// nanoseconds (the unit every histogram in this repository observes).
+func (h Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max<=%s",
+		h.Count, fmtNS(h.Mean()), fmtNS(h.Quantile(0.5)), fmtNS(h.Quantile(0.99)), fmtNS(h.maxBound()))
+}
+
+func (h Histogram) maxBound() float64 {
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if h.Buckets[i] != 0 {
+			_, hi := BucketBounds(i)
+			return float64(hi)
+		}
+	}
+	return 0
+}
+
+func fmtNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return strings.TrimSuffix(fmt.Sprintf("%.3g", ns/1e3), ".0") + "µs"
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

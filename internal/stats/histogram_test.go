@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{math.MaxUint64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsCoverValues(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1 << 20, 1 << 38} {
+		i := BucketOf(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d in bucket %d outside bounds [%d, %d)", v, i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramMeanAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count != 1000 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if got, want := h.Mean(), 500.5; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Power-of-two buckets are coarse: the median of 1..1000 must land in
+	// the right order of magnitude, not exactly on 500.
+	if p50 := h.Quantile(0.5); p50 < 250 || p50 > 1024 {
+		t.Errorf("p50 = %v, outside the containing buckets", p50)
+	}
+	if p0 := h.Quantile(0); p0 > 2 {
+		t.Errorf("p0 = %v", p0)
+	}
+	if p100 := h.Quantile(1); p100 < 512 {
+		t.Errorf("p100 = %v", p100)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	a.Observe(100)
+	b.Observe(7)
+	a.Merge(b)
+	if a.Count != 3 || a.Sum != 112 {
+		t.Fatalf("after merge count=%d sum=%d", a.Count, a.Sum)
+	}
+}
+
+func TestHistogramStringEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.String(); got != "n=0" {
+		t.Errorf("empty String() = %q", got)
+	}
+	h.Observe(1500)
+	if got := h.String(); got == "" {
+		t.Error("non-empty String() is empty")
+	}
+}

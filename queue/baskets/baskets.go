@@ -12,7 +12,11 @@
 // deleted flag); retired records are garbage collected.
 package baskets
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 type node[T any] struct {
 	v    T
@@ -29,11 +33,16 @@ type edge[T any] struct {
 type Queue[T any] struct {
 	head atomic.Pointer[node[T]]
 	tail atomic.Pointer[node[T]]
+	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }
 
-// New returns an empty queue.
-func New[T any]() *Queue[T] {
-	q := &Queue[T]{}
+// New returns an empty queue configured by opts.
+func New[T any](opts ...Option) *Queue[T] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	q := &Queue[T]{rec: o.rec}
 	s := &node[T]{}
 	s.next.Store(&edge[T]{})
 	q.head.Store(s)
@@ -45,9 +54,17 @@ func New[T any]() *Queue[T] {
 // basket at the same predecessor: the failure itself proves the presence
 // of concurrent enqueuers, so their elements may enter in any order.
 func (q *Queue[T]) Enqueue(v T) {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
 	n := &node[T]{v: v}
 	n.next.Store(&edge[T]{})
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		tail := q.tail.Load()
 		w := tail.next.Load()
 		if w.deleted {
@@ -55,9 +72,15 @@ func (q *Queue[T]) Enqueue(v T) {
 			continue
 		}
 		if w.to == nil {
+			if r := q.rec; r != nil {
+				r.Inc(obs.CASAttempts)
+			}
 			if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
 				q.tail.CompareAndSwap(tail, n)
 				return
+			}
+			if r := q.rec; r != nil {
+				r.Inc(obs.CASFailures)
 			}
 			// Failed: a winner linked concurrently. Push into the basket
 			// between tail and its (growing) chain of concurrent nodes.
@@ -68,7 +91,13 @@ func (q *Queue[T]) Enqueue(v T) {
 				}
 				n.next.Store(&edge[T]{to: w.to})
 				if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
+					if r := q.rec; r != nil {
+						r.Inc(obs.BasketInserts)
+					}
 					return
+				}
+				if r := q.rec; r != nil {
+					r.Inc(obs.BasketInsertFails)
 				}
 			}
 		} else {
@@ -96,7 +125,12 @@ func (q *Queue[T]) fixTail(tail *node[T]) {
 // which closes head's basket — then swings head forward.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqRetries)
+			}
+		}
 		head := q.head.Load()
 		w := head.next.Load()
 		if w.deleted {
@@ -104,15 +138,27 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			continue
 		}
 		if w.to == nil {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqEmpty)
+			}
 			return zero, false
 		}
 		if q.tail.Load() == head {
 			q.tail.CompareAndSwap(head, w.to)
 		}
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASAttempts)
+		}
 		if head.next.CompareAndSwap(w, &edge[T]{to: w.to, deleted: true}) {
 			v := w.to.v
 			q.head.CompareAndSwap(head, w.to)
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqOps)
+			}
 			return v, true
+		}
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASFailures)
 		}
 	}
 }

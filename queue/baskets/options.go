@@ -1,0 +1,19 @@
+package baskets
+
+import "repro/internal/obs"
+
+// Option configures a Queue built with New.
+type Option func(*options)
+
+type options struct {
+	rec obs.Recorder
+}
+
+// WithRecorder attaches a telemetry recorder (see repro/internal/obs): the
+// queue reports operation counts, linking-CAS attempts and failures, basket
+// joins (obs.BasketInserts when a failed CAS turns into a basket
+// insertion), and retries. A nil or obs.Nop recorder disables telemetry at
+// the cost of one nil check per event site.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *options) { o.rec = obs.Normalize(r) }
+}

@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // request is a combining-list node. Ownership rotates: an operation leaves
@@ -45,16 +47,22 @@ type Queue[T any] struct {
 	// the role over.
 	combineLimit int
 
+	rec obs.Recorder // nil unless WithRecorder attached telemetry
+
 	spare sync.Pool // *request[T] spares for threads' first operations
 }
 
-// New returns an empty queue. combineLimit bounds a combiner's batch;
-// values around 2-3x the thread count work well (pass 0 for a default).
-func New[T any](combineLimit int) *Queue[T] {
-	if combineLimit <= 0 {
-		combineLimit = 64
+// New returns an empty queue configured by opts (see WithCombineLimit and
+// WithRecorder).
+func New[T any](opts ...Option) *Queue[T] {
+	o := options{combineLimit: 64}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	q := &Queue[T]{combineLimit: combineLimit}
+	if o.combineLimit <= 0 {
+		panic("ccq: combine limit must be positive")
+	}
+	q := &Queue[T]{combineLimit: o.combineLimit, rec: o.rec}
 	dummy := &request[T]{} // wait==0: first arrival combines immediately
 	q.tail.Store(dummy)
 	s := &snode[T]{}
@@ -128,11 +136,23 @@ func (q *Queue[T]) applySequential(r *request[T]) {
 }
 
 // Enqueue appends v through the combiner.
-func (q *Queue[T]) Enqueue(v T) { q.apply(true, v) }
+func (q *Queue[T]) Enqueue(v T) {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
+	q.apply(true, v)
+}
 
 // Dequeue removes the oldest element through the combiner.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	v, ok := q.apply(false, zero)
+	if r := q.rec; r != nil {
+		if ok {
+			r.Inc(obs.DeqOps)
+		} else {
+			r.Inc(obs.DeqEmpty)
+		}
+	}
 	return v, ok
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func factory() queuetest.Factory {
-	return queuetest.Shared(func(int) queue.Queue[uint64] { return ccq.New[uint64](0) })
+	return queuetest.Shared(func(int) queue.Queue[uint64] { return ccq.New[uint64]() })
 }
 
 func TestConformance(t *testing.T) {
@@ -19,7 +19,7 @@ func TestConformance(t *testing.T) {
 
 func TestCombinerHandoff(t *testing.T) {
 	// A tiny combine limit forces frequent combiner handoffs.
-	q := ccq.New[int](1)
+	q := ccq.New[int](ccq.WithCombineLimit(1))
 	const writers = 8
 	const per = 300
 	var wg sync.WaitGroup
@@ -53,7 +53,7 @@ func TestCombinerHandoff(t *testing.T) {
 }
 
 func TestEmptyDequeue(t *testing.T) {
-	q := ccq.New[int](0)
+	q := ccq.New[int]()
 	if _, ok := q.Dequeue(); ok {
 		t.Fatal("fresh queue not empty")
 	}

@@ -1,0 +1,27 @@
+package ccq
+
+import "repro/internal/obs"
+
+// Option configures a Queue built with New.
+type Option func(*options)
+
+type options struct {
+	combineLimit int
+	rec          obs.Recorder
+}
+
+// WithCombineLimit bounds the batch one combiner serves before handing the
+// role over. Values around 2-3x the thread count work well; the default is
+// 64. n must be positive.
+func WithCombineLimit(n int) Option {
+	return func(o *options) { o.combineLimit = n }
+}
+
+// WithRecorder attaches a telemetry recorder (see repro/internal/obs): the
+// queue reports operation counts. A combining queue has no contended CAS on
+// its operation path — each operation is one SWAP — so no CAS counters are
+// emitted. A nil or obs.Nop recorder disables telemetry at the cost of one
+// nil check per event site.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *options) { o.rec = obs.Normalize(r) }
+}

@@ -11,7 +11,11 @@
 // DESIGN.md for the substitution rationale.
 package faaq
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // SegSize is the number of cells per segment.
 const SegSize = 1024
@@ -43,11 +47,16 @@ type Queue[T any] struct {
 	// lag safely because segments are found by walking next pointers.
 	enqSeg atomic.Pointer[segment[T]]
 	deqSeg atomic.Pointer[segment[T]]
+	rec    obs.Recorder // nil unless WithRecorder attached telemetry
 }
 
-// New returns an empty queue.
-func New[T any]() *Queue[T] {
-	q := &Queue[T]{}
+// New returns an empty queue configured by opts.
+func New[T any](opts ...Option) *Queue[T] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	q := &Queue[T]{rec: o.rec}
 	s := &segment[T]{}
 	q.enqSeg.Store(s)
 	q.deqSeg.Store(s)
@@ -87,7 +96,15 @@ func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx u
 // Enqueue claims a cell with one FAA and publishes v; if a fast dequeuer
 // already poisoned the cell, it claims the next one.
 func (q *Queue[T]) Enqueue(v T) {
-	for {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		seg := q.enqSeg.Load() // snapshot before the claim; see findCell
 		idx := q.enqIdx.Add(1) - 1
 		c := findCell(&q.enqSeg, seg, idx)
@@ -103,14 +120,25 @@ func (q *Queue[T]) Enqueue(v T) {
 // whose enqueuer has not arrived.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqRetries)
+			}
+		}
 		if q.deqIdx.Load() >= q.enqIdx.Load() {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqEmpty)
+			}
 			return zero, false
 		}
 		seg := q.deqSeg.Load() // snapshot before the claim; see findCell
 		idx := q.deqIdx.Add(1) - 1
 		c := findCell(&q.deqSeg, seg, idx)
 		if c.state.Swap(cellTaken) == cellFull {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqOps)
+			}
 			return c.v, true
 		}
 		// The enqueuer of this cell has not arrived; it will see the

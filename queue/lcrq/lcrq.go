@@ -12,9 +12,13 @@
 // tagged-word algorithms into Go used throughout this repository.
 package lcrq
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// RingSize is the number of cells per CRQ.
+	"repro/internal/obs"
+)
+
+// RingSize is the default number of cells per CRQ (see WithRingSize).
 const RingSize = 256
 
 // slot is a cell's immutable state record.
@@ -38,11 +42,13 @@ type crq[T any] struct {
 	tail  atomic.Uint64 // high bit: closed
 	_     [56]byte
 	next  atomic.Pointer[crq[T]]
-	cells [RingSize]cell[T]
+	size  uint64
+	rec   obs.Recorder
+	cells []cell[T]
 }
 
-func newCRQ[T any](startIdx uint64) *crq[T] {
-	q := &crq[T]{}
+func newCRQ[T any](startIdx, size uint64, rec obs.Recorder) *crq[T] {
+	q := &crq[T]{size: size, rec: rec, cells: make([]cell[T], size)}
 	q.head.Store(startIdx)
 	q.tail.Store(startIdx)
 	for i := range q.cells {
@@ -54,21 +60,27 @@ func newCRQ[T any](startIdx uint64) *crq[T] {
 
 // enqueue attempts to place v; it reports false if the ring closed.
 func (q *crq[T]) enqueue(v *T) bool {
-	for tries := 0; ; tries++ {
+	for tries := uint64(0); ; tries++ {
 		t := q.tail.Add(1) - 1
 		if t&closedBit != 0 {
 			return false
 		}
-		c := &q.cells[t%RingSize]
+		c := &q.cells[t%q.size]
 		s := c.s.Load()
 		if s.val == nil && s.idx <= t && (s.safe || q.head.Load() <= t) {
+			if r := q.rec; r != nil {
+				r.Inc(obs.CASAttempts)
+			}
 			if c.s.CompareAndSwap(s, &slot[T]{idx: t, val: v, safe: true}) {
 				return true
+			}
+			if r := q.rec; r != nil {
+				r.Inc(obs.CASFailures)
 			}
 		}
 		// Starvation or a full ring: close and let the LCRQ append a
 		// fresh ring.
-		if t-q.head.Load() >= RingSize || tries > 4*RingSize {
+		if t-q.head.Load() >= q.size || tries > 4*q.size {
 			q.close()
 			return false
 		}
@@ -92,12 +104,12 @@ func (q *crq[T]) close() {
 func (q *crq[T]) dequeue() (*T, bool) {
 	for {
 		h := q.head.Add(1) - 1
-		c := &q.cells[h%RingSize]
+		c := &q.cells[h%q.size]
 		for {
 			s := c.s.Load()
 			if s.val != nil && s.idx == h {
-				// Take the value; re-arm the cell for index h+RingSize.
-				if c.s.CompareAndSwap(s, &slot[T]{idx: h + RingSize, safe: s.safe}) {
+				// Take the value; re-arm the cell for index h+size.
+				if c.s.CompareAndSwap(s, &slot[T]{idx: h + q.size, safe: s.safe}) {
 					return s.val, true
 				}
 				continue
@@ -105,10 +117,10 @@ func (q *crq[T]) dequeue() (*T, bool) {
 			// The cell's enqueuer has not arrived (or belongs to an older
 			// epoch): mark the cell unsafe for index h so a late enqueuer
 			// cannot publish into a slot we have logically passed.
-			if s.idx <= h+RingSize {
+			if s.idx <= h+q.size {
 				var next *slot[T]
 				if s.val == nil {
-					next = &slot[T]{idx: h + RingSize, safe: s.safe}
+					next = &slot[T]{idx: h + q.size, safe: s.safe}
 				} else {
 					next = &slot[T]{idx: s.idx, val: s.val, safe: false}
 				}
@@ -145,12 +157,21 @@ func (q *crq[T]) fixState() {
 type Queue[T any] struct {
 	head atomic.Pointer[crq[T]]
 	tail atomic.Pointer[crq[T]]
+	size uint64
+	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }
 
-// New returns an empty queue.
-func New[T any]() *Queue[T] {
-	q := &Queue[T]{}
-	r := newCRQ[T](0)
+// New returns an empty queue configured by opts.
+func New[T any](opts ...Option) *Queue[T] {
+	o := options{ringSize: RingSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ringSize <= 0 {
+		panic("lcrq: ring size must be positive")
+	}
+	q := &Queue[T]{size: uint64(o.ringSize), rec: o.rec}
+	r := newCRQ[T](0, q.size, q.rec)
 	q.head.Store(r)
 	q.tail.Store(r)
 	return q
@@ -158,7 +179,15 @@ func New[T any]() *Queue[T] {
 
 // Enqueue appends v.
 func (q *Queue[T]) Enqueue(v T) {
-	for {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		r := q.tail.Load()
 		if next := r.next.Load(); next != nil {
 			q.tail.CompareAndSwap(r, next)
@@ -168,7 +197,7 @@ func (q *Queue[T]) Enqueue(v T) {
 			return
 		}
 		// Ring closed: append a successor and retry there.
-		nr := newCRQ[T](0)
+		nr := newCRQ[T](0, q.size, q.rec)
 		nr.enqueue(&v)
 		if r.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(r, nr)
@@ -180,19 +209,33 @@ func (q *Queue[T]) Enqueue(v T) {
 // Dequeue removes the oldest element.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqRetries)
+			}
+		}
 		r := q.head.Load()
 		if v, ok := r.dequeue(); ok {
+			if rec := q.rec; rec != nil {
+				rec.Inc(obs.DeqOps)
+			}
 			return *v, true
 		}
 		// Ring drained. If it has no successor the queue is empty;
 		// otherwise retire it and move on.
 		next := r.next.Load()
 		if next == nil {
+			if rec := q.rec; rec != nil {
+				rec.Inc(obs.DeqEmpty)
+			}
 			return zero, false
 		}
 		// Re-check after observing next: an enqueue may have slipped in.
 		if v, ok := r.dequeue(); ok {
+			if rec := q.rec; rec != nil {
+				rec.Inc(obs.DeqOps)
+			}
 			return *v, true
 		}
 		q.head.CompareAndSwap(r, next)

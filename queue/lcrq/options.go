@@ -1,0 +1,26 @@
+package lcrq
+
+import "repro/internal/obs"
+
+// Option configures a Queue built with New.
+type Option func(*options)
+
+type options struct {
+	ringSize int
+	rec      obs.Recorder
+}
+
+// WithRingSize sets the number of cells per CRQ (default RingSize). Larger
+// rings amortize ring turnover; smaller rings bound the memory a drained
+// ring pins. n must be positive.
+func WithRingSize(n int) Option {
+	return func(o *options) { o.ringSize = n }
+}
+
+// WithRecorder attaches a telemetry recorder (see repro/internal/obs): the
+// queue reports operation counts, per-slot CAS attempts and failures, and
+// ring turnover retries. A nil or obs.Nop recorder disables telemetry at
+// the cost of one nil check per event site.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *options) { o.rec = obs.Normalize(r) }
+}

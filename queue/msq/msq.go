@@ -4,7 +4,11 @@
 // non-scalable behavior the paper's introduction starts from.
 package msq
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 type node[T any] struct {
 	v    T
@@ -15,11 +19,16 @@ type node[T any] struct {
 type Queue[T any] struct {
 	head atomic.Pointer[node[T]]
 	tail atomic.Pointer[node[T]]
+	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }
 
-// New returns an empty queue.
-func New[T any]() *Queue[T] {
-	q := &Queue[T]{}
+// New returns an empty queue configured by opts.
+func New[T any](opts ...Option) *Queue[T] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	q := &Queue[T]{rec: o.rec}
 	s := &node[T]{}
 	q.head.Store(s)
 	q.tail.Store(s)
@@ -28,8 +37,16 @@ func New[T any]() *Queue[T] {
 
 // Enqueue appends v, retrying its linking CAS until it wins.
 func (q *Queue[T]) Enqueue(v T) {
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
 	n := &node[T]{v: v}
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		tail := q.tail.Load()
 		next := tail.next.Load()
 		if tail != q.tail.Load() {
@@ -39,9 +56,15 @@ func (q *Queue[T]) Enqueue(v T) {
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASAttempts)
+		}
 		if tail.next.CompareAndSwap(nil, n) {
 			q.tail.CompareAndSwap(tail, n)
 			return
+		}
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASFailures)
 		}
 	}
 }
@@ -49,7 +72,12 @@ func (q *Queue[T]) Enqueue(v T) {
 // Dequeue removes the oldest element.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
-	for {
+	for first := true; ; first = false {
+		if !first {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqRetries)
+			}
+		}
 		head := q.head.Load()
 		tail := q.tail.Load()
 		next := head.next.Load()
@@ -57,6 +85,9 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			continue
 		}
 		if next == nil {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqEmpty)
+			}
 			return zero, false
 		}
 		if head == tail {
@@ -64,8 +95,17 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			continue
 		}
 		v := next.v
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASAttempts)
+		}
 		if q.head.CompareAndSwap(head, next) {
+			if r := q.rec; r != nil {
+				r.Inc(obs.DeqOps)
+			}
 			return v, true
+		}
+		if r := q.rec; r != nil {
+			r.Inc(obs.CASFailures)
 		}
 	}
 }

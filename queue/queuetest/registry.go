@@ -1,0 +1,15 @@
+package queuetest
+
+import (
+	"repro/queue"
+	"repro/queue/registry"
+)
+
+// FromRegistry adapts a registry builder into a Factory, so the whole
+// conformance suite can be table-driven over registry.Names().
+func FromRegistry(b registry.Builder) Factory {
+	return func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+		inst := b(registry.Config{Producers: producers})
+		return inst.Producer, inst.Consumer
+	}
+}

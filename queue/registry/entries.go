@@ -1,0 +1,98 @@
+package registry
+
+import (
+	"sync"
+	"time"
+
+	"repro/basket"
+	"repro/queue"
+	"repro/queue/baskets"
+	"repro/queue/ccq"
+	"repro/queue/faaq"
+	"repro/queue/lcrq"
+	"repro/queue/msq"
+	"repro/queue/sbq"
+)
+
+// DelayedCASDelay is the try_append delay of the SBQ-DCAS entry, the
+// paper's tuned ~270ns (§6.1).
+const DelayedCASDelay = 270 * time.Nanosecond
+
+func init() {
+	Register("MS-Queue", func(cfg Config) Instance {
+		return Shared(msq.New[uint64](msq.WithRecorder(cfg.Recorder)))
+	})
+	Register("BQ-Original", func(cfg Config) Instance {
+		return Shared(baskets.New[uint64](baskets.WithRecorder(cfg.Recorder)))
+	})
+	Register("FAA-Queue", func(cfg Config) Instance {
+		return Shared(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder)))
+	})
+	Register("LCRQ", func(cfg Config) Instance {
+		return Shared(lcrq.New[uint64](lcrq.WithRecorder(cfg.Recorder)))
+	})
+	Register("CC-Queue", func(cfg Config) Instance {
+		return Shared(ccq.New[uint64](ccq.WithRecorder(cfg.Recorder)))
+	})
+	Register("SBQ-CAS", sbqEntry(func(int, Config) sbq.Option {
+		return sbq.WithAppendDelay(0)
+	}))
+	Register("SBQ-DCAS", sbqEntry(func(int, Config) sbq.Option {
+		return sbq.WithAppendDelay(DelayedCASDelay)
+	}))
+	// SBQ-PB: the §8 partitioned-basket extension, extraction split across
+	// producers/4 counters.
+	Register("SBQ-PB", sbqEntry(func(producers int, cfg Config) sbq.Option {
+		return sbq.WithBasket(func() basket.Basket[uint64] {
+			return basket.New[uint64](
+				basket.WithCapacity(producers),
+				basket.WithPartitions(producers/4),
+				basket.WithRecorder(cfg.Recorder),
+			)
+		})
+	}))
+}
+
+// sbqEntry builds an SBQ instance: producer views are lazily-issued handles
+// (one basket cell each), the consumer view wraps Queue.Dequeue. extra
+// options receive the resolved producer count and the build Config.
+func sbqEntry(extra ...func(producers int, cfg Config) sbq.Option) Builder {
+	return func(cfg Config) Instance {
+		producers := cfg.Producers
+		if producers < 1 {
+			producers = 1
+		}
+		opts := []sbq.Option{
+			sbq.WithEnqueuers(producers),
+			sbq.WithRecorder(cfg.Recorder),
+		}
+		for _, e := range extra {
+			opts = append(opts, e(producers, cfg))
+		}
+		return sbqInstance(sbq.New[uint64](opts...))
+	}
+}
+
+func sbqInstance(q *sbq.Queue[uint64]) Instance {
+	var hmu sync.Mutex
+	handles := map[int]queue.Queue[uint64]{}
+	return Instance{
+		Producer: func(i int) queue.Queue[uint64] {
+			hmu.Lock()
+			defer hmu.Unlock()
+			if h, ok := handles[i]; ok {
+				return h
+			}
+			h := q.NewHandle()
+			handles[i] = h
+			return h
+		},
+		Consumer: func(int) queue.Queue[uint64] { return sbqConsumer{q} },
+	}
+}
+
+// sbqConsumer adapts the dequeue side of an SBQ to queue.Queue.
+type sbqConsumer struct{ q *sbq.Queue[uint64] }
+
+func (c sbqConsumer) Enqueue(uint64)          { panic("registry: SBQ consumer view cannot enqueue") }
+func (c sbqConsumer) Dequeue() (uint64, bool) { return c.q.Dequeue() }

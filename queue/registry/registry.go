@@ -1,0 +1,95 @@
+// Package registry names the repository's native queue implementations and
+// builds them uniformly, so benchmarks, tools, and conformance tests share
+// one queue-selection table instead of each keeping its own switch.
+//
+// Entries are uint64-element queues (the element type every harness in this
+// repository drives). Each builder receives a Config — producer count and
+// an optional telemetry recorder — and returns an Instance handing out
+// per-producer and per-consumer views: implementations whose producers need
+// private state (SBQ handles own a basket cell) return distinct views per
+// producer index, the rest return the shared queue.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/queue"
+)
+
+// Config parameterizes a build.
+type Config struct {
+	// Producers is the number of distinct producer views the caller will
+	// request (SBQ sizes baskets from it). Zero means one.
+	Producers int
+	// Recorder, when non-nil, is threaded into the queue's telemetry hooks
+	// (see repro/internal/obs).
+	Recorder obs.Recorder
+}
+
+// Instance is a built queue exposed as per-role views. Producer(i) must be
+// called with 0 <= i < Config.Producers and each returned view used by at
+// most one goroutine at a time; Consumer views are safe to share.
+type Instance struct {
+	Producer func(i int) queue.Queue[uint64]
+	Consumer func(i int) queue.Queue[uint64]
+}
+
+// Builder constructs a queue for one registry entry.
+type Builder func(cfg Config) Instance
+
+var (
+	mu       sync.RWMutex
+	builders = map[string]Builder{}
+)
+
+// Register adds a named builder. Registering a duplicate name panics: the
+// registry is assembled from package init functions where a collision is a
+// programming error.
+func Register(name string, b Builder) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic("registry: duplicate queue name " + name)
+	}
+	builders[name] = b
+}
+
+// Names returns the registered names, sorted for stable iteration order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the builder for name.
+func Lookup(name string) (Builder, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	b, ok := builders[name]
+	return b, ok
+}
+
+// Build constructs the named queue, erroring on unknown names (with the
+// known names in the message, since the caller is usually a CLI flag).
+func Build(name string, cfg Config) (Instance, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return Instance{}, fmt.Errorf("registry: unknown queue %q (have %v)", name, Names())
+	}
+	return b(cfg), nil
+}
+
+// Shared wraps a single thread-safe queue as an Instance: every view is the
+// queue itself.
+func Shared(q queue.Queue[uint64]) Instance {
+	view := func(int) queue.Queue[uint64] { return q }
+	return Instance{Producer: view, Consumer: view}
+}

@@ -1,0 +1,84 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/queue/queuetest"
+	"repro/queue/registry"
+)
+
+// TestConformance runs the conformance suite over every registered queue:
+// one table, no per-implementation switch. Per-package tests keep the
+// heavier RunAll shapes; this table uses a reduced load so the whole
+// registry stays cheap under go test ./...
+func TestConformance(t *testing.T) {
+	names := registry.Names()
+	if len(names) < 6 {
+		t.Fatalf("registry unexpectedly small: %v", names)
+	}
+	for _, name := range names {
+		b, ok := registry.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed after Names listed it", name)
+		}
+		f := queuetest.FromRegistry(b)
+		t.Run(name, func(t *testing.T) {
+			queuetest.CheckSequential(t, f)
+			per := 500
+			if testing.Short() {
+				per = 100
+			}
+			queuetest.CheckConcurrent(t, f, 4, 4, per)
+			queuetest.CheckDrainMultiset(t, f, 8, per)
+		})
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := registry.Build("no-such-queue", registry.Config{}); err == nil {
+		t.Fatal("Build on an unknown name did not error")
+	}
+}
+
+// TestRecorderThreading verifies that a recorder handed to Build reaches
+// the queue's telemetry hooks for every entry.
+func TestRecorderThreading(t *testing.T) {
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			st := obs.New()
+			inst, err := registry.Build(name, registry.Config{Producers: 2, Recorder: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p0, p1 := inst.Producer(0), inst.Producer(1)
+			c := inst.Consumer(0)
+			const per = 200
+			for i := 0; i < per; i++ {
+				p0.Enqueue(uint64(1)<<32 | uint64(i))
+				p1.Enqueue(uint64(2)<<32 | uint64(i))
+			}
+			got := 0
+			for {
+				if _, ok := c.Dequeue(); !ok {
+					break
+				}
+				got++
+			}
+			if got != 2*per {
+				t.Fatalf("drained %d of %d", got, 2*per)
+			}
+			snap := st.Snapshot()
+			if snap.Counter(obs.EnqOps) != 2*per {
+				t.Errorf("EnqOps = %d, want %d", snap.Counter(obs.EnqOps), 2*per)
+			}
+			if snap.Counter(obs.DeqOps) != 2*per {
+				t.Errorf("DeqOps = %d, want %d", snap.Counter(obs.DeqOps), 2*per)
+			}
+			if snap.Counter(obs.DeqEmpty) == 0 {
+				t.Error("DeqEmpty never incremented on the draining dequeue")
+			}
+		})
+	}
+}

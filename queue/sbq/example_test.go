@@ -12,7 +12,7 @@ import (
 // The basic pattern: one handle per producer goroutine, shared dequeues.
 func Example() {
 	const producers = 2
-	q := sbq.New[int](producers)
+	q := sbq.New[int](sbq.WithEnqueuers(producers))
 
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -43,10 +43,13 @@ func Example() {
 
 // Plugging a custom basket: the partitioned basket trades strict
 // single-counter extraction for lower dequeue contention.
-func ExampleNewWithOptions() {
-	q := sbq.NewWithOptions[string](4, 0, func() basket.Basket[string] {
-		return basket.NewPartitioned[string](4, 4, 2)
-	})
+func ExampleWithBasket() {
+	q := sbq.New[string](
+		sbq.WithEnqueuers(4),
+		sbq.WithBasket(func() basket.Basket[string] {
+			return basket.New[string](basket.WithCapacity(4), basket.WithPartitions(2))
+		}),
+	)
 	h := q.NewHandle()
 	h.Enqueue("a")
 	h.Enqueue("b")

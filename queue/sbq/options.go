@@ -1,0 +1,88 @@
+package sbq
+
+import (
+	"runtime"
+	"time"
+
+	"repro/basket"
+	"repro/internal/obs"
+)
+
+// Option configures a Queue built with New. The element type appears only
+// in WithBasket; every other option is type-free, so call sites read:
+//
+//	q := sbq.New[string](
+//		sbq.WithEnqueuers(8),
+//		sbq.WithAppendDelay(270*time.Nanosecond),
+//		sbq.WithRecorder(rec),
+//	)
+type Option func(*options)
+
+type options struct {
+	enqueuers   int
+	appendDelay time.Duration
+	rec         obs.Recorder
+	// newBasket holds a func() basket.Basket[T]; it is typed any because
+	// Option is not generic (Go cannot infer a generic option's type
+	// parameter from a value-free call like WithEnqueuers(8)). New[T]
+	// checks the element type and panics on mismatch.
+	newBasket any
+}
+
+// WithEnqueuers sets the number of producer handles the queue will issue
+// (each producer goroutine needs its own Handle). Baskets are sized from
+// it. The default is GOMAXPROCS; explicit non-positive values panic in New.
+func WithEnqueuers(n int) Option {
+	return func(o *options) { o.enqueuers = n }
+}
+
+// WithAppendDelay makes try_append busy-wait for d before its CAS — the
+// paper's SBQ-CAS configuration (§6.1), which paces contending enqueuers so
+// one CAS wins while the others join its basket. The paper tunes d ≈ 270ns.
+//
+// The wait is a calibrated spin, not a clock poll: at first use the package
+// times a fixed spin loop against the monotonic clock (taking the fastest
+// of several probes so preemption cannot inflate the estimate) and converts
+// d to loop iterations. The delay loop itself therefore never reads the
+// wall clock — re-reading it each iteration (the obvious implementation)
+// costs tens of nanoseconds per read and distorts a ~270ns delay beyond
+// recognition. Zero or negative d selects a plain immediate CAS.
+func WithAppendDelay(d time.Duration) Option {
+	return func(o *options) { o.appendDelay = d }
+}
+
+// WithBasket overrides the basket constructor (the default is the scalable
+// basket sized to the enqueuer count, wired to the queue's recorder). The
+// basket must satisfy the §5.3.2 property: once indicated empty, every
+// future Extract fails.
+func WithBasket[T any](mk func() basket.Basket[T]) Option {
+	return func(o *options) { o.newBasket = mk }
+}
+
+// WithRecorder attaches a telemetry recorder (see repro/internal/obs): the
+// queue reports operation counts, try_append CAS attempts and failures, and
+// retries; the default basket reports insert/extract outcomes into the same
+// recorder. A nil or obs.Nop recorder disables telemetry — the disabled
+// path costs one nil check per event site.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *options) { o.rec = obs.Normalize(r) }
+}
+
+func buildOptions[T any](opts []Option) options {
+	o := options{enqueuers: -1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.enqueuers == -1 {
+		o.enqueuers = runtime.GOMAXPROCS(0)
+	}
+	if o.enqueuers <= 0 {
+		panic("sbq: enqueuers must be positive")
+	}
+	if o.newBasket != nil {
+		if _, ok := o.newBasket.(func() basket.Basket[T]); !ok {
+			panic("sbq: WithBasket element type does not match the queue's")
+		}
+	}
+	return o
+}

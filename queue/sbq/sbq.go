@@ -17,6 +17,14 @@
 // node); consumers may share one or use handles too. Memory reclamation is
 // delegated to Go's garbage collector; the paper's epoch scheme is
 // reproduced on the simulator where memory is manual.
+//
+// Queues are built with functional options:
+//
+//	q := sbq.New[uint64](
+//		sbq.WithEnqueuers(8),
+//		sbq.WithAppendDelay(270*time.Nanosecond),
+//		sbq.WithRecorder(rec),
+//	)
 package sbq
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"repro/basket"
+	"repro/internal/obs"
 )
 
 // node is a queue node: a basket plus a link and a position index.
@@ -34,7 +43,7 @@ type node[T any] struct {
 }
 
 // appendFn attempts CAS(next, nil, n) and reports success. PlainCAS and
-// delayed-CAS strategies are selected through the constructors.
+// delayed-CAS strategies are selected through WithAppendDelay.
 type appendFn[T any] func(next *atomic.Pointer[node[T]], n *node[T]) bool
 
 // Queue is the scalable baskets queue.
@@ -45,41 +54,36 @@ type Queue[T any] struct {
 	enqueuers int
 	tryCAS    appendFn[T]
 	newBasket func() basket.Basket[T]
+	rec       obs.Recorder // nil unless WithRecorder attached telemetry
 
 	producers atomic.Int64 // handles issued
 }
 
-// New returns a queue for the given number of producer handles using the
-// scalable basket and a plain-CAS try_append.
-func New[T any](enqueuers int) *Queue[T] {
-	return NewWithOptions[T](enqueuers, 0, nil)
-}
-
-// NewDelayedCAS returns a queue whose try_append delays before its CAS,
-// the paper's SBQ-CAS configuration.
-func NewDelayedCAS[T any](enqueuers int, delay time.Duration) *Queue[T] {
-	return NewWithOptions[T](enqueuers, delay, nil)
-}
-
-// NewWithOptions returns a queue with full control: producer-handle count,
-// try_append delay (zero for plain CAS), and an optional basket
-// constructor (nil selects the scalable basket).
-func NewWithOptions[T any](enqueuers int, appendDelay time.Duration, newBasket func() basket.Basket[T]) *Queue[T] {
-	if enqueuers <= 0 {
-		panic("sbq: enqueuers must be positive")
+// New returns a queue configured by opts. With no options it sizes itself
+// for GOMAXPROCS producer handles, uses the scalable basket, a plain-CAS
+// try_append, and no telemetry.
+func New[T any](opts ...Option) *Queue[T] {
+	o := buildOptions[T](opts)
+	q := &Queue[T]{enqueuers: o.enqueuers, rec: o.rec}
+	if o.newBasket != nil {
+		q.newBasket = o.newBasket.(func() basket.Basket[T])
+	} else {
+		enqueuers, rec := o.enqueuers, o.rec
+		q.newBasket = func() basket.Basket[T] {
+			return basket.New[T](
+				basket.WithCapacity(enqueuers),
+				basket.WithBound(enqueuers),
+				basket.WithRecorder(rec),
+			)
+		}
 	}
-	q := &Queue[T]{enqueuers: enqueuers}
-	if newBasket == nil {
-		newBasket = func() basket.Basket[T] { return basket.NewScalable[T](enqueuers, enqueuers) }
-	}
-	q.newBasket = newBasket
-	if appendDelay > 0 {
+	if o.appendDelay > 0 {
+		// Calibrate once at construction so the hot path runs a fixed
+		// iteration count (see spin.go for why the loop never reads the
+		// clock).
+		iters := spinItersFor(o.appendDelay)
 		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
-			// Busy-wait: time.Sleep cannot resolve sub-microsecond delays
-			// (the paper's delay is ~270ns), and yielding would defeat
-			// the point of pacing the CAS.
-			for start := time.Now(); time.Since(start) < appendDelay; {
-			}
+			spinIters(iters)
 			return next.CompareAndSwap(nil, n)
 		}
 	} else {
@@ -87,7 +91,7 @@ func NewWithOptions[T any](enqueuers int, appendDelay time.Duration, newBasket f
 			return next.CompareAndSwap(nil, n)
 		}
 	}
-	sentinel := &node[T]{basket: newBasket()}
+	sentinel := &node[T]{basket: q.newBasket()}
 	// The sentinel's basket must read as exhausted.
 	for {
 		if _, ok := sentinel.basket.Extract(); !ok {
@@ -97,6 +101,27 @@ func NewWithOptions[T any](enqueuers int, appendDelay time.Duration, newBasket f
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
 	return q
+}
+
+// NewDelayedCAS returns a queue whose try_append delays before its CAS,
+// the paper's SBQ-CAS configuration.
+//
+// Deprecated: use New with WithEnqueuers and WithAppendDelay.
+func NewDelayedCAS[T any](enqueuers int, delay time.Duration) *Queue[T] {
+	return New[T](WithEnqueuers(enqueuers), WithAppendDelay(delay))
+}
+
+// NewWithOptions returns a queue with producer-handle count, try_append
+// delay (zero for plain CAS), and an optional basket constructor (nil
+// selects the scalable basket).
+//
+// Deprecated: use New with WithEnqueuers, WithAppendDelay and WithBasket.
+func NewWithOptions[T any](enqueuers int, appendDelay time.Duration, newBasket func() basket.Basket[T]) *Queue[T] {
+	opts := []Option{WithEnqueuers(enqueuers), WithAppendDelay(appendDelay)}
+	if newBasket != nil {
+		opts = append(opts, WithBasket(newBasket))
+	}
+	return New[T](opts...)
 }
 
 // Handle is a per-goroutine view of the queue. Producer handles own a
@@ -132,8 +157,14 @@ func (q *Queue[T]) tryAppend(tail, n *node[T]) appendStatus {
 	if tail.next.Load() != nil {
 		return appendBadTail
 	}
+	if r := q.rec; r != nil {
+		r.Inc(obs.CASAttempts)
+	}
 	if q.tryCAS(&tail.next, n) {
 		return appendSuccess
+	}
+	if r := q.rec; r != nil {
+		r.Inc(obs.CASFailures)
 	}
 	return appendFailure
 }
@@ -156,6 +187,9 @@ func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T]) {
 // element into the basket of the node that won.
 func (h *Handle[T]) Enqueue(v T) {
 	q := h.q
+	if r := q.rec; r != nil {
+		r.Inc(obs.EnqOps)
+	}
 	t := q.tail.Load()
 	n := h.reserved
 	if n == nil {
@@ -164,7 +198,12 @@ func (h *Handle[T]) Enqueue(v T) {
 		n.basket.ResetOwn(h.id) // undo the previous insertion (§5.2.2)
 	}
 	n.basket.Insert(h.id, v)
-	for {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
 		n.index = t.index + 1
 		switch q.tryAppend(t, n) {
 		case appendSuccess:
@@ -202,7 +241,9 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 	h := q.head.Load()
 	var v T
 	var ok bool
+	rounds := 0
 	for {
+		rounds++
 		for h.basket.Empty() {
 			nx := h.next.Load()
 			if nx == nil {
@@ -216,6 +257,16 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 	}
 	advanceNode(&q.head, h)
+	if r := q.rec; r != nil {
+		if ok {
+			r.Inc(obs.DeqOps)
+		} else {
+			r.Inc(obs.DeqEmpty)
+		}
+		if rounds > 1 {
+			r.Add(obs.DeqRetries, uint64(rounds-1))
+		}
+	}
 	if !ok {
 		return zero, false
 	}

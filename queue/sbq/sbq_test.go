@@ -39,7 +39,9 @@ func (v queueView[T]) Dequeue() (T, bool) {
 }
 
 func TestConformancePlainCAS(t *testing.T) {
-	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] { return sbq.New[uint64](e) }))
+	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] {
+		return sbq.New[uint64](sbq.WithEnqueuers(e))
+	}))
 }
 
 func TestConformanceDelayedCAS(t *testing.T) {
@@ -70,7 +72,7 @@ func TestConformancePartitionedBasket(t *testing.T) {
 }
 
 func TestSequentialFIFO(t *testing.T) {
-	q := sbq.New[int](1)
+	q := sbq.New[int](sbq.WithEnqueuers(1))
 	h := q.NewHandle()
 	for i := 0; i < 500; i++ {
 		h.Enqueue(i)
@@ -87,7 +89,7 @@ func TestSequentialFIFO(t *testing.T) {
 }
 
 func TestHandleLimit(t *testing.T) {
-	q := sbq.New[int](1)
+	q := sbq.New[int](sbq.WithEnqueuers(1))
 	q.NewHandle()
 	defer func() {
 		if recover() == nil {
@@ -103,13 +105,24 @@ func TestBadEnqueuersPanics(t *testing.T) {
 			t.Error("zero enqueuers did not panic")
 		}
 	}()
-	sbq.New[int](0)
+	sbq.New[int](sbq.WithEnqueuers(0))
+}
+
+func TestBadBasketTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched WithBasket element type did not panic")
+		}
+	}()
+	sbq.New[int](sbq.WithBasket(func() basket.Basket[string] {
+		return basket.NewClosingStack[string]()
+	}))
 }
 
 func TestNodeReuseKeepsElements(t *testing.T) {
 	// Hammer one producer against one consumer so failed appends and node
 	// reuse happen, and verify no element is lost or duplicated.
-	q := sbq.New[uint64](2)
+	q := sbq.New[uint64](sbq.WithEnqueuers(2))
 	h1, h2 := q.NewHandle(), q.NewHandle()
 	const per = 5000
 	var wg sync.WaitGroup

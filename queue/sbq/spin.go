@@ -1,0 +1,65 @@
+package sbq
+
+import (
+	"sync"
+	"time"
+)
+
+// The delayed-CAS try_append needs sub-microsecond busy-waits. time.Sleep
+// cannot resolve them and polling time.Now/time.Since in the wait loop
+// spends more time reading the clock than waiting (a clock read costs tens
+// of nanoseconds — the paper's whole delay is ~270ns). Instead the package
+// calibrates a pure spin loop against the monotonic clock once, then waits
+// by iteration count.
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink uint64
+
+// spinIters runs n dependent iterations. noinline keeps the loop's cost
+// stable between the calibration probe and real waits.
+//
+//go:noinline
+func spinIters(n uint64) {
+	s := spinSink
+	for i := uint64(0); i < n; i++ {
+		s += i ^ (s >> 1)
+	}
+	spinSink = s
+}
+
+var spinCal struct {
+	once  sync.Once
+	perNS float64 // spin iterations per nanosecond
+}
+
+// calibrateSpin measures spinIters against the monotonic clock. It takes
+// the fastest of several probes: preemption or a frequency ramp can only
+// make a probe slower, never faster, so the minimum is the closest estimate
+// of the loop's steady-state rate.
+func calibrateSpin() float64 {
+	spinCal.once.Do(func() {
+		const probe = 1 << 17
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 5; trial++ {
+			start := time.Now()
+			spinIters(probe)
+			if el := time.Since(start); el > 0 && el < best {
+				best = el
+			}
+		}
+		spinCal.perNS = float64(probe) / float64(best.Nanoseconds())
+	})
+	return spinCal.perNS
+}
+
+// spinItersFor converts a duration to calibrated loop iterations.
+func spinItersFor(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	n := float64(d.Nanoseconds()) * calibrateSpin()
+	if n < 1 {
+		return 1
+	}
+	return uint64(n)
+}
