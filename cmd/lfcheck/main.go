@@ -1,0 +1,25 @@
+// Lfcheck is the repository's lock-free-code lint suite: a multichecker
+// over the analyzers in repro/internal/lint, runnable standalone
+//
+//	go run ./cmd/lfcheck ./...
+//
+// or as a go vet tool (the mode CI uses, which also covers _test.go
+// files):
+//
+//	go build -o /tmp/lfcheck ./cmd/lfcheck
+//	go vet -vettool=/tmp/lfcheck ./...
+//
+// See README.md "Static analysis" and DESIGN.md appendix C for what each
+// analyzer enforces and how to suppress a finding.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(lint.Analyzers(), os.Args[1:]))
+}

@@ -1,0 +1,133 @@
+// Package align64 defines an Analyzer that flags 64-bit fields used with
+// legacy sync/atomic operations whose 8-byte alignment is not guaranteed
+// on 32-bit platforms.
+//
+// # Analyzer align64
+//
+// align64: report 64-bit atomic fields that may be misaligned on 32-bit
+// platforms.
+//
+// On 386, arm and other 32-bit ports, int64/uint64 fields are only
+// 4-byte aligned, and the 64-bit sync/atomic functions panic on a
+// misaligned address. The runtime guarantees 8-byte alignment only for
+// the first word of an allocated struct, so a raw 64-bit field operated
+// on by atomic.AddUint64 and friends must sit at offset 0 of its struct
+// under 32-bit layout rules. The analyzer computes the field's offset
+// with GOARCH=386 sizes (including nested selections like x.hdr.count)
+// and reports any field that cannot be proven aligned — including fields
+// of generic structs whose offset depends on a type parameter.
+//
+// The preferred fix is migrating the field to atomic.Uint64/atomic.Int64:
+// the typed atomics carry a compiler-enforced alignment guarantee on all
+// platforms. Reordering the field to the front of the struct also works.
+package align64
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags 32-bit-unsafe 64-bit atomic fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "align64",
+	Doc:  "report 64-bit atomic fields not guaranteed 8-byte alignment on 32-bit platforms",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	sizes32 := lintutil.SizeInfo{Sizes: types.SizesFor("gc", "386")}
+	reported := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			_, width, isAtomic := lintutil.LegacyAtomic(fn)
+			if !isAtomic || width != 64 || len(call.Args) == 0 {
+				return true
+			}
+			field, sel, _, ok := lintutil.FieldAddrArg(pass.TypesInfo, call.Args[0])
+			if !ok || reported[field] {
+				return true
+			}
+			off, known := selectionOffset(pass, sizes32, sel)
+			switch {
+			case !known:
+				reported[field] = true
+				pass.Reportf(call.Pos(),
+					"64-bit atomic access to field %s whose offset depends on a type parameter; cannot guarantee 8-byte alignment on 32-bit platforms, use atomic.Uint64/atomic.Int64 instead",
+					field.Name())
+			case off != 0:
+				reported[field] = true
+				pass.Reportf(call.Pos(),
+					"64-bit atomic access to field %s at offset %d (GOARCH=386): only offset 0 is guaranteed 8-byte aligned on 32-bit platforms; move the field first or use atomic.Uint64/atomic.Int64",
+					field.Name(), off)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// selectionOffset computes the byte offset of the field denoted by sel
+// within its enclosing allocation, under the given size model. It
+// follows the selection's (possibly promoted) field path and then walks
+// outward through enclosing x.a.b selector chains, stopping where a
+// pointer indirection starts a fresh allocation (whose first word the
+// runtime 8-aligns).
+func selectionOffset(pass *analysis.Pass, sizes lintutil.SizeInfo, sel *ast.SelectorExpr) (int64, bool) {
+	var total int64
+	for {
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return 0, false
+		}
+		recv := selection.Recv()
+		t := lintutil.Deref(recv)
+		// local is this selection's contribution, relative to the most
+		// recent allocation boundary within its field path.
+		var local int64
+		crossedPointer := false
+		for _, idx := range selection.Index() {
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return 0, false
+			}
+			off, known := sizes.FieldOffset(st, idx)
+			if !known {
+				return 0, false
+			}
+			local += off
+			t = st.Field(idx).Type()
+			if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				// Promotion through an embedded pointer: alignment
+				// restarts at the pointee allocation; offsets selected
+				// above the pointer no longer matter.
+				t = p.Elem()
+				local = 0
+				crossedPointer = true
+			}
+		}
+		total += local
+		if crossedPointer {
+			return total, true
+		}
+		if _, isPtr := types.Unalias(recv).(*types.Pointer); isPtr {
+			return total, true // p.f: offset within *p's allocation
+		}
+		// x is a struct value; if it is itself a field selection, the
+		// allocation extends outward — keep accumulating.
+		if outer, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if s := pass.TypesInfo.Selections[outer]; s != nil && s.Kind() == types.FieldVal {
+				sel = outer
+				continue
+			}
+		}
+		return total, true
+	}
+}

@@ -1,0 +1,12 @@
+package align64_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/align64"
+	"repro/internal/lint/linttest"
+)
+
+func TestAlign64(t *testing.T) {
+	linttest.Run(t, "testdata", align64.Analyzer, "a")
+}

@@ -1,0 +1,78 @@
+// Package a exercises the align64 analyzer.
+package a
+
+import "sync/atomic"
+
+type good struct {
+	count uint64 // first word: 8-byte aligned even on 386
+	flags uint32
+}
+
+type bad struct {
+	flags uint32
+	count uint64
+}
+
+// Even an 8-byte offset is unsafe: on 386 the struct itself is only
+// guaranteed 4-byte alignment, so only the first word qualifies.
+type padded struct {
+	flags uint32
+	_     uint32
+	count uint64
+}
+
+type outer struct {
+	pre uint32
+	in  inner
+}
+
+type inner struct {
+	n uint64
+}
+
+func f(g *good, b *bad, p *padded, o *outer) {
+	atomic.AddUint64(&g.count, 1)
+	atomic.AddUint64(&b.count, 1) // want `64-bit atomic access to field count at offset 4`
+	atomic.LoadUint64(&p.count)   // want `64-bit atomic access to field count at offset 8`
+	atomic.AddUint64(&o.in.n, 1)  // want `64-bit atomic access to field n at offset 4`
+}
+
+type generic[T any] struct {
+	v T
+	n uint64
+}
+
+func g[T any](h *generic[T]) {
+	atomic.AddUint64(&h.n, 1) // want `offset depends on a type parameter`
+}
+
+// A type parameter behind a pointer has a known size: no finding.
+type genericOK[T any] struct {
+	n uint64
+	p *T
+}
+
+func h[T any](x *genericOK[T]) {
+	atomic.AddUint64(&x.n, 1)
+}
+
+// Typed atomics carry their own alignment guarantee: never reported.
+type typed struct {
+	flags uint32
+	count atomic.Uint64
+}
+
+func useTyped(t *typed) { t.count.Add(1) }
+
+// 32-bit atomics have no 8-byte requirement.
+func ok32(b *bad) { atomic.AddUint32(&b.flags, 1) }
+
+type suppressed struct {
+	flags uint32
+	count uint64
+}
+
+func sup(s *suppressed) {
+	//lint:ignore align64 this struct is only ever embedded 8-aligned
+	atomic.AddUint64(&s.count, 1)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An IgnoreSet holds the //lint:ignore directives of one package and
+// answers whether a diagnostic is suppressed. A directive has the form
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason
+//
+// and suppresses findings from the named analyzers (or all of them, for
+// the name "all") on the directive's own source line and on the next
+// source line — so it works both trailing the offending line and as a
+// standalone comment above it. A reason is mandatory: a bare
+// //lint:ignore directive is itself reported by drivers so that
+// suppressions stay auditable.
+type IgnoreSet struct {
+	// byLine maps file:line to the analyzer names suppressed there.
+	byLine map[lineKey][]string
+	// Malformed records directives with no analyzer list or no reason.
+	Malformed []Diagnostic
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// NewIgnoreSet scans the files' comments for //lint:ignore directives.
+func NewIgnoreSet(fset *token.FileSet, files []*ast.File) *IgnoreSet {
+	s := &IgnoreSet{byLine: make(map[lineKey][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignoreXXX — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //lint:ignore directive: want //lint:ignore <analyzers> <reason>",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey{pos.Filename, line}
+					s.byLine[key] = append(s.byLine[key], names...)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, name := range s.byLine[lineKey{p.Filename, p.Line}] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+// Package atomicmix defines an Analyzer that flags struct fields
+// accessed both through sync/atomic operations and through plain
+// loads/stores in the same package.
+//
+// # Analyzer atomicmix
+//
+// atomicmix: report struct fields that mix atomic and plain access.
+//
+// A field that any code reads or writes with a sync/atomic operation is
+// a synchronization variable: every other access must also be atomic, or
+// the program has a data race the race detector may never schedule
+// (paper §3 — the cost model of CAS/FAA only holds if the contended word
+// is accessed through the atomic API everywhere). Initialization before
+// the value is shared is the idiomatic exception; suppress those sites
+// with
+//
+//	//lint:ignore atomicmix not yet shared
+//
+// Fields of the typed atomics (atomic.Uint64, atomic.Pointer[T], ...)
+// cannot be accessed non-atomically and are therefore never reported;
+// migrating a flagged field to a typed atomic is the preferred fix.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags mixed atomic/plain access to struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "report struct fields accessed both atomically and with plain loads/stores",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: find fields passed by address to legacy sync/atomic calls,
+	// remembering the selector nodes so pass 2 can skip them.
+	atomicFields := make(map[*types.Var]ast.Expr) // field -> one atomic-use site
+	addrSels := make(map[*ast.SelectorExpr]bool)  // &x.f sites (atomic args and aliasing)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				// Address-taking is not a plain load/store; &x.f handed to
+				// helpers is the aliasing idiom and stays out of scope.
+				if _, sel, _, ok := lintutil.FieldAddrArg(pass.TypesInfo, n); ok {
+					addrSels[sel] = true
+				}
+			case *ast.CallExpr:
+				fn := lintutil.Callee(pass.TypesInfo, n)
+				if _, _, isAtomic := lintutil.LegacyAtomic(fn); !isAtomic || len(n.Args) == 0 {
+					return true
+				}
+				field, sel, _, ok := lintutil.FieldAddrArg(pass.TypesInfo, n.Args[0])
+				if !ok {
+					return true
+				}
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = sel
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+	// Pass 2: every other selection of those fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || addrSels[sel] {
+				return true
+			}
+			field, _, _, ok := lintutil.FieldSel(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			first, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access of field %s, which is accessed atomically at %s; use sync/atomic everywhere or migrate the field to a typed atomic",
+				field.Name(), pass.Fset.Position(first.Pos()))
+			return true
+		})
+	}
+	return nil, nil
+}

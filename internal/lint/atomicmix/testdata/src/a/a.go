@@ -1,0 +1,55 @@
+// Package a exercises the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits   uint64
+	misses uint64
+	name   string
+}
+
+func inc(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func load(c *counter) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func badRead(c *counter) uint64 {
+	return c.hits // want `plain access of field hits, which is accessed atomically`
+}
+
+func badWrite(c *counter) {
+	c.hits = 0 // want `plain access of field hits, which is accessed atomically`
+}
+
+func badOpAssign(c *counter) {
+	c.hits++ // want `plain access of field hits, which is accessed atomically`
+}
+
+func okNeverAtomic(c *counter) uint64 {
+	c.misses = 1 // misses is never accessed atomically
+	return c.misses
+}
+
+func okOtherField(c *counter) string { return c.name }
+
+// Address-taking aliases the word but is not itself a plain load/store.
+func okAlias(c *counter) *uint64 { return &c.hits }
+
+func okSuppressed(c *counter) uint64 {
+	//lint:ignore atomicmix value not yet shared, construction-time read
+	return c.hits
+}
+
+// Typed atomics cannot be accessed non-atomically: never reported.
+type typed struct {
+	n atomic.Uint64
+}
+
+func useTyped(t *typed) uint64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

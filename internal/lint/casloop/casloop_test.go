@@ -1,0 +1,12 @@
+package casloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/casloop"
+	"repro/internal/lint/linttest"
+)
+
+func TestCasloop(t *testing.T) {
+	linttest.Run(t, "testdata", casloop.Analyzer, "a")
+}

@@ -1,0 +1,11 @@
+// Package obs is a stand-in for repro/internal/obs: casloop recognizes
+// Inc/Add/Observe calls on any package named obs as CAS accounting.
+package obs
+
+type Counter uint8
+
+type Recorder interface {
+	Inc(c Counter)
+	Add(c Counter, d uint64)
+	Observe(s Counter, v uint64)
+}

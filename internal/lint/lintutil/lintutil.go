@@ -1,0 +1,210 @@
+// Package lintutil holds the type- and AST-query helpers shared by the
+// repro/internal/lint analyzers: resolving call targets, classifying
+// sync/atomic operations, mapping selector expressions to struct fields,
+// finding //lf:* field annotations, and computing struct layouts without
+// tripping over generic type parameters.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CacheLine is the cache-line granularity padcheck enforces. 64 bytes
+// matches every platform this repository targets (and the paper's §4.3
+// measurements).
+const CacheLine = 64
+
+// Callee resolves the function or method a call statically invokes, or
+// nil (indirect call through a function value, type conversion, ...).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// LegacyAtomic reports whether fn is one of the package-level sync/atomic
+// functions, returning the operation ("Load", "Store", "Add", "Swap",
+// "CompareAndSwap") and the operand bit width (32, 64, or 0 for
+// word-sized Uintptr/Pointer).
+func LegacyAtomic(fn *types.Func) (op string, width int, ok bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", 0, false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", 0, false // method on a typed atomic, not a legacy call
+	}
+	name := fn.Name()
+	for _, p := range []string{"CompareAndSwap", "Load", "Store", "Swap", "Add", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			suffix := strings.TrimPrefix(name, p)
+			switch suffix {
+			case "Int32", "Uint32":
+				return p, 32, true
+			case "Int64", "Uint64":
+				return p, 64, true
+			case "Uintptr", "Pointer":
+				return p, 0, true
+			}
+			return "", 0, false
+		}
+	}
+	return "", 0, false
+}
+
+// IsTypedAtomic reports whether t (after unwrapping aliases) is one of
+// the typed atomics of sync/atomic: Bool, Int32, Int64, Uint32, Uint64,
+// Uintptr, Pointer[T], or Value. These carry their own alignment and
+// no-copy guarantees.
+func IsTypedAtomic(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+// FieldAddrArg interprets expr (a call argument) as &x.f and returns the
+// struct field f denotes, the selector, and the type of x (pointers
+// removed), or ok=false.
+func FieldAddrArg(info *types.Info, expr ast.Expr) (field *types.Var, sel *ast.SelectorExpr, recv types.Type, ok bool) {
+	un, isUnary := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !isUnary || un.Op != token.AND {
+		return nil, nil, nil, false
+	}
+	return FieldSel(info, un.X)
+}
+
+// FieldSel interprets expr as a selection x.f of a struct field and
+// returns the field, the selector, and x's type (pointers removed).
+func FieldSel(info *types.Info, expr ast.Expr) (field *types.Var, sel *ast.SelectorExpr, recv types.Type, ok bool) {
+	s, isSel := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, nil, false
+	}
+	selection, found := info.Selections[s]
+	if !found || selection.Kind() != types.FieldVal {
+		return nil, nil, nil, false
+	}
+	f, isVar := selection.Obj().(*types.Var)
+	if !isVar || !f.IsField() {
+		return nil, nil, nil, false
+	}
+	return f, s, Deref(selection.Recv()), true
+}
+
+// Deref removes one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// HasDirective reports whether any comment in the groups is the given
+// //-directive (exact prefix match, e.g. "//lf:contended").
+func HasDirective(directive string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := c.Text
+			if text == directive ||
+				strings.HasPrefix(text, directive+" ") ||
+				strings.HasPrefix(text, directive+"\t") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SizeInfo computes sizes/offsets under a given platform size model,
+// refusing (ok=false) when the answer depends on an uninstantiated type
+// parameter — generic structs are handled as long as the type parameter
+// only appears behind pointers, slices, maps, channels or functions.
+type SizeInfo struct {
+	Sizes types.Sizes
+}
+
+// Sizeof returns t's size, with ok=false if it depends on a type param.
+func (s SizeInfo) Sizeof(t types.Type) (int64, bool) {
+	if !sizeKnown(t, nil) {
+		return 0, false
+	}
+	return s.Sizes.Sizeof(t), true
+}
+
+// FieldOffset returns the byte offset of field index i within struct st.
+func (s SizeInfo) FieldOffset(st *types.Struct, i int) (int64, bool) {
+	// Only the prefix up to and including i determines the offset; later
+	// fields must not be touched (they may be type-parameter sized).
+	fields := make([]*types.Var, i+1)
+	for j := range fields {
+		f := st.Field(j)
+		if !sizeKnown(f.Type(), nil) {
+			return 0, false
+		}
+		fields[j] = f
+	}
+	return s.Sizes.Offsetsof(fields)[i], true
+}
+
+// sizeKnown reports whether t's size is independent of type parameters.
+func sizeKnown(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	// A type parameter's Underlying is its constraint interface, so it
+	// must be caught before the underlying switch.
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return false
+	}
+	if seen[t] {
+		return true // cycles go through pointers; treat as known
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !sizeKnown(u.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || sizeKnown(u.Elem(), seen)
+	case *types.Basic, *types.Pointer, *types.Slice, *types.Map,
+		*types.Chan, *types.Signature, *types.Interface:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,218 @@
+// Package nocopy defines an Analyzer that flags by-value copies of
+// lock-free queue/basket structs.
+//
+// # Analyzer nocopy
+//
+// nocopy: report by-value copies of structs carrying synchronization
+// state.
+//
+// Copying a struct that embeds atomic state (a queue's head/tail words,
+// a basket's cells) forks the synchronization variables: the copy and
+// the original silently diverge, and every invariant the algorithms rely
+// on is void. A type must not be copied after first use if it
+//
+//   - contains (recursively, through fields and arrays) a typed atomic
+//     (atomic.Uint64, atomic.Pointer[T], ...), a sync lock type (Mutex,
+//     RWMutex, WaitGroup, Cond, Once, Pool, Map), or a field of a type
+//     named noCopy; or
+//   - is declared with a //lf:nocopy directive on its type declaration
+//     (the escape hatch for structs whose atomics are raw words).
+//
+// Reported copy sites: by-value parameters, receivers and results;
+// assignments and variable initializations; call arguments; returns;
+// range clauses; and composite-literal elements. Initialization from a
+// composite literal or a function call is allowed — construction happens
+// before sharing.
+package nocopy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+const directive = "//lf:nocopy"
+
+// Analyzer flags by-value copies of lock-free structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "nocopy",
+	Doc:  "report by-value copies of structs carrying atomic synchronization state",
+	Run:  run,
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	annotated map[*types.TypeName]bool
+	memo      map[types.Type]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:      pass,
+		annotated: make(map[*types.TypeName]bool),
+		memo:      make(map[types.Type]bool),
+	}
+	// Collect //lf:nocopy type declarations first.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !lintutil.HasDirective(directive, gd.Doc, ts.Doc, ts.Comment) {
+					continue
+				}
+				if tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					c.annotated[tn] = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, c.visit)
+	}
+	return nil, nil
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		c.checkFuncType(n.Type, n.Recv)
+	case *ast.FuncLit:
+		c.checkFuncType(n.Type, nil)
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			c.checkCopyExpr(rhs, "assignment")
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			c.checkCopyExpr(v, "variable initialization")
+		}
+	case *ast.CallExpr:
+		if _, isConv := c.pass.TypesInfo.Types[n.Fun]; isConv && c.pass.TypesInfo.Types[n.Fun].IsType() {
+			break // conversion, checked as its operand's use
+		}
+		for _, arg := range n.Args {
+			c.checkCopyExpr(arg, "call argument")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkCopyExpr(r, "return")
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil {
+			if t := c.pass.TypesInfo.TypeOf(n.Value); t != nil && c.mustNotCopy(t) {
+				c.report(n.Value.Pos(), t, "range copies")
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			c.checkCopyExpr(elt, "composite literal")
+		}
+	}
+	return true
+}
+
+func (c *checker) checkFuncType(ft *ast.FuncType, recv *ast.FieldList) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := c.pass.TypesInfo.TypeOf(f.Type)
+			if t != nil && c.mustNotCopy(t) {
+				c.report(f.Type.Pos(), t, what)
+			}
+		}
+	}
+	check(recv, "by-value receiver copies")
+	check(ft.Params, "by-value parameter copies")
+	check(ft.Results, "by-value result copies")
+}
+
+// checkCopyExpr reports expr when evaluating it copies a must-not-copy
+// value out of an existing variable: a plain identifier/selector/index
+// or a pointer dereference. Composite literals and calls construct fresh
+// values and are allowed.
+func (c *checker) checkCopyExpr(expr ast.Expr, context string) {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	// Only value expressions copy; type operands (new(T), conversions,
+	// type arguments) and package names do not.
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if !c.mustNotCopy(tv.Type) {
+		return
+	}
+	c.report(e.Pos(), tv.Type, context+" copies")
+}
+
+func (c *checker) report(pos token.Pos, t types.Type, what string) {
+	c.pass.Reportf(pos, "%s %s, which holds atomic synchronization state and must not be copied; pass a pointer", what, types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+}
+
+// mustNotCopy reports whether t transitively carries synchronization
+// state or an //lf:nocopy annotation.
+func (c *checker) mustNotCopy(t types.Type) bool {
+	t = types.Unalias(t)
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // break cycles; pointers stop recursion anyway
+	result := c.mustNotCopyUncached(t)
+	c.memo[t] = result
+	return result
+}
+
+func (c *checker) mustNotCopyUncached(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if c.annotated[obj] || (named.Origin() != nil && c.annotated[named.Origin().Obj()]) {
+			return true
+		}
+		if obj.Name() == "noCopy" {
+			return true
+		}
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync/atomic":
+				if lintutil.IsTypedAtomic(named) {
+					return true
+				}
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+					return true
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.mustNotCopy(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.mustNotCopy(u.Elem())
+	}
+	return false
+}

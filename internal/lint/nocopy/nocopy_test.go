@@ -1,0 +1,12 @@
+package nocopy_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nocopy"
+)
+
+func TestNocopy(t *testing.T) {
+	linttest.Run(t, "testdata", nocopy.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Package a exercises the nocopy analyzer.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue carries typed atomics: must not be copied.
+type Queue struct {
+	head atomic.Uint64
+	n    int
+}
+
+// RawQueue's synchronization words are raw; the annotation opts it in.
+//
+//lf:nocopy
+type RawQueue struct {
+	head uint64
+}
+
+// Plain is freely copyable.
+type Plain struct{ n int }
+
+// Nesting propagates: an array of Queues is as uncopyable as a Queue.
+type holder struct {
+	qs [2]Queue
+}
+
+type locked struct{ mu sync.Mutex }
+
+func byValue(q Queue) {} // want `by-value parameter copies Queue`
+
+func byPtr(q *Queue) {}
+
+func (q Queue) valMethod() {} // want `by-value receiver copies Queue`
+
+func (q *Queue) ptrMethod() {}
+
+func rawByValue(r RawQueue) {} // want `by-value parameter copies RawQueue`
+
+func holderByValue(h holder) {} // want `by-value parameter copies holder`
+
+func lockedByValue(l locked) {} // want `by-value parameter copies locked`
+
+func plainByValue(p Plain) {}
+
+func result(p *Queue) Queue { // want `by-value result copies Queue`
+	return *p // want `return copies Queue`
+}
+
+func assigns(p *Queue) int {
+	q := *p // want `assignment copies Queue`
+	q.n = 1
+	var r Queue = *p // want `variable initialization copies Queue`
+	r.n = 2
+	s := Queue{n: 3} // composite literal construction: allowed
+	return q.n + r.n + s.n
+}
+
+func sink(interface{}) {}
+
+func args(p *Queue) {
+	sink(*p) // want `call argument copies Queue`
+	sink(p)  // passing the pointer is fine
+}
+
+func iterate(qs []Queue) {
+	for i := range qs { // index-only range: fine
+		qs[i].n = i
+	}
+	for _, q := range qs { // want `range copies Queue`
+		_ = q.n
+	}
+}
+
+func literals(p *Queue) {
+	type box struct{ q Queue }
+	_ = box{q: *p} // want `composite literal copies Queue`
+}
+
+//lint:ignore nocopy snapshot taken before the queue is shared
+func snapshot(q Queue) {}
+
+func suppressedAssign(p *Queue) int {
+	//lint:ignore nocopy construction-time copy, not yet shared
+	q := *p
+	q.n = 1
+	return q.n
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/padcheck"
+)
+
+func TestPadcheck(t *testing.T) {
+	linttest.Run(t, "testdata", padcheck.Analyzer, "a")
+}

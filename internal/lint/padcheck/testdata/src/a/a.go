@@ -1,0 +1,74 @@
+// Package a exercises the padcheck analyzer (layout under GOARCH=amd64,
+// 64-byte cache lines).
+package a
+
+import "sync/atomic"
+
+// Properly isolated: each contended field owns its line.
+type okQueue struct {
+	//lf:contended
+	head atomic.Uint64
+	_    [56]byte
+	//lf:contended
+	tail atomic.Uint64
+	_    [56]byte
+	size int
+}
+
+// head (bytes 0-7) and tail (bytes 8-15) share line 0.
+type badQueue struct {
+	//lf:contended
+	head atomic.Uint64 // want `field head \(bytes 0-7\) shares a cache line with field tail \(bytes 8-15\)`
+	tail atomic.Uint64
+}
+
+// A read-mostly neighbor on the counter's line is exactly the §4.3
+// false-sharing pattern.
+type badCounter struct {
+	//lf:contended
+	n    atomic.Uint64 // want `field n \(bytes 0-7\) shares a cache line with field name`
+	_    [48]byte
+	name string
+}
+
+// Unannotated structs are never checked.
+type unannotated struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// A contended field spanning multiple lines must own all of them.
+type spanning struct {
+	//lf:contended
+	counters [15]atomic.Uint64 // want `field counters \(bytes 0-119\) shares a cache line with field trailing \(bytes 120-127\)`
+	trailing atomic.Uint64
+	_        [64]byte
+}
+
+type zeroSized struct {
+	//lf:contended
+	marker struct{} // want `field marker is zero-sized`
+	_      [64]byte
+}
+
+// Layouts depending on a type parameter cannot be verified.
+type generic[T any] struct {
+	//lf:contended
+	counter atomic.Uint64 // want `size of neighboring field v depends on a type parameter`
+	v       T
+}
+
+// A type parameter behind a pointer is fine.
+type genericOK[T any] struct {
+	//lf:contended
+	head *T
+	_    [56]byte
+	n    int
+}
+
+type suppressed struct {
+	//lf:contended
+	//lint:ignore padcheck packed deliberately, cold struct kept for layout docs
+	head atomic.Uint64
+	tail atomic.Uint64
+}
