@@ -61,6 +61,7 @@ func (q *BQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 			continue
 		}
 		if ptrOf(next) == 0 {
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder (§3 accounting at the simulation layer)
 			if p.CAS(tail+bqOffNext, next, tag(n, false)) {
 				p.CAS(q.tailA, tail, n)
 				return
@@ -75,6 +76,7 @@ func (q *BQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 					break // basket closed by a dequeuer; start over
 				}
 				p.Write(n+bqOffNext, tag(ptrOf(next), false))
+				//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder (§3 accounting at the simulation layer)
 				if p.CAS(tail+bqOffNext, next, tag(n, false)) {
 					return
 				}
@@ -110,6 +112,7 @@ func (q *BQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 		next := p.Read(head + bqOffNext)
 		if isDeleted(next) {
 			// Someone claimed this successor; help advance head.
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder (§3 accounting at the simulation layer)
 			p.CAS(q.headA, head, ptrOf(next))
 			continue
 		}

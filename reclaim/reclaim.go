@@ -99,6 +99,7 @@ func (d *Domain[T]) Retire(n *T) {
 	for {
 		head := d.retired.Load()
 		rn.next = head
+		//lint:ignore casloop Treiber push onto the retired list; off the queues' hot path, so no §3 accounting
 		if d.retired.CompareAndSwap(head, rn) {
 			return
 		}
@@ -154,6 +155,7 @@ func (d *Domain[T]) Collect() int {
 		for {
 			h := d.retired.Load()
 			survivors.next = h
+			//lint:ignore casloop Treiber push-back of survivors; off the queues' hot path, so no §3 accounting
 			if d.retired.CompareAndSwap(h, survivors) {
 				break
 			}
