@@ -32,9 +32,13 @@ type Partitioned[T any] struct {
 }
 
 type partition struct {
+	//lf:contended extractors assigned to this partition FAA the scan counter
 	counter atomic.Uint64
+	_       [56]byte
 	lo, hi  int // cells [lo, hi)
-	_       [32]byte
+	// Round the element to two full lines so neighboring partitions'
+	// counters never share a line inside the parts slice.
+	_ [48]byte
 }
 
 // NewPartitioned returns a basket with capacity cells, scanning the first

@@ -26,8 +26,12 @@ type scell[T any] struct {
 // one private cell per inserter, an extraction counter scanned with FAA,
 // and an empty bit set by the extractor that claims the last index.
 type Scalable[T any] struct {
-	cells   []scell[T]
+	cells []scell[T]
+	_     [40]byte
+	//lf:contended every extraction FAAs the scan counter; keep it off the
+	// cells header line that all inserters read
 	counter atomic.Uint64
+	_       [56]byte
 	empty   atomic.Bool
 	bound   int          // extraction scans cells[0:bound] (the active inserters)
 	rec     obs.Recorder // nil unless telemetry is attached (WithRecorder)

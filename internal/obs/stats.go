@@ -11,7 +11,9 @@ import (
 // with uncontended atomics (each handle owns one) and read by Snapshot,
 // which may run concurrently with writers.
 type shard struct {
-	_        [64]byte // keep neighboring shards off this shard's lines
+	_ [64]byte // keep neighboring shards off this shard's lines
+	//lf:contended the hot per-handle event counters
+	//lint:ignore padcheck single-writer shard: counters and hists share the owner's lines by design; the guard pads isolate the shard itself
 	counters [NumCounters]atomic.Uint64
 	hists    [NumSeries]histShard
 	_        [64]byte

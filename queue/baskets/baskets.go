@@ -31,8 +31,12 @@ type edge[T any] struct {
 
 // Queue is an original-style baskets queue.
 type Queue[T any] struct {
+	//lf:contended swung by every dequeuer
 	head atomic.Pointer[node[T]]
+	_    [56]byte
+	//lf:contended every enqueuer races the linking CAS and then swings tail
 	tail atomic.Pointer[node[T]]
+	_    [56]byte
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }
 

@@ -41,12 +41,20 @@ type segment[T any] struct {
 // Queue is an FAA-based queue. Old segments are reclaimed by the garbage
 // collector once head traffic moves past them.
 type Queue[T any] struct {
+	//lf:contended FAAed by every enqueuer
 	enqIdx atomic.Uint64
+	_      [56]byte
+	//lf:contended FAAed by every dequeuer
 	deqIdx atomic.Uint64
+	_      [56]byte
 	// enqSeg/deqSeg cache the segments serving the current indices; they
 	// lag safely because segments are found by walking next pointers.
+	//lf:contended read by every enqueuer, CASed forward at segment boundaries
 	enqSeg atomic.Pointer[segment[T]]
+	_      [56]byte
+	//lf:contended read by every dequeuer, CASed forward at segment boundaries
 	deqSeg atomic.Pointer[segment[T]]
+	_      [56]byte
 	rec    obs.Recorder // nil unless WithRecorder attached telemetry
 }
 

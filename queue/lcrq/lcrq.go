@@ -37,8 +37,10 @@ const closedBit = uint64(1) << 63
 
 // crq is one bounded ring.
 type crq[T any] struct {
-	head  atomic.Uint64
-	_     [56]byte
+	//lf:contended FAAed by every dequeuer on this ring
+	head atomic.Uint64
+	_    [56]byte
+	//lf:contended FAAed by every enqueuer on this ring
 	tail  atomic.Uint64 // high bit: closed
 	_     [56]byte
 	next  atomic.Pointer[crq[T]]
@@ -163,8 +165,12 @@ func (q *crq[T]) fixState() {
 
 // Queue is an LCRQ: a list of CRQs with head and tail ring pointers.
 type Queue[T any] struct {
+	//lf:contended read by every dequeuer, swung when a ring drains
 	head atomic.Pointer[crq[T]]
+	_    [56]byte
+	//lf:contended read by every enqueuer, swung when a ring closes
 	tail atomic.Pointer[crq[T]]
+	_    [56]byte
 	size uint64
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }

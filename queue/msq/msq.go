@@ -17,8 +17,12 @@ type node[T any] struct {
 
 // Queue is a Michael-Scott queue. The zero value is not usable; call New.
 type Queue[T any] struct {
+	//lf:contended swung by every dequeuer
 	head atomic.Pointer[node[T]]
+	_    [56]byte
+	//lf:contended every enqueuer races the linking CAS and then swings tail
 	tail atomic.Pointer[node[T]]
+	_    [56]byte
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
 }
 

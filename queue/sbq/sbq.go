@@ -48,8 +48,12 @@ type appendFn[T any] func(next *atomic.Pointer[node[T]], n *node[T]) bool
 
 // Queue is the scalable baskets queue.
 type Queue[T any] struct {
+	//lf:contended swung by every dequeuer's advanceNode catch-up CAS
 	head atomic.Pointer[node[T]]
+	_    [56]byte
+	//lf:contended every enqueuer races the linking CAS and then swings tail
 	tail atomic.Pointer[node[T]]
+	_    [56]byte
 
 	enqueuers int
 	tryCAS    appendFn[T]
