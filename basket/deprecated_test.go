@@ -1,0 +1,95 @@
+package basket
+
+import "testing"
+
+// The deprecated positional constructors are kept for source
+// compatibility; these tests pin their clamping and behavior to the
+// New(...Option) replacements so the aliases cannot drift.
+
+func TestDeprecatedNewScalable(t *testing.T) {
+	b := NewScalable[int](4, 2)
+	for id := 0; id < 4; id++ {
+		if !b.Insert(id, id) {
+			t.Fatalf("Insert(%d) refused on a fresh basket", id)
+		}
+	}
+	// bound=2: extraction sweeps only cells [0,2).
+	seen := map[int]bool{}
+	for {
+		v, ok := b.Extract()
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	if len(seen) != 2 || !seen[0] || !seen[1] {
+		t.Fatalf("bound=2 extraction returned %v, want {0,1}", seen)
+	}
+}
+
+func TestDeprecatedNewScalableClampsBound(t *testing.T) {
+	// Out-of-range bounds fall back to the capacity, as documented.
+	for _, bound := range []int{0, -1, 99} {
+		b := NewScalable[int](3, bound)
+		if b.bound != 3 {
+			t.Errorf("NewScalable(3, %d).bound = %d, want 3", bound, b.bound)
+		}
+	}
+}
+
+func TestDeprecatedNewScalableBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScalable(0, 0) did not panic")
+		}
+	}()
+	NewScalable[int](0, 0)
+}
+
+func TestDeprecatedNewPartitioned(t *testing.T) {
+	b := NewPartitioned[int](6, 6, 3)
+	if got := len(b.parts); got != 3 {
+		t.Fatalf("NewPartitioned(6,6,3) built %d partitions, want 3", got)
+	}
+	for id := 0; id < 6; id++ {
+		if !b.Insert(id, id) {
+			t.Fatalf("Insert(%d) refused on a fresh basket", id)
+		}
+	}
+	seen := map[int]bool{}
+	for {
+		v, ok := b.Extract()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("extracted %d of 6 elements", len(seen))
+	}
+	if !b.Empty() {
+		t.Fatal("drained partitioned basket not Empty")
+	}
+}
+
+func TestDeprecatedNewPartitionedClampsK(t *testing.T) {
+	// k is clamped to [1, bound].
+	if got := len(NewPartitioned[int](4, 4, 0).parts); got != 1 {
+		t.Errorf("k=0 built %d partitions, want 1", got)
+	}
+	if got := len(NewPartitioned[int](4, 2, 8).parts); got != 2 {
+		t.Errorf("k=8,bound=2 built %d partitions, want 2", got)
+	}
+}
+
+func TestDeprecatedNewPartitionedBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPartitioned(0, 0, 1) did not panic")
+		}
+	}()
+	NewPartitioned[int](0, 0, 1)
+}

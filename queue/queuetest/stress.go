@@ -1,0 +1,117 @@
+package queuetest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Stress hammers one queue instance with concurrent producers and
+// consumers under the given GOMAXPROCS setting and verifies exactly-once
+// delivery of the full multiset. It records no histories and runs no
+// linearizability checker, so it stays fast enough to run under -race,
+// where the memory-model instrumentation is the point: a missing
+// happens-before edge between an Enqueue publish and a Dequeue read shows
+// up as a race report, not a wrong value.
+//
+// GOMAXPROCS is restored on return. The setting is process-global, so
+// Stress must not run in parallel with other tests.
+func Stress(t *testing.T, f Factory, procs, producers, consumers, perProducer int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	prodView, consView := f(producers)
+	want := producers * perProducer
+	got := make([]map[uint64]int, consumers)
+
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	done.Add(producers)
+	for pi := 0; pi < producers; pi++ {
+		pi := pi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer done.Done()
+			q := prodView(pi)
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(value(pi, i))
+			}
+		}()
+	}
+	producersDone := make(chan struct{})
+	go func() { done.Wait(); close(producersDone) }()
+	for ci := 0; ci < consumers; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := consView(ci)
+			seen := make(map[uint64]int, want/consumers+1)
+			for {
+				if v, ok := q.Dequeue(); ok {
+					seen[v]++
+					continue
+				}
+				select {
+				case <-producersDone:
+					// Producers are finished; one more sweep drains
+					// anything published since our last empty answer.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							got[ci] = seen
+							return
+						}
+						seen[v]++
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := make(map[uint64]int, want)
+	total := 0
+	for _, seen := range got {
+		for v, n := range seen {
+			merged[v] += n
+			total += n
+		}
+	}
+	if total != want {
+		t.Fatalf("delivered %d of %d elements", total, want)
+	}
+	for pi := 0; pi < producers; pi++ {
+		for i := 0; i < perProducer; i++ {
+			if n := merged[value(pi, i)]; n != 1 {
+				t.Fatalf("element %#x delivered %d times", value(pi, i), n)
+			}
+		}
+	}
+}
+
+// StressShapes runs Stress at GOMAXPROCS 1, 2, and NumCPU: the single-P
+// schedule exercises goroutine preemption points, 2 is the smallest truly
+// parallel setting, and NumCPU is the machine's natural width.
+func StressShapes(t *testing.T, f Factory) {
+	t.Helper()
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	procs := []int{1, 2, runtime.NumCPU()}
+	if procs[2] <= 2 {
+		procs = procs[:2] // NumCPU adds nothing on tiny machines
+	}
+	for _, p := range procs {
+		p := p
+		t.Run(fmt.Sprintf("procs=%d", p), func(t *testing.T) {
+			Stress(t, f, p, 4, 4, per)
+		})
+	}
+}

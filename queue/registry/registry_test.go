@@ -35,6 +35,24 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestStress runs the queuetest stress variant — exactly-once delivery
+// under churn, no history recording — over every registry entry at
+// GOMAXPROCS 1, 2, and NumCPU. Its value multiplies under -race (the CI
+// test job), where scheduler-width changes shake out missing
+// happens-before edges.
+func TestStress(t *testing.T) {
+	for _, name := range registry.Names() {
+		b, ok := registry.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed after Names listed it", name)
+		}
+		f := queuetest.FromRegistry(b)
+		t.Run(name, func(t *testing.T) {
+			queuetest.StressShapes(t, f)
+		})
+	}
+}
+
 func TestBuildUnknown(t *testing.T) {
 	if _, err := registry.Build("no-such-queue", registry.Config{}); err == nil {
 		t.Fatal("Build on an unknown name did not error")

@@ -1,0 +1,70 @@
+package sbq_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/basket"
+	"repro/queue/sbq"
+)
+
+// The deprecated positional constructors are thin aliases over
+// New(...Option); these tests pin each alias to the behavior of its
+// documented replacement so the compatibility surface cannot rot
+// unnoticed.
+
+func drain(t *testing.T, q *sbq.Queue[uint64], want int) {
+	t.Helper()
+	got := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("drained %d of %d elements", got, want)
+	}
+}
+
+func TestDeprecatedNewDelayedCAS(t *testing.T) {
+	q := sbq.NewDelayedCAS[uint64](2, 50*time.Nanosecond)
+	h0, h1 := q.NewHandle(), q.NewHandle()
+	const per = 100
+	for i := 0; i < per; i++ {
+		h0.Enqueue(uint64(i))
+		h1.Enqueue(uint64(per + i))
+	}
+	drain(t, q, 2*per)
+}
+
+func TestDeprecatedNewWithOptionsDefaultBasket(t *testing.T) {
+	// nil basket constructor selects the scalable basket, as New does.
+	q := sbq.NewWithOptions[uint64](2, 0, nil)
+	h := q.NewHandle()
+	for i := 0; i < 50; i++ {
+		h.Enqueue(uint64(i))
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != uint64(i) {
+			t.Fatalf("position %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDeprecatedNewWithOptionsCustomBasket(t *testing.T) {
+	built := 0
+	q := sbq.NewWithOptions[uint64](1, 0, func() basket.Basket[uint64] {
+		built++
+		return basket.NewClosingStack[uint64]()
+	})
+	if built == 0 {
+		t.Fatal("custom basket constructor never invoked")
+	}
+	h := q.NewHandle()
+	for i := 0; i < 20; i++ {
+		h.Enqueue(uint64(i))
+	}
+	drain(t, q, 20)
+}
