@@ -2,9 +2,14 @@ package basket
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
+
+// basketIDs issues process-unique basket identities for the lifecycle
+// timeline (EvBasketOpen/EvBasketClose pair on the same id).
+var basketIDs atomic.Uint64
 
 // Option configures a basket built with New. Options are value-free of the
 // element type, so call sites read naturally:
@@ -55,12 +60,20 @@ func New[T any](opts ...Option) Basket[T] {
 	if o.bound <= 0 || o.bound > o.capacity {
 		o.bound = o.capacity
 	}
+	ev := obs.Events(o.rec)
+	var id uint64
+	if ev != nil {
+		id = basketIDs.Add(1)
+		ev.Event(obs.EvBasketOpen, obs.LaneDefault, id)
+	}
 	if o.partitions > 1 {
 		b := NewPartitioned[T](o.capacity, o.bound, o.partitions)
 		b.rec = o.rec
+		b.ev, b.id = ev, id
 		return b
 	}
 	b := NewScalable[T](o.capacity, o.bound)
 	b.rec = o.rec
+	b.ev, b.id = ev, id
 	return b
 }

@@ -29,6 +29,11 @@ type Partitioned[T any] struct {
 	empty     atomic.Bool
 	bound     int
 	rec       obs.Recorder // nil unless telemetry is attached (WithRecorder)
+	// ev/id carry the basket's lifecycle timeline: open at construction,
+	// close when the empty bit is set (nil/0 unless the recorder is a
+	// flight-recorder collector — see New in options.go).
+	ev obs.EventRecorder
+	id uint64
 }
 
 type partition struct {
@@ -123,6 +128,9 @@ func (b *Partitioned[T]) extract() (T, bool) {
 				// once this swap lands; account it exactly once.
 				if b.exhausted.Add(1) == int64(k) {
 					b.empty.Store(true)
+					if ev := b.ev; ev != nil {
+						ev.Event(obs.EvBasketClose, obs.LaneDefault, b.id)
+					}
 				}
 			}
 			c := &b.cells[p.lo+int(idx)]

@@ -35,6 +35,11 @@ type Scalable[T any] struct {
 	empty   atomic.Bool
 	bound   int          // extraction scans cells[0:bound] (the active inserters)
 	rec     obs.Recorder // nil unless telemetry is attached (WithRecorder)
+	// ev/id carry the basket's lifecycle timeline: open at construction,
+	// close when the empty bit is set (nil/0 unless the recorder is a
+	// flight-recorder collector — see New in options.go).
+	ev obs.EventRecorder
+	id uint64
 }
 
 // NewScalable returns a basket with capacity cells, scanning only the
@@ -103,6 +108,9 @@ func (b *Scalable[T]) extract() (T, bool) {
 		}
 		if idx == uint64(b.bound)-1 {
 			b.empty.Store(true)
+			if ev := b.ev; ev != nil {
+				ev.Event(obs.EvBasketClose, obs.LaneDefault, b.id)
+			}
 		}
 		c := &b.cells[idx]
 		if c.state.Swap(cellEmpty) == cellFull {

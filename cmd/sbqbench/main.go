@@ -9,19 +9,28 @@
 //
 //	sbqbench -workload enqueue|dequeue|mixed -threads 1,2,4,8 -ops 200000
 //	sbqbench -impl SBQ-DCAS -stats        # print telemetry snapshots
+//	sbqbench -bench-json out.json         # also write a schema-versioned record
+//	sbqbench -diff old.json new.json      # compare two records (report-only)
+//
+// Worker goroutines carry pprof labels (queue=<impl>, role=<producer|
+// consumer|prefill>), so a CPU profile taken during a run attributes
+// samples per implementation and role.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/obs"
 	"repro/queue/registry"
 )
@@ -32,7 +41,19 @@ func main() {
 	ops := flag.Int("ops", 100_000, "operations per thread")
 	only := flag.String("impl", "", "run a single implementation by name")
 	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
+	benchJSON := flag.String("bench-json", "", "write results as schema-versioned JSON to this file")
+	diff := flag.Bool("diff", false, "compare two bench-json files: sbqbench -diff old.json new.json")
+	diffThreshold := flag.Float64("diff-threshold", benchjson.DefaultThreshold, "relative slowdown flagged as a regression by -diff")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: sbqbench -diff old.json new.json")
+			os.Exit(2)
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *diffThreshold)
+		return
+	}
 
 	if *only != "" {
 		if _, ok := registry.Lookup(*only); !ok {
@@ -68,6 +89,8 @@ func main() {
 		threads int
 		snap    obs.Snapshot
 	}
+	record := benchjson.New()
+	record.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	for _, name := range registry.Names() {
 		if *only != "" && name != *only {
 			continue
@@ -75,14 +98,22 @@ func main() {
 		var snaps []statRun
 		fmt.Printf("%-12s", name)
 		for _, n := range threadCounts {
-			var rec *obs.Stats
+			// The interface must stay untyped-nil when stats are off: a
+			// typed-nil *obs.Stats would pass the queues' nil checks and
+			// crash on the first Inc.
+			var rec obs.Recorder
+			var snap *obs.Stats
 			if *stats {
-				rec = obs.New()
+				snap = obs.New()
+				rec = snap
 			}
 			ns := runOne(name, rec, *workload, n, *ops)
 			fmt.Printf(" %10.1f", ns)
-			if rec != nil {
-				snaps = append(snaps, statRun{n, rec.Snapshot()})
+			record.Results = append(record.Results, benchjson.Result{
+				Impl: name, Workload: *workload, Threads: n, Ops: *ops, NSPerOp: ns,
+			})
+			if snap != nil {
+				snaps = append(snaps, statRun{n, snap.Snapshot()})
 			}
 		}
 		fmt.Println()
@@ -96,6 +127,42 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbqbench:", err)
+			os.Exit(1)
+		}
+		if err := record.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sbqbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote %s (%d results, schema %s)\n", *benchJSON, len(record.Results), benchjson.Schema)
+	}
+}
+
+// runDiff compares two bench-json files and prints the report. The exit
+// code is 0 even when regressions are flagged: the comparison is
+// report-only, because wall-clock benchmarks regress for many reasons
+// besides the code under test.
+func runDiff(oldPath, newPath string, threshold float64) {
+	read := func(path string) *benchjson.File {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbqbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		b, err := benchjson.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbqbench:", err)
+			os.Exit(1)
+		}
+		return b
+	}
+	rep := benchjson.Diff(read(oldPath), read(newPath), threshold)
+	fmt.Print(rep.Format())
 }
 
 // runOne measures one (impl, workload, threads) cell and returns ns per
@@ -130,6 +197,13 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 	case "mixed":
 		prefill = threads * ops / 2
 	}
+	// Label worker goroutines so CPU profiles split samples by queue and
+	// role (go tool pprof -tagfocus queue=SBQ-DCAS, etc.).
+	labeled := func(role string, f func()) func() {
+		return func() {
+			pprof.Do(context.Background(), pprof.Labels("queue", name, "role", role), func(context.Context) { f() })
+		}
+	}
 	if prefill > 0 {
 		var wg sync.WaitGroup
 		per := prefill / nProd
@@ -138,10 +212,12 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				q := inst.Producer(i)
-				for k := 0; k < per; k++ {
-					q.Enqueue(uint64(i+1)<<32 | uint64(k+1))
-				}
+				labeled("prefill", func() {
+					q := inst.Producer(i)
+					for k := 0; k < per; k++ {
+						q.Enqueue(uint64(i+1)<<32 | uint64(k+1))
+					}
+				})()
 			}()
 		}
 		wg.Wait()
@@ -156,10 +232,12 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				q := inst.Producer(i)
-				for k := 0; k < ops; k++ {
-					q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
-				}
+				labeled("producer", func() {
+					q := inst.Producer(i)
+					for k := 0; k < ops; k++ {
+						q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
+					}
+				})()
 			}()
 		}
 		total += producers * ops
@@ -170,15 +248,17 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				q := inst.Consumer(i)
-				got := 0
-				for got < ops {
-					if _, ok := q.Dequeue(); ok {
-						got++
-					} else {
-						runtime.Gosched()
+				labeled("consumer", func() {
+					q := inst.Consumer(i)
+					got := 0
+					for got < ops {
+						if _, ok := q.Dequeue(); ok {
+							got++
+						} else {
+							runtime.Gosched()
+						}
 					}
-				}
+				})()
 			}()
 		}
 		total += consumers * ops

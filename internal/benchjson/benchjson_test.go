@@ -1,0 +1,113 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(ns float64) *File {
+	f := New()
+	f.CreatedAt = "2026-01-01T00:00:00Z"
+	f.Results = []Result{
+		{Impl: "SBQ-DCAS", Workload: "mixed", Threads: 4, Ops: 1000, NSPerOp: ns},
+		{Impl: "MS-Queue", Workload: "mixed", Threads: 4, Ops: 1000, NSPerOp: 2 * ns},
+	}
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample(100)
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Results) != 2 || got.Results[0] != f.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadRejectsForeignSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("want schema error")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old, new := sample(100), sample(100)
+	new.Results[0].NSPerOp = 125 // 25% slower: regression
+	new.Results[1].NSPerOp = 150 // 25% faster: improvement, not flagged
+	rep := Diff(old, new, 0.10)
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(rep.Deltas))
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Impl != "MS-Queue" && regs[0].Impl != "SBQ-DCAS" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Impl != "SBQ-DCAS" || regs[0].Ratio != 1.25 {
+		t.Fatalf("wrong regression: %+v", regs[0])
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "(improved)") {
+		t.Fatalf("format missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Fatalf("format missing verdict:\n%s", out)
+	}
+}
+
+func TestDiffWithinNoise(t *testing.T) {
+	old, new := sample(100), sample(100)
+	new.Results[0].NSPerOp = 105 // 5% slower: within the 10% threshold
+	rep := Diff(old, new, 0)     // 0 selects DefaultThreshold
+	if rep.Threshold != DefaultThreshold {
+		t.Fatalf("threshold = %v", rep.Threshold)
+	}
+	if n := len(rep.Regressions()); n != 0 {
+		t.Fatalf("regressions = %d, want 0", n)
+	}
+	if !strings.Contains(rep.Format(), "no regressions") {
+		t.Fatalf("format:\n%s", rep.Format())
+	}
+}
+
+func TestDiffUnmatchedCellsAndEnv(t *testing.T) {
+	old, new := sample(100), sample(100)
+	old.Results = append(old.Results, Result{Impl: "LCRQ", Workload: "mixed", Threads: 8, NSPerOp: 50})
+	new.Results = append(new.Results, Result{Impl: "FAAQ", Workload: "mixed", Threads: 8, NSPerOp: 60})
+	new.NumCPU = old.NumCPU + 1
+	rep := Diff(old, new, 0.10)
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0].Impl != "LCRQ" {
+		t.Fatalf("only-old = %+v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0].Impl != "FAAQ" {
+		t.Fatalf("only-new = %+v", rep.OnlyNew)
+	}
+	if !rep.EnvDiffer {
+		t.Fatal("EnvDiffer should be set")
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "baseline only") || !strings.Contains(out, "no baseline") ||
+		!strings.Contains(out, "environments differ") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	old, new := sample(100), sample(100)
+	old.Results[0].NSPerOp = 0
+	rep := Diff(old, new, 0.10)
+	for _, d := range rep.Deltas {
+		if d.OldNSPerOp == 0 && (d.Regressed || d.Ratio != 0) {
+			t.Fatalf("zero baseline mishandled: %+v", d)
+		}
+	}
+}

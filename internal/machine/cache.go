@@ -147,7 +147,7 @@ func (c *cache) load(addr Addr, tx bool, done func(val uint64)) {
 			if c.txOverCapacity(c.txn, line) {
 				c.m.Stats.TxAbortCapacity++
 				c.m.obsInc(obs.TxAbortsCapacity)
-				c.abortTx(AbortStatus{Capacity: true, Nested: c.txn.depth >= 2}, false)
+				c.abortTx(AbortStatus{Capacity: true, Nested: c.txn.depth >= 2}, false, -1, line)
 				return
 			}
 			c.txn.readSet[line] = struct{}{}
@@ -256,7 +256,7 @@ func (c *cache) handleNow(msg Msg) {
 		// Requester-wins: an invalidation of a transactionally accessed
 		// line aborts the transaction. This is the concurrent-abort path
 		// that makes TxCAS failures scale (paper §3.3).
-		c.conflict(line, false)
+		c.conflict(line, msg.Requester)
 		if c.lines[line] != stateM {
 			c.lines[line] = stateI
 		}
@@ -276,7 +276,7 @@ func (c *cache) handleNow(msg Msg) {
 					c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
 					return
 				}
-				c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing)
+				c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing, msg.Requester, line)
 			}
 			e.deferred = append(e.deferred, msg)
 			return
@@ -289,7 +289,7 @@ func (c *cache) handleNow(msg Msg) {
 				c.txn.stalledFwd = append(c.txn.stalledFwd, msg)
 				return
 			}
-			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing)
+			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, c.txn.committing, msg.Requester, line)
 		}
 		if c.lines[line] == stateM {
 			c.lines[line] = stateS
@@ -302,7 +302,7 @@ func (c *cache) handleNow(msg Msg) {
 			return
 		}
 		if c.txn != nil && (c.txn.writes(line) || c.txn.reads(line)) {
-			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false)
+			c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false, msg.Requester, line)
 		}
 		if e, ok := c.mshr[line]; ok && e.wantM {
 			// Ownership is being handed to us but has not completed;
@@ -320,11 +320,12 @@ func (c *cache) handleNow(msg Msg) {
 // conflict aborts the active transaction if it has accessed line. An
 // invalidation means another *write* won the line — a normal requester-wins
 // failure, never a tripped writer (those are read-triggered, §3.4).
-func (c *cache) conflict(line uint64, _ bool) {
+// requester is the winning core, recorded for abort attribution.
+func (c *cache) conflict(line uint64, requester int) {
 	if c.txn == nil {
 		return
 	}
 	if c.txn.writes(line) || c.txn.reads(line) {
-		c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false)
+		c.abortTx(AbortStatus{Conflict: true, Nested: c.txn.depth >= 2}, false, requester, line)
 	}
 }

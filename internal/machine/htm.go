@@ -79,6 +79,7 @@ func (c *cache) beginTx(p *Proc) {
 	}
 	c.m.Stats.TxStarted++
 	c.m.obsInc(obs.TxStarts)
+	c.m.obsEvent(obs.EvTxBegin, c.core, c.txn.id)
 	if n := c.m.cfg.SpuriousAbortEvery; n > 0 && txnIDs%uint64(n) == 0 {
 		// Fault injection: an "interrupt" lands somewhere inside the
 		// transaction's window and aborts it for a non-conflict reason.
@@ -88,7 +89,7 @@ func (c *cache) beginTx(p *Proc) {
 			if t := c.txn; t != nil && t.id == id {
 				c.m.Stats.TxAbortSpurious++
 				c.m.obsInc(obs.TxAbortsSpurious)
-				c.abortTx(AbortStatus{Nested: t.depth >= 2}, false)
+				c.abortTx(AbortStatus{Nested: t.depth >= 2}, false, -1, 0)
 			}
 		})
 	}
@@ -169,6 +170,7 @@ func (c *cache) commitTx() {
 	c.txn = nil
 	c.m.Stats.TxCommits++
 	c.m.obsInc(obs.TxCommits)
+	c.m.obsEvent(obs.EvTxCommit, c.core, t.id)
 	// Service reads stalled by the §3.4.1 fix: they now observe the
 	// committed value.
 	for _, msg := range t.stalledFwd {
@@ -180,10 +182,44 @@ func (c *cache) commitTx() {
 	}
 }
 
+// abortEvent emits the EvTxAbort timeline event for this core. requester is
+// the core whose coherence request caused the abort (-1 when none), line the
+// conflicting cache line (0 when none); together with the reason bits they
+// let the trace analyzer build abort-cascade trees and the §4.3 intra- vs
+// cross-socket conflict split.
+func (c *cache) abortEvent(st AbortStatus, tripped bool, requester int, line uint64) {
+	if c.m.ev == nil {
+		return
+	}
+	var reason uint8
+	if st.Conflict {
+		reason |= obs.AbortConflict
+	}
+	if st.Explicit {
+		reason |= obs.AbortExplicit
+	}
+	if st.Nested {
+		reason |= obs.AbortNested
+	}
+	if st.Capacity {
+		reason |= obs.AbortCapacity
+	}
+	// No cause bit means an injected interrupt-style abort (RTM returns a
+	// zero status for those too).
+	if reason&(obs.AbortConflict|obs.AbortExplicit|obs.AbortCapacity) == 0 {
+		reason |= obs.AbortSpurious
+	}
+	if tripped {
+		reason |= obs.AbortTripped
+	}
+	c.m.obsEvent(obs.EvTxAbort, c.core, obs.AbortArg(reason, requester, line))
+}
+
 // abortTx discards the transaction and resumes the proc at its abort
 // handler. tripped records whether the abort hit a writer that was already
-// draining its xend (the tripped-writer problem, §3.4).
-func (c *cache) abortTx(st AbortStatus, tripped bool) {
+// draining its xend (the tripped-writer problem, §3.4). requester and line
+// attribute the abort for the event timeline (see abortEvent).
+func (c *cache) abortTx(st AbortStatus, tripped bool, requester int, line uint64) {
 	t := c.txn
 	if t == nil {
 		return
@@ -207,6 +243,7 @@ func (c *cache) abortTx(st AbortStatus, tripped bool) {
 		c.m.Stats.TrippedWriters++
 		c.m.obsInc(obs.TxTrippedWriters)
 	}
+	c.abortEvent(st, tripped, requester, line)
 	for _, msg := range t.stalledFwd {
 		c.handleNow(msg)
 	}

@@ -62,15 +62,33 @@ type Machine struct {
 	// starts/commits and per-reason aborts, and CAS outcomes. Set it with
 	// SetRecorder before Run.
 	rec obs.Recorder
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector): coherence GetS/GetM requests, HTM
+	// begin/commit/abort-with-code, each on the issuing core's lane.
+	ev obs.EventRecorder
 }
 
 // SetRecorder attaches a telemetry recorder; nil (or obs.Nop) detaches.
-func (m *Machine) SetRecorder(r obs.Recorder) { m.rec = obs.Normalize(r) }
+// When r also implements obs.EventRecorder (e.g. a trace.Collector), the
+// machine additionally emits per-core timeline events.
+func (m *Machine) SetRecorder(r obs.Recorder) {
+	m.rec = obs.Normalize(r)
+	m.ev = obs.Events(r)
+}
 
 // obsInc forwards one event to the attached recorder, if any.
 func (m *Machine) obsInc(c obs.Counter) {
 	if r := m.rec; r != nil {
 		r.Inc(c)
+	}
+}
+
+// obsEvent records one timeline event on core's machine lane, if a flight
+// recorder is attached. Timestamps come from the recorder's own clock;
+// harnesses wire that to this machine's cycle clock (see trace.WithClock).
+func (m *Machine) obsEvent(k obs.EventKind, core int, arg uint64) {
+	if ev := m.ev; ev != nil {
+		ev.Event(k, obs.MachineLane(core), arg)
 	}
 }
 
@@ -196,6 +214,16 @@ func (m *Machine) sendToCache(fromSocket, dst int, msg Msg) {
 func (m *Machine) sendToDir(fromSocket int, msg Msg) {
 	m.Stats.Msgs[msg.Kind]++
 	m.obsInc(cohCounter[msg.Kind])
+	// Ownership-transfer requests are timeline events: the analyzer
+	// attributes abort cascades to the GetM that triggered them (§3.3).
+	if msg.From >= 0 {
+		switch msg.Kind {
+		case MsgGetS:
+			m.obsEvent(obs.EvCohGetS, msg.From, msg.Line)
+		case MsgGetM:
+			m.obsEvent(obs.EvCohGetM, msg.From, msg.Line)
+		}
+	}
 	home := m.homeOf(msg.Line)
 	lat := m.hopCores(fromSocket, home)
 	m.trace(msg, fmt.Sprintf("Dir%d", home))

@@ -174,6 +174,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	p.checkNoTx("CAS")
 	p.m.obsInc(obs.CASAttempts)
+	p.m.obsEvent(obs.EvCASAttempt, p.Core(), LineOf(a))
 	w := &waiter{}
 	ok := false
 	p.cache().rmw(a, func(cur uint64) (uint64, bool) {
@@ -186,6 +187,7 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	p.blockOn(w)
 	if !ok {
 		p.m.obsInc(obs.CASFailures)
+		p.m.obsEvent(obs.EvCASFailure, p.Core(), LineOf(a))
 	}
 	return ok
 }
@@ -305,6 +307,7 @@ func (t *Tx) Write(a Addr, v uint64) {
 		c.txn = nil
 		c.m.Stats.TxAborts++
 		c.m.obsInc(obs.TxAborts)
+		c.abortEvent(st, false, -1, LineOf(a))
 		for _, msg := range tn.stalledFwd {
 			c.handleNow(msg)
 		}
@@ -334,10 +337,14 @@ func (t *Tx) Abort(code uint8) {
 	tn := c.txn
 	c.txn = nil
 	c.m.Stats.TxAborts++
+	c.m.obsInc(obs.TxAborts)
 	c.m.Stats.TxAbortExplicit++
+	c.m.obsInc(obs.TxAbortsExplicit)
 	if st.Nested {
 		c.m.Stats.TxAbortNested++
+		c.m.obsInc(obs.TxAbortsNested)
 	}
+	c.abortEvent(st, false, -1, 0)
 	for _, msg := range tn.stalledFwd {
 		c.handleNow(msg)
 	}

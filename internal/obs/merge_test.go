@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestSnapshotMergeZeroAndEmpty covers the degenerate shapes: merging an
+// empty snapshot is the identity, and merging into an empty one copies.
+func TestSnapshotMergeZeroAndEmpty(t *testing.T) {
+	src := New()
+	src.Inc(CASAttempts)
+	src.Add(CASFailures, 3)
+	src.Observe(EnqLatency, 0) // zero value: bucket 0
+	src.Observe(EnqLatency, 250)
+	snap := src.Snapshot()
+
+	before := snap
+	snap.Merge(Snapshot{}) // empty into populated
+	if snap != before {
+		t.Fatal("merge with empty snapshot changed the receiver")
+	}
+
+	var empty Snapshot
+	empty.Merge(before) // populated into empty
+	if empty != before {
+		t.Fatal("merge into empty snapshot is not a copy")
+	}
+	if empty.Series[EnqLatency].Buckets[0] != 1 {
+		t.Fatalf("zero observation lost: %+v", empty.Series[EnqLatency])
+	}
+}
+
+// TestSnapshotMergeAccumulates verifies counters add and every series
+// histogram merges bucket-wise, including out-of-span values clamped into
+// the last bucket.
+func TestSnapshotMergeAccumulates(t *testing.T) {
+	a, b := New(), New()
+	a.Add(EnqOps, 10)
+	b.Add(EnqOps, 5)
+	b.Add(DeqOps, 7)
+	a.Observe(DeqLatency, 100)
+	b.Observe(DeqLatency, 100)
+	b.Observe(DeqLatency, math.MaxUint64) // clamps to the last bucket
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if got := sa.Counter(EnqOps); got != 15 {
+		t.Fatalf("EnqOps = %d, want 15", got)
+	}
+	if got := sa.Counter(DeqOps); got != 7 {
+		t.Fatalf("DeqOps = %d, want 7", got)
+	}
+	h := sa.Series[DeqLatency]
+	if h.Count != 3 {
+		t.Fatalf("series count = %d, want 3", h.Count)
+	}
+	if h.Buckets[stats.BucketOf(100)] != 2 {
+		t.Fatalf("bucket(100) = %d, want 2", h.Buckets[stats.BucketOf(100)])
+	}
+	if h.Buckets[stats.HistBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h.Buckets[stats.HistBuckets-1])
+	}
+
+	// Merge is not idempotent: a second merge adds again.
+	sa.Merge(sb)
+	if got := sa.Counter(EnqOps); got != 20 {
+		t.Fatalf("after second merge EnqOps = %d, want 20", got)
+	}
+}

@@ -189,5 +189,10 @@ func Normalize(r Recorder) Recorder {
 	if _, ok := r.(Nop); ok {
 		return nil
 	}
+	// A typed-nil *Stats arises naturally from `var s *Stats` at call
+	// sites; treat it as off rather than letting it defeat nil checks.
+	if s, ok := r.(*Stats); ok && s == nil {
+		return nil
+	}
 	return r
 }

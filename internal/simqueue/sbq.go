@@ -34,6 +34,11 @@ type SBQ struct {
 	tryAppend AppendFunc
 	name      string
 	rec       obs.Recorder // nil unless SBQOptions.Rec attached telemetry
+	// ev is the timeline extension of rec (nil unless Rec is a flight-
+	// recorder collector). Queue-layer events land on lane=tid, matching
+	// the harness's thread numbering; the analyzer joins them with the
+	// machine layer's core lanes through the lane_cores trace metadata.
+	ev obs.EventRecorder
 
 	enq  []enqState // per-enqueuer node reuse + freelists (indexed by tid)
 	free [][]uint64 // per-thread freelists of retired node addresses
@@ -144,6 +149,7 @@ func NewSBQ(m *Machine, opt SBQOptions) *SBQ {
 		tryAppend:  opt.Append,
 		name:       opt.Name,
 		rec:        obs.Normalize(opt.Rec),
+		ev:         obs.Events(opt.Rec),
 		enq:        make([]enqState, opt.Threads),
 		free:       make([][]uint64, opt.Threads),
 	}
@@ -158,6 +164,14 @@ func NewSBQ(m *Machine, opt SBQOptions) *SBQ {
 	// The sentinel's basket must read as empty.
 	m.Poke(sentinel+q.offEmpty(), 1)
 	return q
+}
+
+// event records one timeline event on thread tid's lane, if a flight
+// recorder is attached.
+func (q *SBQ) event(k obs.EventKind, tid int, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, int32(tid), arg)
+	}
 }
 
 // partBounds returns partition k's cell range [lo, hi).
@@ -256,6 +270,7 @@ func (q *SBQ) basketExtractInner(p *machine.Proc, node uint64, tid int) (uint64,
 			}
 			if idx == uint64(q.enqueuers)-1 {
 				p.Write(node+q.offEmpty(), 1)
+				q.event(obs.EvBasketClose, tid, node)
 			}
 			v := p.Swap(q.cellAddr(node, int(idx)), sentinelEmpty)
 			if v != sentinelInsert {
@@ -285,6 +300,7 @@ func (q *SBQ) basketExtractInner(p *machine.Proc, node uint64, tid int) (uint64,
 			if idx == n-1 {
 				if p.FAA(node+q.offExhausted(), 1)+1 == uint64(q.partitions) {
 					p.Write(node+q.offEmpty(), 1)
+					q.event(obs.EvBasketClose, tid, node)
 				}
 			}
 			v := p.Swap(q.cellAddr(node, lo+int(idx)), sentinelEmpty)
@@ -311,12 +327,14 @@ func (q *SBQ) tryAppendNode(p *machine.Proc, tid int, tail, newNode uint64) appe
 	if r := q.rec; r != nil {
 		r.Inc(obs.CASAttempts)
 	}
+	q.event(obs.EvCASAttempt, tid, machine.LineOf(tail+offNext))
 	if q.tryAppend(p, tid, tail+offNext, 0, newNode) {
 		return appendSuccess
 	}
 	if r := q.rec; r != nil {
 		r.Inc(obs.CASFailures)
 	}
+	q.event(obs.EvCASFailure, tid, machine.LineOf(tail+offNext))
 	return appendFailure
 }
 
@@ -327,6 +345,7 @@ func (q *SBQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 	if tid >= q.enqueuers {
 		panic("simqueue: enqueuer tid out of range")
 	}
+	q.event(obs.EvEnqStart, tid, 0)
 	t := q.protect(p, q.tailA, tid)
 	n := q.enq[tid].reserved
 	if n == 0 {
@@ -349,6 +368,8 @@ func (q *SBQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 		p.Write(n+offIndex, p.Read(t+offIndex)+1)
 		status := q.tryAppendNode(p, tid, t, n)
 		if status == appendSuccess {
+			// The node is linked: its basket is now open for insertion.
+			q.event(obs.EvBasketOpen, tid, n)
 			p.CAS(q.tailA, t, n)
 			q.enq[tid].reserved = 0
 			break
@@ -372,10 +393,12 @@ func (q *SBQ) Enqueue(p *machine.Proc, tid int, v uint64) {
 		q.advanceNode(p, q.tailA, t)
 	}
 	q.unprotect(p, tid)
+	q.event(obs.EvEnqEnd, tid, 1)
 }
 
 // Dequeue is Algorithm 5.
 func (q *SBQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
+	q.event(obs.EvDeqStart, tid, 0)
 	h := q.protect(p, q.headA, tid)
 	var elem uint64
 	var ok bool
@@ -407,6 +430,11 @@ func (q *SBQ) Dequeue(p *machine.Proc, tid int) (uint64, bool) {
 			r.Inc(obs.DeqEmpty)
 		}
 	}
+	var okArg uint64
+	if ok {
+		okArg = 1
+	}
+	q.event(obs.EvDeqEnd, tid, okArg)
 	return elem, ok
 }
 

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramMergeEmpty covers the degenerate merge shapes: two empties,
+// an empty into a populated histogram, and a populated one into an empty.
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Merge(b)
+	if a.Count != 0 || a.Sum != 0 {
+		t.Fatalf("empty+empty => count=%d sum=%d", a.Count, a.Sum)
+	}
+
+	var pop Histogram
+	for _, v := range []uint64{1, 2, 4, 1000} {
+		pop.Observe(v)
+	}
+	before := pop
+	pop.Merge(Histogram{}) // empty into populated: identity
+	if pop != before {
+		t.Fatalf("merge with empty changed histogram: %+v != %+v", pop, before)
+	}
+
+	var empty Histogram
+	empty.Merge(before) // populated into empty: copy
+	if empty != before {
+		t.Fatalf("merge into empty not a copy: %+v != %+v", empty, before)
+	}
+	if empty.Mean() != before.Mean() || empty.Quantile(0.5) != before.Quantile(0.5) {
+		t.Fatal("derived stats differ after merge into empty")
+	}
+}
+
+// TestHistogramMergeZeroBucket verifies that zero observations (bucket 0)
+// survive merging and keep the mean exact.
+func TestHistogramMergeZeroBucket(t *testing.T) {
+	var a, b Histogram
+	a.Observe(0)
+	a.Observe(0)
+	b.Observe(0)
+	b.Observe(8)
+	a.Merge(b)
+	if a.Buckets[0] != 3 {
+		t.Fatalf("zero bucket = %d, want 3", a.Buckets[0])
+	}
+	if a.Count != 4 || a.Sum != 8 {
+		t.Fatalf("count=%d sum=%d", a.Count, a.Sum)
+	}
+	if got := a.Mean(); got != 2 {
+		t.Fatalf("mean = %v, want 2", got)
+	}
+}
+
+// TestHistogramMergeOverflowBucket verifies values beyond the histogram's
+// span: they clamp into the last bucket, merge there, and a Sum that
+// exceeds 64 bits wraps (documented uint64 arithmetic) without disturbing
+// bucket counts.
+func TestHistogramMergeOverflowBucket(t *testing.T) {
+	var a, b Histogram
+	huge := uint64(1) << 50 // beyond the 2^39 span
+	a.Observe(huge)
+	b.Observe(math.MaxUint64)
+	a.Merge(b)
+	if a.Buckets[HistBuckets-1] != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", a.Buckets[HistBuckets-1])
+	}
+	if lo, hi := BucketBounds(HistBuckets - 1); lo != uint64(1)<<(HistBuckets-2) || hi != math.MaxUint64 {
+		t.Fatalf("last bucket bounds = [%d, %d)", lo, hi)
+	}
+	// Sum wrapped: huge + MaxUint64 ≡ huge - 1 (mod 2^64).
+	if a.Sum != huge-1 {
+		t.Fatalf("sum = %d, want wrapped %d", a.Sum, huge-1)
+	}
+	if a.Count != 2 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	// Quantiles stay within the last bucket despite the wrapped sum.
+	if q := a.Quantile(0.99); q < float64(uint64(1)<<(HistBuckets-2)) {
+		t.Fatalf("p99 = %v fell below the last bucket", q)
+	}
+}
+
+// TestHistogramMergeAdditive checks that merging two disjoint populations
+// is exactly equivalent to observing the union.
+func TestHistogramMergeAdditive(t *testing.T) {
+	var a, b, want Histogram
+	for v := uint64(1); v <= 64; v *= 2 {
+		a.Observe(v)
+		want.Observe(v)
+	}
+	for v := uint64(100); v <= 100000; v *= 10 {
+		b.Observe(v)
+		want.Observe(v)
+	}
+	a.Merge(b)
+	if a != want {
+		t.Fatalf("merge not additive:\n got %+v\nwant %+v", a, want)
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func trippedAbort(ts uint64, core int) Event {
+	return Event{TS: ts, Kind: obs.EvTxAbort, Lane: obs.MachineLane(core),
+		Arg: obs.AbortArg(obs.AbortConflict|obs.AbortTripped, -1, 0x100)}
+}
+
+func TestAnalyzeChains(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		// Chain of 3 (gaps 100 ≤ window) then, after a long gap, a chain of 2.
+		trippedAbort(100, 0),
+		trippedAbort(200, 1),
+		trippedAbort(300, 2),
+		trippedAbort(10_000, 3),
+		trippedAbort(10_100, 4),
+		// A non-tripped conflict abort must not join any chain.
+		{TS: 150, Kind: obs.EvTxAbort, Lane: obs.MachineLane(5),
+			Arg: obs.AbortArg(obs.AbortConflict, -1, 0x100)},
+	}}
+	// Events must be TS-sorted as Snapshot guarantees.
+	sortEvents(tr)
+	a := Analyze(tr, AnalyzeOptions{ChainWindow: 2000})
+	cs := a.Chains
+	if cs.TrippedAborts != 5 || cs.Chains != 2 || cs.Max != 3 {
+		t.Fatalf("chains = %+v", cs)
+	}
+	if cs.Dist[3] != 1 || cs.Dist[2] != 1 {
+		t.Fatalf("dist = %v", cs.Dist)
+	}
+	if cs.Mean != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", cs.Mean)
+	}
+}
+
+func sortEvents(tr *Trace) {
+	for i := 1; i < len(tr.Events); i++ {
+		for j := i; j > 0 && tr.Events[j].TS < tr.Events[j-1].TS; j-- {
+			tr.Events[j], tr.Events[j-1] = tr.Events[j-1], tr.Events[j]
+		}
+	}
+}
+
+func TestAnalyzeCascades(t *testing.T) {
+	const line = 0x2a40
+	conflict := func(ts uint64, core, requester int) Event {
+		return Event{TS: ts, Kind: obs.EvTxAbort, Lane: obs.MachineLane(core),
+			Arg: obs.AbortArg(obs.AbortConflict, requester, line)}
+	}
+	tr := &Trace{Events: []Event{
+		{TS: 50, Kind: obs.EvCohGetM, Lane: obs.MachineLane(0), Arg: line},
+		conflict(60, 1, 0),   // root: attributed to core 0's GetM
+		conflict(70, 2, 1),   // child of the abort at t=60 (same line, diff core)
+		conflict(80, 3, 2),   // grandchild
+		conflict(900, 4, -1), // outside CascadeWindow of t=80: a new root
+	}}
+	a := Analyze(tr, AnalyzeOptions{CascadeWindow: 100})
+	cs := a.Cascade
+	if cs.Aborts != 4 {
+		t.Fatalf("aborts = %d, want 4", cs.Aborts)
+	}
+	if cs.Roots != 2 || cs.MaxDepth != 2 {
+		t.Fatalf("cascade = %+v", cs)
+	}
+	if cs.DepthDist[0] != 2 || cs.DepthDist[1] != 1 || cs.DepthDist[2] != 1 {
+		t.Fatalf("depth dist = %v", cs.DepthDist)
+	}
+	if len(cs.Deepest) != 3 {
+		t.Fatalf("deepest tree = %v, want 3 nodes", cs.Deepest)
+	}
+}
+
+func TestAnalyzeOpsSocketSplit(t *testing.T) {
+	// Topology: 4 cores per socket. Lane 0 runs on core 0 (socket 0),
+	// lane 1 on core 5 (socket 1).
+	tr := &Trace{
+		Meta: map[string]string{
+			"cores_per_socket": "4",
+			"lane_cores":       FormatLaneCores(map[int32]int{0: 0, 1: 5}),
+		},
+		Events: []Event{
+			// Op A on lane 0: a cross-socket conflict lands on core 0
+			// mid-window (requester core 5 → socket 1).
+			{TS: 1000, Kind: obs.EvEnqStart, Lane: 0},
+			{TS: 1500, Kind: obs.EvTxAbort, Lane: obs.MachineLane(0),
+				Arg: obs.AbortArg(obs.AbortConflict, 5, 0x40)},
+			{TS: 2000, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+			// Op B on lane 0: clean.
+			{TS: 3000, Kind: obs.EvEnqStart, Lane: 0},
+			{TS: 3400, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+			// Op C on lane 0: intra-socket conflict (requester core 1).
+			{TS: 5000, Kind: obs.EvEnqStart, Lane: 0},
+			{TS: 5200, Kind: obs.EvTxAbort, Lane: obs.MachineLane(0),
+				Arg: obs.AbortArg(obs.AbortConflict, 1, 0x40)},
+			{TS: 5600, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+			// Empty dequeue on lane 1, clean.
+			{TS: 1000, Kind: obs.EvDeqStart, Lane: 1},
+			{TS: 1100, Kind: obs.EvDeqEnd, Lane: 1, Arg: 0},
+		},
+	}
+	sortEvents(tr)
+	a := Analyze(tr, AnalyzeOptions{})
+	if a.Enq.Count != 3 || a.Enq.Empty != 0 {
+		t.Fatalf("enq = %+v", a.Enq)
+	}
+	if a.Enq.Cross.Count != 1 || a.Enq.Intra.Count != 1 || a.Enq.Clean.Count != 1 {
+		t.Fatalf("enq split cross=%d intra=%d clean=%d, want 1/1/1",
+			a.Enq.Cross.Count, a.Enq.Intra.Count, a.Enq.Clean.Count)
+	}
+	if a.Enq.All.Count != 3 {
+		t.Fatalf("enq all = %d, want 3", a.Enq.All.Count)
+	}
+	if a.Deq.Count != 1 || a.Deq.Empty != 1 || a.Deq.Clean.Count != 1 {
+		t.Fatalf("deq = %+v", a.Deq)
+	}
+}
+
+func TestAnalyzeBaskets(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{TS: 100, Kind: obs.EvBasketOpen, Lane: 0, Arg: 7},
+		{TS: 600, Kind: obs.EvBasketClose, Lane: 1, Arg: 7},
+		{TS: 700, Kind: obs.EvBasketOpen, Lane: 0, Arg: 8}, // never closes
+		// Two successful enqueues for the ops/basket ratio.
+		{TS: 110, Kind: obs.EvEnqStart, Lane: 0},
+		{TS: 120, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+		{TS: 130, Kind: obs.EvEnqStart, Lane: 0},
+		{TS: 140, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+	}}
+	sortEvents(tr)
+	a := Analyze(tr, AnalyzeOptions{})
+	bs := a.Baskets
+	if bs.Opened != 2 || bs.Closed != 1 {
+		t.Fatalf("baskets = %+v", bs)
+	}
+	if bs.Lifetime.Count != 1 {
+		t.Fatalf("lifetime count = %d, want 1", bs.Lifetime.Count)
+	}
+	if bs.OpsPerBasket != 1 {
+		t.Fatalf("ops/basket = %v, want 1", bs.OpsPerBasket)
+	}
+}
+
+func TestAnalysisFormat(t *testing.T) {
+	tr := &Trace{
+		Clock: "sim-ns",
+		Meta: map[string]string{
+			"cores_per_socket": "4",
+			"lane_cores":       FormatLaneCores(map[int32]int{0: 0}),
+		},
+		Events: []Event{
+			trippedAbort(100, 0),
+			trippedAbort(200, 1),
+			{TS: 1000, Kind: obs.EvEnqStart, Lane: 0},
+			{TS: 2000, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+			{TS: 500, Kind: obs.EvBasketOpen, Lane: 0, Arg: 1},
+			{TS: 900, Kind: obs.EvBasketClose, Lane: 0, Arg: 1},
+		},
+	}
+	sortEvents(tr)
+	out := Analyze(tr, AnalyzeOptions{}).Format()
+	for _, want := range []string{
+		"tripped-writer serialization chains",
+		"tripped aborts=2 chains=1",
+		"abort cascades",
+		"enqueue latency breakdown",
+		"basket lifecycle",
+		"opened=1 closed=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty traces must not panic or divide by zero.
+	if out := Analyze(&Trace{}, AnalyzeOptions{}).Format(); out == "" {
+		t.Error("empty-trace report is empty")
+	}
+}

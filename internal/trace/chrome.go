@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// ChromeSchema versions the exported JSON so the analyzer can refuse
+// files it does not understand.
+const ChromeSchema = "sbqtrace/v1"
+
+// Chrome trace_event process ids: queue-layer lanes render under one
+// process group, machine-layer core lanes under another, so Perfetto
+// shows the two layers as separate swimlane blocks.
+const (
+	chromePIDQueue   = 1
+	chromePIDMachine = 2
+)
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+// Timestamps and durations are in microseconds (the format's unit);
+// fractional values keep nanosecond precision.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func usOf(ns uint64) float64 { return float64(ns) / 1e3 }
+func nsOf(us float64) uint64 { return uint64(math.Round(us * 1e3)) }
+
+func kindCat(k obs.EventKind) string {
+	switch k {
+	case obs.EvTxBegin, obs.EvTxCommit, obs.EvTxAbort:
+		return "htm"
+	case obs.EvCohGetS, obs.EvCohGetM:
+		return "coh"
+	case obs.EvBasketOpen, obs.EvBasketClose:
+		return "basket"
+	case obs.EvCASAttempt, obs.EvCASFailure, obs.EvCASFallback:
+		return "cas"
+	default:
+		return "queue"
+	}
+}
+
+func chromeLane(lane int32) (pid, tid int) {
+	if obs.IsMachineLane(lane) {
+		return chromePIDMachine, obs.LaneCore(lane)
+	}
+	return chromePIDQueue, int(lane)
+}
+
+// opEnd maps an op-start kind to its end kind.
+func opEnd(k obs.EventKind) (obs.EventKind, bool) {
+	switch k {
+	case obs.EvEnqStart:
+		return obs.EvEnqEnd, true
+	case obs.EvDeqStart:
+		return obs.EvDeqEnd, true
+	}
+	return 0, false
+}
+
+func opName(k obs.EventKind) string {
+	if k == obs.EvEnqStart {
+		return "enq"
+	}
+	return "deq"
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON. Operation
+// start/end pairs on the same lane become complete ("X") slices so the
+// viewer draws per-op duration bars; everything else becomes thread-
+// scoped instant events. The export is lossless: raw kind and argument
+// values ride in each event's args, and ReadChrome inverts the mapping.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	f := chromeFile{DisplayTimeUnit: "ns", OtherData: map[string]string{}}
+	for k, v := range t.Meta {
+		f.OtherData[k] = v
+	}
+	f.OtherData["schema"] = ChromeSchema
+	f.OtherData["clock"] = t.Clock
+	f.OtherData["epoch"] = fmt.Sprint(t.Epoch)
+	f.OtherData["dropped"] = fmt.Sprint(t.Dropped)
+
+	// Process and thread name metadata.
+	f.TraceEvents = append(f.TraceEvents,
+		chromeEvent{Name: "process_name", Ph: "M", PID: chromePIDQueue,
+			Args: map[string]any{"name": "queue"}},
+		chromeEvent{Name: "process_name", Ph: "M", PID: chromePIDMachine,
+			Args: map[string]any{"name": "machine"}},
+	)
+	lanes := make([]int32, 0, len(t.Lanes))
+	for l := range t.Lanes {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	for _, l := range lanes {
+		pid, tid := chromeLane(l)
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": t.Lanes[l], "lane": l},
+		})
+	}
+
+	// Pair op start/end events per (lane, op) so concurrent lanes never
+	// steal each other's ends; mismatches fall back to instants.
+	type openOp struct{ idx int } // index into f.TraceEvents of the open X slice
+	type opKey struct {
+		lane int32
+		kind obs.EventKind
+	}
+	open := map[opKey][]openOp{}
+	startTS := map[int]uint64{}
+
+	for _, e := range t.Events {
+		pid, tid := chromeLane(e.Lane)
+		if endKind, ok := opEnd(e.Kind); ok {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: opName(e.Kind), Cat: "queue", Ph: "X",
+				TS: usOf(e.TS), PID: pid, TID: tid,
+				Args: map[string]any{"sk": int(e.Kind), "ek": int(endKind), "sa": e.Arg, "l": e.Lane},
+			})
+			idx := len(f.TraceEvents) - 1
+			k := opKey{e.Lane, e.Kind}
+			open[k] = append(open[k], openOp{idx})
+			startTS[idx] = e.TS
+			continue
+		}
+		if e.Kind == obs.EvEnqEnd || e.Kind == obs.EvDeqEnd {
+			sk := obs.EvEnqStart
+			if e.Kind == obs.EvDeqEnd {
+				sk = obs.EvDeqStart
+			}
+			k := opKey{e.Lane, sk}
+			if stack := open[k]; len(stack) > 0 {
+				op := stack[len(stack)-1]
+				open[k] = stack[:len(stack)-1]
+				ce := &f.TraceEvents[op.idx]
+				ce.Dur = usOf(e.TS - startTS[op.idx])
+				if ce.Dur == 0 {
+					ce.Dur = 0.001 // minimum visible width: 1ns
+				}
+				ce.Args["ea"] = e.Arg
+				continue
+			}
+			// Unmatched end: keep it as an instant so nothing is lost.
+		}
+		args := map[string]any{"k": int(e.Kind), "a": e.Arg, "l": e.Lane}
+		if e.Kind == obs.EvTxAbort {
+			args["reason"] = abortReasonString(obs.AbortReason(e.Arg))
+			if req := obs.AbortRequester(e.Arg); req >= 0 {
+				args["requester"] = req
+			}
+			if line := obs.AbortLine(e.Arg); line != 0 {
+				args["line"] = fmt.Sprintf("%#x", line)
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: e.Kind.String(), Cat: kindCat(e.Kind), Ph: "i", S: "t",
+			TS: usOf(e.TS), PID: pid, TID: tid, Args: args,
+		})
+	}
+	// Unmatched starts stay as zero-duration slices; give them the
+	// minimum width so viewers render them.
+	for _, stack := range open {
+		for _, op := range stack {
+			if f.TraceEvents[op.idx].Dur == 0 {
+				f.TraceEvents[op.idx].Dur = 0.001
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+func abortReasonString(r uint8) string {
+	s := ""
+	add := func(bit uint8, name string) {
+		if r&bit != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(obs.AbortConflict, "conflict")
+	add(obs.AbortExplicit, "explicit")
+	add(obs.AbortNested, "nested")
+	add(obs.AbortCapacity, "capacity")
+	add(obs.AbortSpurious, "spurious")
+	add(obs.AbortTripped, "tripped")
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+func asUint64(v any) (uint64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return uint64(x), true
+	case json.Number:
+		n, err := x.Int64()
+		if err != nil {
+			return 0, false
+		}
+		return uint64(n), true
+	}
+	return 0, false
+}
+
+// ReadChrome parses a trace previously exported by WriteChrome back into
+// a Trace. It refuses files without the sbqtrace schema marker: the
+// analyzer's reconstructions depend on the raw kind/arg values WriteChrome
+// embeds, which arbitrary trace_event files do not carry.
+func ReadChrome(r io.Reader) (*Trace, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parsing trace_event JSON: %w", err)
+	}
+	if got := f.OtherData["schema"]; got != ChromeSchema {
+		return nil, fmt.Errorf("trace: unsupported schema %q (want %q)", got, ChromeSchema)
+	}
+	t := &Trace{Clock: f.OtherData["clock"], Lanes: map[int32]string{}, Meta: map[string]string{}}
+	for k, v := range f.OtherData {
+		switch k {
+		case "schema", "clock", "epoch", "dropped":
+		default:
+			t.Meta[k] = v
+		}
+	}
+	fmt.Sscanf(f.OtherData["epoch"], "%d", &t.Epoch)
+	fmt.Sscanf(f.OtherData["dropped"], "%d", &t.Dropped)
+
+	for _, ce := range f.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			if ce.Name == "thread_name" {
+				if lv, ok := asUint64(ce.Args["lane"]); ok {
+					if name, ok := ce.Args["name"].(string); ok {
+						t.Lanes[int32(uint32(lv))] = name
+					}
+				}
+			}
+		case "X":
+			lane, lok := asUint64(ce.Args["l"])
+			sk, skok := asUint64(ce.Args["sk"])
+			ek, ekok := asUint64(ce.Args["ek"])
+			if !lok || !skok || !ekok {
+				continue
+			}
+			sa, _ := asUint64(ce.Args["sa"])
+			start := nsOf(ce.TS)
+			t.Events = append(t.Events, Event{TS: start, Arg: sa,
+				Kind: obs.EventKind(sk), Lane: int32(uint32(lane))})
+			if ea, ok := asUint64(ce.Args["ea"]); ok {
+				t.Events = append(t.Events, Event{TS: start + nsOf(ce.Dur), Arg: ea,
+					Kind: obs.EventKind(ek), Lane: int32(uint32(lane))})
+			}
+		case "i", "I":
+			lane, lok := asUint64(ce.Args["l"])
+			k, kok := asUint64(ce.Args["k"])
+			if !lok || !kok {
+				continue
+			}
+			a, _ := asUint64(ce.Args["a"])
+			t.Events = append(t.Events, Event{TS: nsOf(ce.TS), Arg: a,
+				Kind: obs.EventKind(k), Lane: int32(uint32(lane))})
+		}
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].TS < t.Events[j].TS })
+	return t, nil
+}

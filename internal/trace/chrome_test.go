@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sampleTrace builds a trace exercising every export path: paired ops,
+// an unmatched end, machine-lane instants, a packed abort arg, and Meta.
+func sampleTrace() *Trace {
+	return &Trace{
+		Events: []Event{
+			{TS: 100, Kind: obs.EvEnqStart, Lane: 0},
+			{TS: 150, Kind: obs.EvCASAttempt, Lane: 0, Arg: 7},
+			{TS: 200, Kind: obs.EvTxBegin, Lane: obs.MachineLane(2), Arg: 9},
+			{TS: 250, Kind: obs.EvTxAbort, Lane: obs.MachineLane(2),
+				Arg: obs.AbortArg(obs.AbortConflict|obs.AbortTripped, 5, 0x40)},
+			{TS: 300, Kind: obs.EvEnqEnd, Lane: 0, Arg: 1},
+			{TS: 400, Kind: obs.EvDeqStart, Lane: 1},
+			{TS: 500, Kind: obs.EvDeqEnd, Lane: 1, Arg: 0},
+			{TS: 600, Kind: obs.EvBasketOpen, Lane: 1, Arg: 0xbeef},
+			{TS: 700, Kind: obs.EvDeqEnd, Lane: 3}, // unmatched end
+		},
+		Lanes: map[int32]string{0: "main", 1: "prod-1", 3: "cons-0"},
+		Epoch: 2, Dropped: 11, Clock: "sim-ns",
+		Meta: map[string]string{"variant": "sbq-txcas", "sockets": "2"},
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The export must be well-formed trace_event JSON.
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if _, ok := generic["traceEvents"].([]any); !ok {
+		t.Fatal("export lacks a traceEvents array")
+	}
+
+	got, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clock != orig.Clock || got.Epoch != orig.Epoch || got.Dropped != orig.Dropped {
+		t.Errorf("header = %q/%d/%d, want %q/%d/%d",
+			got.Clock, got.Epoch, got.Dropped, orig.Clock, orig.Epoch, orig.Dropped)
+	}
+	for k, v := range orig.Meta {
+		if got.Meta[k] != v {
+			t.Errorf("meta %q = %q, want %q", k, got.Meta[k], v)
+		}
+	}
+	for l, name := range orig.Lanes {
+		if got.Lanes[l] != name {
+			t.Errorf("lane %d = %q, want %q", l, got.Lanes[l], name)
+		}
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("got %d events, want %d:\n%v", len(got.Events), len(orig.Events), got.Events)
+	}
+	for i, e := range orig.Events {
+		if got.Events[i] != e {
+			t.Errorf("event %d = %v, want %v", i, got.Events[i], e)
+		}
+	}
+}
+
+func TestChromeAbortDecoration(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Perfetto users see decoded abort fields without knowing the packing.
+	for _, want := range []string{`"reason": "conflict+tripped"`, `"requester": 5`, `"line": "0x40"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+	// Swimlane grouping metadata.
+	for _, want := range []string{`"process_name"`, `"thread_name"`, `"prod-1"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("export missing %s metadata", want)
+		}
+	}
+}
+
+func TestReadChromeRejectsForeign(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Error("accepted a trace without the sbqtrace schema marker")
+	}
+	if _, err := ReadChrome(strings.NewReader(`not json`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}

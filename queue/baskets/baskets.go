@@ -38,6 +38,17 @@ type Queue[T any] struct {
 	tail atomic.Pointer[node[T]]
 	_    [56]byte
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector); events land on the collector handle's
+	// own lane (obs.LaneDefault).
+	ev obs.EventRecorder
+}
+
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, obs.LaneDefault, arg)
+	}
 }
 
 // New returns an empty queue configured by opts.
@@ -46,7 +57,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	q := &Queue[T]{rec: o.rec}
+	q := &Queue[T]{rec: o.rec, ev: obs.Events(o.rec)}
 	s := &node[T]{}
 	s.next.Store(&edge[T]{})
 	q.head.Store(s)
@@ -61,6 +72,7 @@ func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	q.event(obs.EvEnqStart, 0)
 	n := &node[T]{v: v}
 	n.next.Store(&edge[T]{})
 	for first := true; ; first = false {
@@ -79,13 +91,16 @@ func (q *Queue[T]) Enqueue(v T) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.CASAttempts)
 			}
+			q.event(obs.EvCASAttempt, 0)
 			if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
 				q.tail.CompareAndSwap(tail, n)
+				q.event(obs.EvEnqEnd, 1)
 				return
 			}
 			if r := q.rec; r != nil {
 				r.Inc(obs.CASFailures)
 			}
+			q.event(obs.EvCASFailure, 0)
 			// Failed: a winner linked concurrently. Push into the basket
 			// between tail and its (growing) chain of concurrent nodes.
 			for {
@@ -98,6 +113,7 @@ func (q *Queue[T]) Enqueue(v T) {
 					if r := q.rec; r != nil {
 						r.Inc(obs.BasketInserts)
 					}
+					q.event(obs.EvEnqEnd, 1)
 					return
 				}
 				if r := q.rec; r != nil {
@@ -129,6 +145,7 @@ func (q *Queue[T]) fixTail(tail *node[T]) {
 // which closes head's basket — then swings head forward.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -145,6 +162,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqEmpty)
 			}
+			q.event(obs.EvDeqEnd, 0)
 			return zero, false
 		}
 		if q.tail.Load() == head {
@@ -153,16 +171,19 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASAttempts)
 		}
+		q.event(obs.EvCASAttempt, 0)
 		if head.next.CompareAndSwap(w, &edge[T]{to: w.to, deleted: true}) {
 			v := w.to.v
 			q.head.CompareAndSwap(head, w.to)
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqOps)
 			}
+			q.event(obs.EvDeqEnd, 1)
 			return v, true
 		}
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASFailures)
 		}
+		q.event(obs.EvCASFailure, 0)
 	}
 }

@@ -48,8 +48,19 @@ type Queue[T any] struct {
 	combineLimit int
 
 	rec obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector); events land on the collector handle's
+	// own lane (obs.LaneDefault).
+	ev obs.EventRecorder
 
 	spare sync.Pool // *request[T] spares for threads' first operations
+}
+
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, obs.LaneDefault, arg)
+	}
 }
 
 // New returns an empty queue configured by opts (see WithCombineLimit and
@@ -62,7 +73,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	if o.combineLimit <= 0 {
 		panic("ccq: combine limit must be positive")
 	}
-	q := &Queue[T]{combineLimit: o.combineLimit, rec: o.rec}
+	q := &Queue[T]{combineLimit: o.combineLimit, rec: o.rec, ev: obs.Events(o.rec)}
 	dummy := &request[T]{} // wait==0: first arrival combines immediately
 	q.tail.Store(dummy)
 	s := &snode[T]{}
@@ -140,12 +151,15 @@ func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	q.event(obs.EvEnqStart, 0)
 	q.apply(true, v)
+	q.event(obs.EvEnqEnd, 1)
 }
 
 // Dequeue removes the oldest element through the combiner.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, 0)
 	v, ok := q.apply(false, zero)
 	if r := q.rec; r != nil {
 		if ok {
@@ -154,5 +168,10 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			r.Inc(obs.DeqEmpty)
 		}
 	}
+	var okArg uint64
+	if ok {
+		okArg = 1
+	}
+	q.event(obs.EvDeqEnd, okArg)
 	return v, ok
 }

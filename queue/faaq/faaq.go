@@ -56,6 +56,17 @@ type Queue[T any] struct {
 	deqSeg atomic.Pointer[segment[T]]
 	_      [56]byte
 	rec    obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector); events land on the collector handle's
+	// own lane (obs.LaneDefault).
+	ev obs.EventRecorder
+}
+
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, obs.LaneDefault, arg)
+	}
 }
 
 // New returns an empty queue configured by opts.
@@ -64,7 +75,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	q := &Queue[T]{rec: o.rec}
+	q := &Queue[T]{rec: o.rec, ev: obs.Events(o.rec)}
 	s := &segment[T]{}
 	q.enqSeg.Store(s)
 	q.deqSeg.Store(s)
@@ -109,6 +120,7 @@ func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	q.event(obs.EvEnqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -119,9 +131,12 @@ func (q *Queue[T]) Enqueue(v T) {
 		idx := q.enqIdx.Add(1) - 1
 		c := findCell(&q.enqSeg, seg, idx)
 		c.v = v
+		q.event(obs.EvCASAttempt, idx)
 		if c.state.CompareAndSwap(cellEmpty, cellFull) {
+			q.event(obs.EvEnqEnd, 1)
 			return
 		}
+		q.event(obs.EvCASFailure, idx)
 		// Poisoned by an overtaking dequeuer; retry at a fresh index.
 	}
 }
@@ -130,6 +145,7 @@ func (q *Queue[T]) Enqueue(v T) {
 // whose enqueuer has not arrived.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -140,6 +156,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqEmpty)
 			}
+			q.event(obs.EvDeqEnd, 0)
 			return zero, false
 		}
 		seg := q.deqSeg.Load() // snapshot before the claim; see findCell
@@ -149,6 +166,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqOps)
 			}
+			q.event(obs.EvDeqEnd, 1)
 			return c.v, true
 		}
 		// The enqueuer of this cell has not arrived; it will see the

@@ -173,6 +173,17 @@ type Queue[T any] struct {
 	_    [56]byte
 	size uint64
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector); events land on the collector handle's
+	// own lane (obs.LaneDefault).
+	ev obs.EventRecorder
+}
+
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, obs.LaneDefault, arg)
+	}
 }
 
 // New returns an empty queue configured by opts.
@@ -184,7 +195,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	if o.ringSize <= 0 {
 		panic("lcrq: ring size must be positive")
 	}
-	q := &Queue[T]{size: uint64(o.ringSize), rec: o.rec}
+	q := &Queue[T]{size: uint64(o.ringSize), rec: o.rec, ev: obs.Events(o.rec)}
 	r := newCRQ[T](0, q.size, q.rec)
 	q.head.Store(r)
 	q.tail.Store(r)
@@ -196,6 +207,7 @@ func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	q.event(obs.EvEnqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -208,21 +220,26 @@ func (q *Queue[T]) Enqueue(v T) {
 			continue
 		}
 		if r.enqueue(&v) {
+			q.event(obs.EvEnqEnd, 1)
 			return
 		}
 		// Ring closed: append a successor and retry there.
 		nr := newCRQ[T](0, q.size, q.rec)
 		nr.enqueue(&v)
+		q.event(obs.EvCASAttempt, 0)
 		if r.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(r, nr)
+			q.event(obs.EvEnqEnd, 1)
 			return
 		}
+		q.event(obs.EvCASFailure, 0)
 	}
 }
 
 // Dequeue removes the oldest element.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -234,6 +251,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqOps)
 			}
+			q.event(obs.EvDeqEnd, 1)
 			return *v, true
 		}
 		// Ring drained. If it has no successor the queue is empty;
@@ -243,6 +261,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqEmpty)
 			}
+			q.event(obs.EvDeqEnd, 0)
 			return zero, false
 		}
 		// Re-check after observing next: an enqueue may have slipped in.
@@ -250,6 +269,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqOps)
 			}
+			q.event(obs.EvDeqEnd, 1)
 			return *v, true
 		}
 		q.head.CompareAndSwap(r, next)

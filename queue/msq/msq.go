@@ -24,6 +24,17 @@ type Queue[T any] struct {
 	tail atomic.Pointer[node[T]]
 	_    [56]byte
 	rec  obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector); events land on the collector handle's
+	// own lane (obs.LaneDefault).
+	ev obs.EventRecorder
+}
+
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, obs.LaneDefault, arg)
+	}
 }
 
 // New returns an empty queue configured by opts.
@@ -32,7 +43,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	q := &Queue[T]{rec: o.rec}
+	q := &Queue[T]{rec: o.rec, ev: obs.Events(o.rec)}
 	s := &node[T]{}
 	q.head.Store(s)
 	q.tail.Store(s)
@@ -44,6 +55,7 @@ func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	q.event(obs.EvEnqStart, 0)
 	n := &node[T]{v: v}
 	for first := true; ; first = false {
 		if !first {
@@ -63,19 +75,23 @@ func (q *Queue[T]) Enqueue(v T) {
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASAttempts)
 		}
+		q.event(obs.EvCASAttempt, 0)
 		if tail.next.CompareAndSwap(nil, n) {
 			q.tail.CompareAndSwap(tail, n)
+			q.event(obs.EvEnqEnd, 1)
 			return
 		}
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASFailures)
 		}
+		q.event(obs.EvCASFailure, 0)
 	}
 }
 
 // Dequeue removes the oldest element.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, 0)
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -92,6 +108,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqEmpty)
 			}
+			q.event(obs.EvDeqEnd, 0)
 			return zero, false
 		}
 		if head == tail {
@@ -102,14 +119,17 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASAttempts)
 		}
+		q.event(obs.EvCASAttempt, 0)
 		if q.head.CompareAndSwap(head, next) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqOps)
 			}
+			q.event(obs.EvDeqEnd, 1)
 			return v, true
 		}
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASFailures)
 		}
+		q.event(obs.EvCASFailure, 0)
 	}
 }

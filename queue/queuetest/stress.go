@@ -1,8 +1,10 @@
 package queuetest
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"testing"
 )
@@ -26,27 +28,33 @@ func Stress(t *testing.T, f Factory, procs, producers, consumers, perProducer in
 	want := producers * perProducer
 	got := make([]map[uint64]int, consumers)
 
+	// Label worker goroutines so a CPU profile taken over the suite (e.g.
+	// go test -cpuprofile) splits samples by queue under test and role.
+	labels := func(role string) pprof.LabelSet {
+		return pprof.Labels("queue", t.Name(), "role", role)
+	}
+
 	var wg sync.WaitGroup
 	var done sync.WaitGroup
 	done.Add(producers)
 	for pi := 0; pi < producers; pi++ {
 		pi := pi
 		wg.Add(1)
-		go func() {
+		go pprof.Do(context.Background(), labels("producer"), func(context.Context) {
 			defer wg.Done()
 			defer done.Done()
 			q := prodView(pi)
 			for i := 0; i < perProducer; i++ {
 				q.Enqueue(value(pi, i))
 			}
-		}()
+		})
 	}
 	producersDone := make(chan struct{})
 	go func() { done.Wait(); close(producersDone) }()
 	for ci := 0; ci < consumers; ci++ {
 		ci := ci
 		wg.Add(1)
-		go func() {
+		go pprof.Do(context.Background(), labels("consumer"), func(context.Context) {
 			defer wg.Done()
 			q := consView(ci)
 			seen := make(map[uint64]int, want/consumers+1)
@@ -71,7 +79,7 @@ func Stress(t *testing.T, f Factory, procs, producers, consumers, perProducer in
 					runtime.Gosched()
 				}
 			}
-		}()
+		})
 	}
 	wg.Wait()
 

@@ -59,6 +59,10 @@ type Queue[T any] struct {
 	tryCAS    appendFn[T]
 	newBasket func() basket.Basket[T]
 	rec       obs.Recorder // nil unless WithRecorder attached telemetry
+	// ev is the timeline extension of rec (nil unless the recorder is a
+	// flight-recorder collector). Producer events land on lane=handle id;
+	// dequeues use the collector handle's own lane (obs.LaneDefault).
+	ev obs.EventRecorder
 
 	producers atomic.Int64 // handles issued
 }
@@ -68,7 +72,7 @@ type Queue[T any] struct {
 // try_append, and no telemetry.
 func New[T any](opts ...Option) *Queue[T] {
 	o := buildOptions[T](opts)
-	q := &Queue[T]{enqueuers: o.enqueuers, rec: o.rec}
+	q := &Queue[T]{enqueuers: o.enqueuers, rec: o.rec, ev: obs.Events(o.rec)}
 	if o.newBasket != nil {
 		q.newBasket = o.newBasket.(func() basket.Basket[T])
 	} else {
@@ -148,6 +152,13 @@ func (q *Queue[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{q: q, id: id}
 }
 
+// event records one timeline event, if a flight recorder is attached.
+func (q *Queue[T]) event(k obs.EventKind, lane int32, arg uint64) {
+	if ev := q.ev; ev != nil {
+		ev.Event(k, lane, arg)
+	}
+}
+
 // tryAppend is Algorithm 4.
 type appendStatus int
 
@@ -157,19 +168,21 @@ const (
 	appendBadTail
 )
 
-func (q *Queue[T]) tryAppend(tail, n *node[T]) appendStatus {
+func (q *Queue[T]) tryAppend(tail, n *node[T], lane int32) appendStatus {
 	if tail.next.Load() != nil {
 		return appendBadTail
 	}
 	if r := q.rec; r != nil {
 		r.Inc(obs.CASAttempts)
 	}
+	q.event(obs.EvCASAttempt, lane, 0)
 	if q.tryCAS(&tail.next, n) {
 		return appendSuccess
 	}
 	if r := q.rec; r != nil {
 		r.Inc(obs.CASFailures)
 	}
+	q.event(obs.EvCASFailure, lane, 0)
 	return appendFailure
 }
 
@@ -202,6 +215,8 @@ func (h *Handle[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
+	lane := int32(h.id)
+	q.event(obs.EvEnqStart, lane, 0)
 	t := q.tail.Load()
 	n := h.reserved
 	if n == nil {
@@ -217,15 +232,17 @@ func (h *Handle[T]) Enqueue(v T) {
 			}
 		}
 		n.index = t.index + 1
-		switch q.tryAppend(t, n) {
+		switch q.tryAppend(t, n, lane) {
 		case appendSuccess:
 			q.tail.CompareAndSwap(t, n)
 			h.reserved = nil
+			q.event(obs.EvEnqEnd, lane, 1)
 			return
 		case appendFailure:
 			t = t.next.Load()
 			if t.basket.Insert(h.id, v) {
 				h.reserved = n // keep the unappended node for reuse
+				q.event(obs.EvEnqEnd, lane, 1)
 				return
 			}
 		}
@@ -250,6 +267,7 @@ func (h *Handle[T]) Dequeue() (T, bool) { return h.q.Dequeue() }
 // no per-thread state and may be called on the queue directly.
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
+	q.event(obs.EvDeqStart, obs.LaneDefault, 0)
 	h := q.head.Load()
 	var v T
 	var ok bool
@@ -280,7 +298,9 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 	}
 	if !ok {
+		q.event(obs.EvDeqEnd, obs.LaneDefault, 0)
 		return zero, false
 	}
+	q.event(obs.EvDeqEnd, obs.LaneDefault, 1)
 	return v, true
 }

@@ -2,6 +2,7 @@ package sbq
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,19 +13,21 @@ import (
 // calibrates a pure spin loop against the monotonic clock once, then waits
 // by iteration count.
 
-// spinSink defeats dead-code elimination of the spin loop.
-var spinSink uint64
+// spinSink defeats dead-code elimination of the spin loop. It is shared
+// by every spinning goroutine, so the accesses are atomic; the loop body
+// itself touches only locals.
+var spinSink atomic.Uint64
 
 // spinIters runs n dependent iterations. noinline keeps the loop's cost
 // stable between the calibration probe and real waits.
 //
 //go:noinline
 func spinIters(n uint64) {
-	s := spinSink
+	s := spinSink.Load()
 	for i := uint64(0); i < n; i++ {
 		s += i ^ (s >> 1)
 	}
-	spinSink = s
+	spinSink.Store(s)
 }
 
 var spinCal struct {
