@@ -25,19 +25,19 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/benchjson"
+	"repro/internal/cliflag"
 	"repro/internal/obs"
 	"repro/queue/registry"
 )
 
 func main() {
 	workload := flag.String("workload", "enqueue", "enqueue, dequeue, or mixed")
-	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,NumCPU)")
+	threads := cliflag.Threads(flag.CommandLine, "comma-separated thread counts (default 1,2,4,...,NumCPU)")
 	ops := flag.Int("ops", 100_000, "operations per thread")
 	only := flag.String("impl", "", "run a single implementation by name")
 	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
@@ -62,20 +62,9 @@ func main() {
 		}
 	}
 
-	var threadCounts []int
-	if *threadsFlag == "" {
-		for n := 1; n <= runtime.NumCPU(); n *= 2 {
-			threadCounts = append(threadCounts, n)
-		}
-	} else {
-		for _, s := range strings.Split(*threadsFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "sbqbench: bad thread count %q\n", s)
-				os.Exit(2)
-			}
-			threadCounts = append(threadCounts, n)
-		}
+	threadCounts := threads.Counts
+	if len(threadCounts) == 0 {
+		threadCounts = cliflag.PowersOfTwo(runtime.NumCPU())
 	}
 	sort.Ints(threadCounts)
 

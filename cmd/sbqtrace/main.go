@@ -16,6 +16,8 @@
 //	sbqtrace -record -workload txcas -out trace.json   record the §3.4.1 cross-socket
 //	                                                   TxCAS regime (dense in tripped
 //	                                                   writers)
+//	sbqtrace -record -faults p=0.2,jitter=40 ...       record under injected HTM
+//	                                                   faults (see -faults spec)
 //	sbqtrace trace.json                                analyze a recorded trace
 //	sbqtrace -record trace-and-analyze.json -analyze   record, write, and analyze
 package main
@@ -25,7 +27,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflag"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/trace"
 )
 
@@ -37,12 +41,13 @@ func main() {
 	variant := flag.String("variant", string(harness.SBQHTM), "with -record -workload mixed: queue variant")
 	threads := flag.Int("threads", 8, "with -record: threads per side (producers=consumers, or TxCASers per socket)")
 	ops := flag.Int("ops", 300, "with -record: operations per thread")
+	faults := cliflag.Faults(flag.CommandLine)
 	chainWindow := flag.Uint64("chain-window", 0, "chain gap threshold in trace time units (0 = default)")
 	cascadeWindow := flag.Uint64("cascade-window", 0, "cascade attribution window in trace time units (0 = default)")
 	flag.Parse()
 
 	if *record {
-		doRecord(*workload, *variant, *threads, *ops, *out, *analyze, *chainWindow, *cascadeWindow)
+		doRecord(*workload, *variant, *threads, *ops, faults.Plan, *out, *analyze, *chainWindow, *cascadeWindow)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -61,18 +66,19 @@ func main() {
 	report(tr, *chainWindow, *cascadeWindow)
 }
 
-func doRecord(workload, variant string, threads, ops int, out string, analyze bool, cw, caw uint64) {
+func doRecord(workload, variant string, threads, ops int, faults machine.FaultPlan, out string, analyze bool, cw, caw uint64) {
 	o := harness.Options{
 		OpsPerThread: ops,
 		ThreadCounts: []int{threads},
 		Progress:     os.Stderr,
+		Faults:       faults,
 	}
 	var tr *trace.Trace
 	switch workload {
 	case "mixed":
-		tr = harness.RunTrace(harness.Variant(variant), o)
+		tr = harness.Run(harness.TraceQueue{Variant: harness.Variant(variant)}, o).Trace
 	case "txcas":
-		tr = harness.RunTraceTxCAS(o)
+		tr = harness.Run(harness.TraceTxCAS{}, o).Trace
 	default:
 		fmt.Fprintf(os.Stderr, "sbqtrace: unknown workload %q (want mixed or txcas)\n", workload)
 		os.Exit(2)

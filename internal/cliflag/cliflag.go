@@ -1,0 +1,195 @@
+// Package cliflag holds the flag types shared by the repository's
+// commands. cmd/sbqsim, cmd/sbqbench, and cmd/sbqtrace used to hand-roll
+// their own comma-separated thread-list parsing (with subtly different
+// error behavior); they now register the same flag.Value implementations
+// from this package, so `-threads 1,2,8` and `-faults p=0.2,jitter=40`
+// mean the same thing — and fail the same way — everywhere.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// ThreadList is a flag.Value accepting a comma-separated list of positive
+// thread counts ("1,2,8"). An unset flag leaves Counts nil; commands
+// interpret that as their own default sweep.
+type ThreadList struct {
+	Counts []int
+}
+
+// String implements flag.Value.
+func (l *ThreadList) String() string {
+	if l == nil || len(l.Counts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(l.Counts))
+	for i, n := range l.Counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value. It replaces (not appends to) the current
+// list, so a repeated flag takes the last value like scalar flags do.
+func (l *ThreadList) Set(s string) error {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad thread count %q", strings.TrimSpace(f))
+		}
+		counts = append(counts, n)
+	}
+	l.Counts = counts
+	return nil
+}
+
+// Threads registers a "-threads" ThreadList on fs and returns it.
+func Threads(fs *flag.FlagSet, usage string) *ThreadList {
+	l := &ThreadList{}
+	fs.Var(l, "threads", usage)
+	return l
+}
+
+// PowersOfTwo returns 1, 2, 4, ... up to and including at most max — the
+// native benchmark's default sweep shape.
+func PowersOfTwo(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// FaultPlan is a flag.Value parsing a machine.FaultPlan from a compact
+// comma-separated spec of key[=value] fields:
+//
+//	p=0.2              spurious-abort probability per transaction
+//	cap=8              speculative capacity override, in cache lines
+//	disable            HTM off from the first transaction
+//	disable-after=5000 HTM off once 5000 transactions have started
+//	jitter=40          0..40 extra cycles per cross-socket message hop
+//	seed=7             injector stream seed (default derives from Config.Seed)
+//
+// Example: -faults p=0.05,disable-after=5000,jitter=40. Setting the flag
+// replaces the whole plan, so later occurrences win.
+type FaultPlan struct {
+	Plan machine.FaultPlan
+}
+
+// FaultUsage is the shared usage string for a "-faults" flag.
+const FaultUsage = "fault-injection spec: comma-separated p=<prob>, cap=<lines>, disable, disable-after=<txs>, jitter=<cycles>, seed=<n>"
+
+// String implements flag.Value, rendering the plan back in Set's syntax.
+func (f *FaultPlan) String() string {
+	if f == nil {
+		return ""
+	}
+	var parts []string
+	p := f.Plan
+	if p.SpuriousAbortProb > 0 {
+		parts = append(parts, fmt.Sprintf("p=%g", p.SpuriousAbortProb))
+	}
+	if p.CapacityLines > 0 {
+		parts = append(parts, fmt.Sprintf("cap=%d", p.CapacityLines))
+	}
+	if p.DisableHTM {
+		parts = append(parts, "disable")
+	}
+	if p.DisableHTMAfter > 0 {
+		parts = append(parts, fmt.Sprintf("disable-after=%d", p.DisableHTMAfter))
+	}
+	if p.CrossSocketJitter > 0 {
+		parts = append(parts, fmt.Sprintf("jitter=%d", p.CrossSocketJitter))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (f *FaultPlan) Set(s string) error {
+	var p machine.FaultPlan
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		needVal := func() error {
+			if !hasVal || val == "" {
+				return fmt.Errorf("fault field %q needs a value", key)
+			}
+			return nil
+		}
+		switch key {
+		case "disable":
+			if hasVal {
+				return fmt.Errorf("fault field %q takes no value", key)
+			}
+			p.DisableHTM = true
+		case "p":
+			if err := needVal(); err != nil {
+				return err
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return fmt.Errorf("bad abort probability %q (want 0..1)", val)
+			}
+			p.SpuriousAbortProb = v
+		case "cap":
+			if err := needVal(); err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad capacity %q (want a positive line count)", val)
+			}
+			p.CapacityLines = n
+		case "disable-after":
+			if err := needVal(); err != nil {
+				return err
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad disable-after %q (want a positive transaction count)", val)
+			}
+			p.DisableHTMAfter = n
+		case "jitter":
+			if err := needVal(); err != nil {
+				return err
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad jitter %q (want cycles)", val)
+			}
+			p.CrossSocketJitter = n
+		case "seed":
+			if err := needVal(); err != nil {
+				return err
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q", val)
+			}
+			p.Seed = n
+		default:
+			return fmt.Errorf("unknown fault field %q (have p, cap, disable, disable-after, jitter, seed)", key)
+		}
+	}
+	f.Plan = p
+	return nil
+}
+
+// Faults registers a "-faults" FaultPlan on fs and returns it.
+func Faults(fs *flag.FlagSet) *FaultPlan {
+	f := &FaultPlan{}
+	fs.Var(f, "faults", FaultUsage)
+	return f
+}

@@ -1,0 +1,104 @@
+package cliflag
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestThreadListSet(t *testing.T) {
+	var l ThreadList
+	if err := l.Set("1, 8,44"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.Counts, []int{1, 8, 44}) {
+		t.Fatalf("Counts = %v", l.Counts)
+	}
+	if got := l.String(); got != "1,8,44" {
+		t.Fatalf("String = %q", got)
+	}
+	// A second Set replaces, like a scalar flag.
+	if err := l.Set("2"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.Counts, []int{2}) {
+		t.Fatalf("Counts after replace = %v", l.Counts)
+	}
+	for _, bad := range []string{"", "0", "-3", "4,x", "4,,8"} {
+		if err := l.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	if got := PowersOfTwo(44); !reflect.DeepEqual(got, []int{1, 2, 4, 8, 16, 32}) {
+		t.Fatalf("PowersOfTwo(44) = %v", got)
+	}
+	if got := PowersOfTwo(0); got != nil {
+		t.Fatalf("PowersOfTwo(0) = %v", got)
+	}
+}
+
+func TestFaultPlanSet(t *testing.T) {
+	var f FaultPlan
+	if err := f.Set("p=0.2, cap=8, disable-after=5000,jitter=40,seed=7"); err != nil {
+		t.Fatal(err)
+	}
+	want := machine.FaultPlan{
+		SpuriousAbortProb: 0.2, CapacityLines: 8,
+		DisableHTMAfter: 5000, CrossSocketJitter: 40, Seed: 7,
+	}
+	if f.Plan != want {
+		t.Fatalf("Plan = %+v", f.Plan)
+	}
+	// String renders back in Set syntax and round-trips.
+	var g FaultPlan
+	if err := g.Set(f.String()); err != nil {
+		t.Fatal(err)
+	}
+	if g.Plan != f.Plan {
+		t.Fatalf("round trip: %+v != %+v", g.Plan, f.Plan)
+	}
+
+	if err := f.Set("disable"); err != nil {
+		t.Fatal(err)
+	}
+	// Setting again replaces the whole plan.
+	if f.Plan != (machine.FaultPlan{DisableHTM: true}) {
+		t.Fatalf("Plan after disable = %+v", f.Plan)
+	}
+
+	for _, bad := range []string{
+		"p", "p=", "p=2", "p=-0.1", "p=x",
+		"cap=0", "cap=-1", "disable=1", "disable-after=0",
+		"jitter=-1", "seed=x", "bogus=1", "bogus",
+	} {
+		var h FaultPlan
+		if err := h.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted: %+v", bad, h.Plan)
+		}
+	}
+}
+
+func TestRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	tl := Threads(fs, "thread counts")
+	fp := Faults(fs)
+	if err := fs.Parse([]string{"-threads", "4,8", "-faults", "disable"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl.Counts, []int{4, 8}) {
+		t.Fatalf("Counts = %v", tl.Counts)
+	}
+	if !fp.Plan.DisableHTM {
+		t.Fatalf("Plan = %+v", fp.Plan)
+	}
+	if err := fs.Parse([]string{"-threads", "4,no"}); err == nil {
+		t.Fatal("bad -threads accepted")
+	}
+}

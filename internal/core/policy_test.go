@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/machine/policy"
+)
+
+// Tests for TxCAS under a pluggable retry/fallback policy (Options.Policy):
+// the policy path must preserve CAS semantics, divert to the software
+// fallback when HTM is disabled, honor attempt budgets, and let DelayedCAS
+// skip the transactional path entirely.
+
+func policyOptions(p policy.RetryPolicy) Options {
+	o := DefaultOptions()
+	o.Policy = p
+	return o
+}
+
+func faultCfg(plan machine.FaultPlan) machine.Config {
+	cfg := machine.Default()
+	cfg.Faults = plan
+	return cfg
+}
+
+// With HTM disabled outright, a policy-paced TxCAS must complete every
+// operation on the software fallback — one fallback per op, no retries
+// burned on refused transactions beyond the first.
+func TestPolicyFallbackWhenDisabled(t *testing.T) {
+	m := machine.New(faultCfg(machine.FaultPlan{DisableHTM: true}))
+	a := m.AllocLine(8, 0)
+	c := New(policyOptions(policy.ImmediateRetry{Jitter: DefaultRetryJitter}))
+	var results []bool
+	m.Go(0, func(p *machine.Proc) {
+		results = append(results, c.Do(p, a, 0, 1)) // succeeds
+		results = append(results, c.Do(p, a, 0, 2)) // stale old: must fail
+		results = append(results, c.Do(p, a, 1, 2)) // succeeds
+	})
+	m.Run()
+	want := []bool{true, false, true}
+	for i, r := range results {
+		if r != want[i] {
+			t.Fatalf("op %d = %v, want %v (CAS semantics broken on fallback path)", i, r, want[i])
+		}
+	}
+	if m.Peek(a) != 2 {
+		t.Fatalf("a = %d, want 2", m.Peek(a))
+	}
+	// Each op: attempt 0 tries HTM (refused, Disabled), attempt 1 falls
+	// back. The first Decide sees no flags so one attempt is burned.
+	if c.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3 (one refused _xbegin per op)", c.Attempts)
+	}
+	if c.Fallbacks != 3 {
+		t.Fatalf("Fallbacks = %d, want 3", c.Fallbacks)
+	}
+	if m.Stats.CASFallbacks != 3 {
+		t.Fatalf("machine CASFallbacks = %d, want 3", m.Stats.CASFallbacks)
+	}
+}
+
+// DelayedCAS never touches HTM: zero transactional attempts, every op a
+// delayed software CAS, and the delay actually elapses.
+func TestPolicyDelayedCASSkipsHTM(t *testing.T) {
+	const delay = 500
+	m := machine.New(machine.Default())
+	a := m.AllocLine(8, 0)
+	c := New(policyOptions(policy.DelayedCAS{Delay: delay}))
+	var ok bool
+	var elapsed uint64
+	m.Go(0, func(p *machine.Proc) {
+		start := p.Now()
+		ok = c.Do(p, a, 0, 7)
+		elapsed = p.Now() - start
+	})
+	m.Run()
+	if !ok || m.Peek(a) != 7 {
+		t.Fatalf("ok=%v a=%d, want true/7", ok, m.Peek(a))
+	}
+	if c.Attempts != 0 {
+		t.Fatalf("Attempts = %d, want 0 (DelayedCAS must skip HTM)", c.Attempts)
+	}
+	if c.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", c.Fallbacks)
+	}
+	if m.Stats.TxStarted != 0 {
+		t.Fatalf("TxStarted = %d, want 0", m.Stats.TxStarted)
+	}
+	if elapsed < delay {
+		t.Fatalf("op took %d cycles, want >= %d (the policy delay)", elapsed, delay)
+	}
+}
+
+// AbortBudget ends the fast path after its budget: with every transaction
+// spuriously aborted, attempts stop at the budget and the fallback
+// completes the op.
+func TestPolicyAbortBudgetBoundsAttempts(t *testing.T) {
+	const budget = 5
+	m := machine.New(faultCfg(machine.FaultPlan{SpuriousAbortProb: 1}))
+	a := m.AllocLine(8, 0)
+	c := New(policyOptions(policy.AbortBudget{Budget: budget, Inner: policy.ImmediateRetry{}}))
+	var ok bool
+	m.Go(0, func(p *machine.Proc) {
+		ok = c.Do(p, a, 0, 1)
+	})
+	m.Run()
+	if !ok || m.Peek(a) != 1 {
+		t.Fatalf("ok=%v a=%d, want true/1", ok, m.Peek(a))
+	}
+	if c.Attempts != budget {
+		t.Fatalf("Attempts = %d, want exactly the budget %d", c.Attempts, budget)
+	}
+	if c.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", c.Fallbacks)
+	}
+}
+
+// MaxRetries stays a hard cap under a policy that never answers Fallback,
+// preserving wait-freedom.
+func TestPolicyMaxRetriesHardCap(t *testing.T) {
+	cfg := faultCfg(machine.FaultPlan{SpuriousAbortProb: 1})
+	m := machine.New(cfg)
+	a := m.AllocLine(8, 0)
+	o := policyOptions(stubbornPolicy{})
+	o.MaxRetries = 7
+	c := New(o)
+	var ok bool
+	m.Go(0, func(p *machine.Proc) {
+		ok = c.Do(p, a, 0, 1)
+	})
+	m.Run()
+	if !ok {
+		t.Fatal("op did not complete")
+	}
+	if c.Attempts != 7 {
+		t.Fatalf("Attempts = %d, want the MaxRetries cap 7", c.Attempts)
+	}
+	if c.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", c.Fallbacks)
+	}
+}
+
+// stubbornPolicy always retries immediately and never falls back.
+type stubbornPolicy struct{}
+
+func (stubbornPolicy) Decide(policy.Abort, func(uint64) uint64) policy.Decision {
+	return policy.Decision{}
+}
+
+// Contended policy-paced TxCAS keeps CAS semantics: the final value equals
+// the number of reported successes, under every built-in policy, faults or
+// not.
+func TestPolicyContendedSemantics(t *testing.T) {
+	policies := map[string]policy.RetryPolicy{
+		"immediate":   policy.ImmediateRetry{Jitter: DefaultRetryJitter},
+		"backoff":     policy.ExponentialBackoff{Base: 64, Max: 4096},
+		"budget":      policy.AbortBudget{Budget: 8, Inner: policy.ImmediateRetry{Jitter: DefaultRetryJitter}},
+		"delayed-cas": policy.DelayedCAS{Delay: DefaultDelay, Jitter: DefaultDelayJitter},
+	}
+	plans := map[string]machine.FaultPlan{
+		"fault-free": {},
+		"spurious":   {SpuriousAbortProb: 0.3},
+		"disabled":   {DisableHTM: true},
+		"mid-run":    {DisableHTMAfter: 50, CrossSocketJitter: 20},
+	}
+	for pname, pol := range policies {
+		for fname, plan := range plans {
+			t.Run(pname+"/"+fname, func(t *testing.T) {
+				m := machine.New(faultCfg(plan))
+				a := m.AllocLine(8, 0)
+				const threads, rounds = 10, 20
+				var succ uint64
+				for i := 0; i < threads; i++ {
+					i := i
+					m.Go(i, func(p *machine.Proc) {
+						c := New(policyOptions(pol))
+						for r := 0; r < rounds; r++ {
+							old := p.Read(a)
+							if c.Do(p, a, old, old+1) {
+								succ++
+							}
+							p.Delay(p.RandN(50))
+						}
+						_ = i
+					})
+				}
+				m.Run()
+				if m.Peek(a) != succ {
+					t.Fatalf("value %d != successes %d: policy %s broke CAS semantics under %s",
+						m.Peek(a), succ, pname, fname)
+				}
+				if succ == 0 {
+					t.Fatal("no TxCAS succeeded")
+				}
+			})
+		}
+	}
+}

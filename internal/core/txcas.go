@@ -10,7 +10,10 @@
 // target location actually changed; otherwise it retries.
 package core
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/machine/policy"
+)
 
 // DefaultDelay is the intra-transaction delay (paper §4.1), in cycles.
 // The paper empirically tunes ~270ns on its platform; at the simulator's
@@ -63,6 +66,14 @@ type Options struct {
 	// that were aborted by the same invalidation wave re-issue their
 	// writes in the same cycle forever.
 	DelayJitter uint64
+	// Policy, if non-nil, replaces the built-in retry pacing: it is
+	// consulted before every transactional attempt (including the first)
+	// and decides retry-now / backoff / software-fallback per abort (see
+	// repro/internal/machine/policy). MaxRetries remains a hard cap for
+	// wait-freedom regardless of what the policy answers. When Policy is
+	// nil the loop behaves exactly as before this field existed, with
+	// RetryJitter pacing and the MaxRetries-then-fallback progression.
+	Policy policy.RetryPolicy
 }
 
 // DefaultOptions returns the tuning used throughout the evaluation.
@@ -103,6 +114,9 @@ func New(opt Options) *CAS {
 // This is Algorithm 1 of the paper.
 func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 	c.Ops++
+	if c.opt.Policy != nil {
+		return c.doPolicy(p, ptr, old, new)
+	}
 	for attempt := 0; attempt < c.opt.MaxRetries; attempt++ {
 		c.Attempts++
 		delay := c.opt.Delay
@@ -125,6 +139,9 @@ func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 		if st.Explicit && st.Code == abortCodeValueMismatch {
 			return false // read step saw a different value
 		}
+		if st.Disabled {
+			break // HTM is off for good; retrying cannot succeed
+		}
 		if !(st.Conflict && st.Nested) {
 			// Conflict at/after the write step (we may be the tripped
 			// writer), or a non-conflict abort: retry immediately, with
@@ -144,7 +161,68 @@ func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 	}
 	// Fallback to a standard CAS for wait-freedom.
 	c.Fallbacks++
-	return p.CAS(ptr, old, new)
+	return p.FallbackCAS(ptr, old, new)
+}
+
+// doPolicy is the policy-paced variant of Do: Options.Policy is consulted
+// before every transactional attempt and can retry, delay, or divert to the
+// software fallback; the transactional body itself (nested read step,
+// intra-transaction delay, write step) and the CAS-semantics checks are
+// identical to the legacy loop. MaxRetries still caps attempts so a policy
+// that never answers Fallback cannot cost wait-freedom.
+func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
+	var a policy.Abort
+	for attempt := 0; ; attempt++ {
+		a.Attempt = attempt
+		d := c.opt.Policy.Decide(a, p.RandN)
+		if d.Delay > 0 {
+			p.Delay(d.Delay)
+		}
+		if d.Fallback || attempt >= c.opt.MaxRetries {
+			c.Fallbacks++
+			return p.FallbackCAS(ptr, old, new)
+		}
+		c.Attempts++
+		delay := c.opt.Delay
+		if c.opt.DelayJitter > 0 {
+			delay += p.RandN(c.opt.DelayJitter)
+		}
+		committed, st := p.Transaction(func(tx *machine.Tx) {
+			tx.Nested(func(tx *machine.Tx) {
+				value := tx.Read(ptr) // CAS read step
+				if value != old {
+					tx.Abort(abortCodeValueMismatch)
+				}
+				tx.Delay(delay) // intra-transaction delay (§4.1)
+			})
+			tx.Write(ptr, new) // CAS write step
+		})
+		if committed {
+			return true
+		}
+		if st.Explicit && st.Code == abortCodeValueMismatch {
+			return false // read step saw a different value
+		}
+		a = policy.Abort{
+			Conflict: st.Conflict,
+			Explicit: st.Explicit,
+			Capacity: st.Capacity,
+			Disabled: st.Disabled,
+			Nested:   st.Nested,
+			Code:     st.Code,
+		}
+		if st.Conflict && st.Nested {
+			// Conflict during the read step: another TxCAS's write is in
+			// flight. Wait for its GetM to complete — so our check does
+			// not trip it — then fail if the location indeed changed
+			// (§4.2). This check is CAS semantics, not pacing, so it stays
+			// in the executor under every policy.
+			p.Delay(c.opt.PostAbortDelay)
+			if p.Read(ptr) != old {
+				return false
+			}
+		}
+	}
 }
 
 // TxCAS performs a one-shot TxCAS with the default options.

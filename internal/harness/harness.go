@@ -1,7 +1,9 @@
 // Package harness runs the paper's evaluation experiments (§6) on the
-// simulated machine and formats their results. Each exported Run* function
-// regenerates one figure or ablation of the paper; cmd/sbqsim and the
-// repository's bench_test.go are thin wrappers around it.
+// simulated machine and formats their results. Experiments are named by
+// typed Workload values executed through the single entry point Run (see
+// run.go); each regenerates one figure or ablation of the paper. cmd/sbqsim
+// and the repository's bench_test.go are thin wrappers around it. The
+// legacy per-figure Run* functions remain as deprecated wrappers over Run.
 package harness
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/machine/policy"
 	"repro/internal/obs"
 	"repro/internal/simqueue"
 	"repro/internal/stats"
@@ -35,6 +38,15 @@ type Options struct {
 	ThreadCounts []int // sweep points (default 1..44, paper's single-socket range)
 	BasketSize   int   // SBQ basket capacity (default 44, as in the paper)
 	Progress     io.Writer
+
+	// Faults configures the fault injector of every machine the workload
+	// builds (see machine.FaultPlan): spurious aborts, capacity squeeze,
+	// HTM disablement, cross-socket jitter. The zero value injects nothing.
+	Faults machine.FaultPlan
+	// Policy, if non-nil, paces the retry/fallback loop of every TxCAS the
+	// workload builds (see repro/internal/machine/policy). Nil keeps the
+	// legacy tuned loop.
+	Policy policy.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +106,12 @@ func BuildQueue(m *machine.Machine, v Variant, producers, threads, basketSize in
 // counters). Machine-level telemetry is orthogonal: attach it with
 // machine.SetRecorder.
 func BuildQueueRec(m *machine.Machine, v Variant, producers, threads, basketSize int, rec obs.Recorder) simqueue.Queue {
+	return buildQueue(m, v, producers, threads, basketSize, rec, core.DefaultOptions())
+}
+
+// buildQueue is BuildQueueRec with explicit TxCAS tuning; workloads route
+// their Options.Policy through it (see Options.coreOptions).
+func buildQueue(m *machine.Machine, v Variant, producers, threads, basketSize int, rec obs.Recorder, copt core.Options) simqueue.Queue {
 	if producers < 1 {
 		producers = 1
 	}
@@ -102,13 +120,13 @@ func BuildQueueRec(m *machine.Machine, v Variant, producers, threads, basketSize
 	}
 	switch v {
 	case SBQHTM:
-		app, _ := simqueue.NewTxCASAppend(threads, core.DefaultOptions())
+		app, _ := simqueue.NewTxCASAppend(threads, copt)
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
 			Append: app, Name: string(SBQHTM), Rec: rec,
 		})
 	case SBQHTMPart:
-		app, _ := simqueue.NewTxCASAppend(threads, core.DefaultOptions())
+		app, _ := simqueue.NewTxCASAppend(threads, copt)
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
 			Append: app, Name: string(SBQHTMPart), Partitions: 2, Rec: rec,
@@ -132,10 +150,19 @@ func BuildQueueRec(m *machine.Machine, v Variant, producers, threads, basketSize
 	panic("harness: unknown variant " + string(v))
 }
 
-func newMachine(seed uint64) *machine.Machine {
+func (o Options) newMachine(seed uint64) *machine.Machine {
 	cfg := machine.Default()
 	cfg.Seed = seed
+	cfg.Faults = o.Faults
 	return machine.New(cfg)
+}
+
+// coreOptions returns the TxCAS tuning for this experiment: the evaluated
+// defaults, paced by o.Policy when one is set.
+func (o Options) coreOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.Policy = o.Policy
+	return opt
 }
 
 // element returns the unique value thread tid enqueues as its i-th element.
@@ -144,16 +171,16 @@ func element(tid, i int) uint64 { return uint64(tid+1)<<32 | uint64(i+1) }
 // ---------------------------------------------------------------------------
 // Figure 1: TxCAS vs FAA latency.
 
-// RunFig1 measures per-operation latency of a contended FAA and a contended
+// runFig1 measures per-operation latency of a contended FAA and a contended
 // TxCAS as concurrency grows (paper Figure 1).
-func RunFig1(o Options) []Result {
+func runFig1(o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, series := range []string{"FAA", "TxCAS"} {
 		for _, n := range o.ThreadCounts {
 			var ns []float64
 			for rep := 0; rep < o.Reps; rep++ {
-				m := newMachine(uint64(rep) + 1)
+				m := o.newMachine(uint64(rep) + 1)
 				if n > m.Config().CoresPerSocket {
 					continue
 				}
@@ -162,7 +189,7 @@ func RunFig1(o Options) []Result {
 				for t := 0; t < n; t++ {
 					m.Go(t, func(p *machine.Proc) {
 						p.Delay(p.RandN(200))
-						txc := core.New(core.DefaultOptions())
+						txc := core.New(o.coreOptions())
 						start := p.Now()
 						for i := 0; i < o.OpsPerThread; i++ {
 							if series == "FAA" {
@@ -194,20 +221,20 @@ func RunFig1(o Options) []Result {
 // ---------------------------------------------------------------------------
 // Figures 5-7: queue workloads.
 
-// RunEnqueueOnly measures enqueue latency and aggregate throughput while
+// runEnqueueOnly measures enqueue latency and aggregate throughput while
 // producers fill an initially empty queue (paper Figure 5).
-func RunEnqueueOnly(variants []Variant, o Options) []Result {
+func runEnqueueOnly(variants []Variant, o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, v := range variants {
 		for _, n := range o.ThreadCounts {
 			var ns []float64
 			for rep := 0; rep < o.Reps; rep++ {
-				m := newMachine(uint64(rep) + 1)
+				m := o.newMachine(uint64(rep) + 1)
 				if n > m.Config().CoresPerSocket {
 					continue
 				}
-				q := BuildQueue(m, v, n, n, o.BasketSize)
+				q := buildQueue(m, v, n, n, o.BasketSize, nil, o.coreOptions())
 				var cycles uint64
 				for t := 0; t < n; t++ {
 					t := t
@@ -236,23 +263,23 @@ func RunEnqueueOnly(variants []Variant, o Options) []Result {
 	return out
 }
 
-// RunDequeueOnly measures dequeue latency on a queue pre-filled by
+// runDequeueOnly measures dequeue latency on a queue pre-filled by
 // concurrent producers (paper Figure 6). Consumers are the measured
 // threads; the queue never goes empty.
-func RunDequeueOnly(variants []Variant, o Options) []Result {
+func runDequeueOnly(variants []Variant, o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, v := range variants {
 		for _, n := range o.ThreadCounts {
 			var ns []float64
 			for rep := 0; rep < o.Reps; rep++ {
-				m := newMachine(uint64(rep) + 1)
+				m := o.newMachine(uint64(rep) + 1)
 				if n > m.Config().CoresPerSocket {
 					continue
 				}
 				// Pre-fill with n producer threads (ids 0..n-1), per §6.1.
 				fill := o.OpsPerThread + o.OpsPerThread/4 + 8
-				q := BuildQueue(m, v, n, 2*n, o.BasketSize)
+				q := buildQueue(m, v, n, 2*n, o.BasketSize, nil, o.coreOptions())
 				for t := 0; t < n; t++ {
 					t := t
 					m.Go(t, func(p *machine.Proc) {
@@ -290,11 +317,11 @@ func RunDequeueOnly(variants []Variant, o Options) []Result {
 	return out
 }
 
-// RunMixed measures the normalized duration of a benchmark where producers
+// runMixed measures the normalized duration of a benchmark where producers
 // (socket 0) enqueue and consumers (socket 1) dequeue the same number of
 // elements from a half-full queue (paper Figure 7). Threads here counts
 // both types together, matching the figure's x-axis.
-func RunMixed(variants []Variant, o Options) []Result {
+func runMixed(variants []Variant, o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, v := range variants {
@@ -305,12 +332,12 @@ func RunMixed(variants []Variant, o Options) []Result {
 			}
 			var ns []float64
 			for rep := 0; rep < o.Reps; rep++ {
-				m := newMachine(uint64(rep) + 1)
+				m := o.newMachine(uint64(rep) + 1)
 				if n > m.Config().CoresPerSocket {
 					continue
 				}
 				cps := m.Config().CoresPerSocket
-				q := BuildQueue(m, v, n, 2*n, o.BasketSize)
+				q := buildQueue(m, v, n, 2*n, o.BasketSize, nil, o.coreOptions())
 				prefill := o.OpsPerThread / 2
 				for t := 0; t < n; t++ {
 					t := t
@@ -366,16 +393,16 @@ func RunMixed(variants []Variant, o Options) []Result {
 // ---------------------------------------------------------------------------
 // Ablations.
 
-// RunDelaySweep measures TxCAS latency across intra-transaction delays
+// runDelaySweep measures TxCAS latency across intra-transaction delays
 // (paper §4.1's tuning; the paper settles on ~270 ns).
-func RunDelaySweep(delaysNS []float64, threadCounts []int, o Options) []Result {
+func runDelaySweep(delaysNS []float64, threadCounts []int, o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, dns := range delaysNS {
 		for _, n := range threadCounts {
 			var ns []float64
 			for rep := 0; rep < o.Reps; rep++ {
-				m := newMachine(uint64(rep) + 1)
+				m := o.newMachine(uint64(rep) + 1)
 				if n > m.Config().CoresPerSocket {
 					continue
 				}
@@ -385,7 +412,7 @@ func RunDelaySweep(delaysNS []float64, threadCounts []int, o Options) []Result {
 				for t := 0; t < n; t++ {
 					m.Go(t, func(p *machine.Proc) {
 						p.Delay(p.RandN(200))
-						opt := core.DefaultOptions()
+						opt := o.coreOptions()
 						opt.Delay = delay
 						txc := core.New(opt)
 						start := p.Now()
@@ -412,16 +439,16 @@ func RunDelaySweep(delaysNS []float64, threadCounts []int, o Options) []Result {
 	return out
 }
 
-// RunBasketSweep measures SBQ-HTM enqueue latency across basket sizes at a
+// runBasketSweep measures SBQ-HTM enqueue latency across basket sizes at a
 // fixed thread count (the O(B/T) initialization amortization of §5.3.4).
-func RunBasketSweep(basketSizes []int, threads int, o Options) []Result {
+func runBasketSweep(basketSizes []int, threads int, o Options) []Result {
 	o = o.withDefaults()
 	var out []Result
 	for _, b := range basketSizes {
 		o2 := o
 		o2.BasketSize = b
 		o2.ThreadCounts = []int{threads}
-		res := RunEnqueueOnly([]Variant{SBQHTM}, o2)
+		res := runEnqueueOnly([]Variant{SBQHTM}, o2)
 		for _, r := range res {
 			r.Series = fmt.Sprintf("B=%d", b)
 			out = append(out, r)
@@ -445,13 +472,13 @@ type FixResult struct {
 	Commits        uint64
 }
 
-// RunFixAblation measures cross-socket TxCAS with and without the §3.4.1
+// runFixAblation measures cross-socket TxCAS with and without the §3.4.1
 // microarchitectural fix. TxCASers run on both sockets, which is exactly
 // the configuration §4.3 rules out on current hardware: the post-abort
 // check reads from the remote socket land inside a committing writer's
 // (long, cross-socket) xend drain window and trip it. The proposed fix
 // stalls those reads until the transaction commits.
-func RunFixAblation(o Options) []FixResult {
+func runFixAblation(o Options) []FixResult {
 	o = o.withDefaults()
 	// The three regimes of §4.3's discussion. Intra-socket, a short
 	// post-abort delay keeps check reads out of a committing writer's
@@ -474,11 +501,12 @@ func RunFixAblation(o Options) []FixResult {
 		cfg := machine.Default()
 		cfg.TrippedWriterFix = cf.fix
 		cfg.Seed = 1
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		a := m.AllocLine(8, 0)
 		perSocket := 6
 		var cycles uint64
-		opt := core.DefaultOptions()
+		opt := o.coreOptions()
 		opt.PostAbortDelay = cf.pad
 		for s := 0; s < 2; s++ {
 			for t := 0; t < perSocket; t++ {

@@ -180,7 +180,7 @@ func TestSpeedup(t *testing.T) {
 
 func TestBuildQueueAllVariants(t *testing.T) {
 	for _, v := range append(AllVariants, MSQueue, SBQHTMPart, LCRQV) {
-		m := newMachine(0)
+		m := Options{}.newMachine(0)
 		q := BuildQueue(m, v, 4, 8, 44)
 		if q.Name() == "" {
 			t.Errorf("variant %s has empty name", v)

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Conformance: every deprecated Run* wrapper must produce output
+// byte-for-byte equal to the corresponding field of Run. The simulator is
+// deterministic for equal (Options, workload), so running each experiment
+// twice and comparing with reflect.DeepEqual asserts both the delegation
+// and the determinism it relies on.
+
+func tiny() Options {
+	return Options{OpsPerThread: 40, Reps: 1, ThreadCounts: []int{2, 8}}
+}
+
+func TestDeprecatedWrappersConform(t *testing.T) {
+	o := tiny()
+	vs := []Variant{SBQHTM, WFQueue}
+	cases := []struct {
+		name    string
+		wrapper func() any
+		direct  func() any
+	}{
+		{"RunFig1",
+			func() any { return RunFig1(o) },
+			func() any { return Run(Fig1{}, o).Results }},
+		{"RunEnqueueOnly",
+			func() any { return RunEnqueueOnly(vs, o) },
+			func() any { return Run(EnqueueOnly{Variants: vs}, o).Results }},
+		{"RunDequeueOnly",
+			func() any { return RunDequeueOnly(vs, o) },
+			func() any { return Run(DequeueOnly{Variants: vs}, o).Results }},
+		{"RunMixed",
+			func() any { return RunMixed(vs, o) },
+			func() any { return Run(Mixed{Variants: vs}, o).Results }},
+		{"RunDelaySweep",
+			func() any { return RunDelaySweep([]float64{0, 270}, []int{8}, o) },
+			func() any {
+				return Run(DelaySweep{DelaysNS: []float64{0, 270}, ThreadCounts: []int{8}}, o).Results
+			}},
+		{"RunBasketSweep",
+			func() any { return RunBasketSweep([]int{8, 44}, 8, o) },
+			func() any { return Run(BasketSweep{BasketSizes: []int{8, 44}, Threads: 8}, o).Results }},
+		{"RunFixAblation",
+			func() any { return RunFixAblation(o) },
+			func() any { return Run(FixAblation{}, o).Fix }},
+		{"RunTelemetry",
+			func() any { return RunTelemetry(vs, o) },
+			func() any { return Run(Telemetry{Variants: vs}, o).Telemetry }},
+		{"RunTrace",
+			func() any { return RunTrace(SBQHTM, o) },
+			func() any { return Run(TraceQueue{Variant: SBQHTM}, o).Trace }},
+		{"RunTraceTxCAS",
+			func() any { return RunTraceTxCAS(o) },
+			func() any { return Run(TraceTxCAS{}, o).Trace }},
+		{"RunFaultSweep",
+			func() any {
+				return RunFaultSweep(FaultSweep{Threads: 2, AbortProbs: []float64{0, 0.2}}, o)
+			},
+			func() any {
+				return Run(FaultSweep{Threads: 2, AbortProbs: []float64{0, 0.2}}, o).Faults
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, d := c.wrapper(), c.direct()
+			if !reflect.DeepEqual(w, d) {
+				t.Errorf("%s diverged from Run:\nwrapper: %+v\ndirect:  %+v", c.name, w, d)
+			}
+		})
+	}
+}
+
+// The fault sweep must be well-formed (one row per policy × scenario, in
+// order, baseline slowdown 1.0) and its degradation bounded: even with HTM
+// disabled outright, fallback-capable policies stay within a small constant
+// factor of their fault-free baseline — the sweep's whole point is that the
+// system degrades gracefully instead of livelocking.
+func TestFaultSweepShape(t *testing.T) {
+	w := FaultSweep{Threads: 4, AbortProbs: []float64{0, 0.5}}
+	res := RunFaultSweep(w, tiny())
+
+	policies := DefaultPolicies()
+	scenariosPer := len(w.AbortProbs) + 1 // + the disabled endpoint
+	if len(res) != len(policies)*scenariosPer {
+		t.Fatalf("got %d rows, want %d policies x %d scenarios", len(res), len(policies), scenariosPer)
+	}
+	for i, r := range res {
+		pol := policies[i/scenariosPer]
+		if r.Policy != pol.Name {
+			t.Fatalf("row %d policy %q, want %q (rows out of order)", i, r.Policy, pol.Name)
+		}
+		if r.NSPerOp <= 0 || r.Mops <= 0 {
+			t.Errorf("%s/%s: nonpositive measurement %+v", r.Policy, r.Scenario, r)
+		}
+		switch i % scenariosPer {
+		case 0: // fault-free baseline
+			if r.Slowdown != 1 {
+				t.Errorf("%s baseline slowdown = %.2f, want 1", r.Policy, r.Slowdown)
+			}
+			if r.FaultsInjected != 0 {
+				t.Errorf("%s baseline injected %d faults", r.Policy, r.FaultsInjected)
+			}
+		case 1: // p=0.50
+			if r.AbortProb != 0.5 || r.Disabled {
+				t.Errorf("%s row %d mislabeled: %+v", r.Policy, i, r)
+			}
+			// delayed-cas never speculates, so nothing to inject into.
+			if r.Policy != "delayed-cas" && r.FaultsInjected == 0 {
+				t.Errorf("%s p=0.50: no faults injected", r.Policy)
+			}
+		case 2: // disabled endpoint
+			if !r.Disabled {
+				t.Errorf("%s row %d should be the disabled endpoint: %+v", r.Policy, i, r)
+			}
+			if r.Policy != "delayed-cas" && r.Fallbacks == 0 {
+				t.Errorf("%s disabled: appends resolved without fallbacks?", r.Policy)
+			}
+			// Refused _xbegins still count as started-then-aborted, so the
+			// abort rate pins at 1 for HTM-attempting policies; delayed-cas
+			// never speculates and reports 0.
+			want := 1.0
+			if r.Policy == "delayed-cas" {
+				want = 0
+			}
+			if r.AbortRate != want {
+				t.Errorf("%s disabled: abort rate %.2f, want %.0f", r.Policy, r.AbortRate, want)
+			}
+			// The graceful-degradation gate: disabled HTM must not cost more
+			// than a small constant factor over the fault-free baseline.
+			if r.Slowdown > 8 {
+				t.Errorf("%s disabled slowdown %.2fx exceeds bound 8x", r.Policy, r.Slowdown)
+			}
+		}
+	}
+}
+
+// Options.Faults composes with the figure workloads: any experiment runs
+// under a fault plan, and a disabled-HTM plan forces the TxCAS variants
+// onto the fallback path without changing the result shape.
+func TestFigureWorkloadsComposeWithFaults(t *testing.T) {
+	o := tiny()
+	o.Faults = machine.FaultPlan{DisableHTM: true}
+	res := Run(EnqueueOnly{Variants: []Variant{SBQHTM, SBQCAS}}, o).Results
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	for _, r := range res {
+		if r.NSPerOp <= 0 {
+			t.Errorf("nonpositive latency under faults: %+v", r)
+		}
+	}
+}

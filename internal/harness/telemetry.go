@@ -27,20 +27,20 @@ type TelemetrySnapshot struct {
 	Machine obs.Snapshot
 }
 
-// RunTelemetry runs a mixed producer/consumer workload for each variant
+// runTelemetry runs a mixed producer/consumer workload for each variant
 // with obs recorders attached at both layers and returns the snapshots.
 // The thread count is the largest entry of o.ThreadCounts that fits on one
 // socket; producers run on socket 0 and consumers on socket 1, as in the
 // paper's mixed benchmark (§6.1).
 //
-// Unlike the Run* figure functions this measures no latency average — the
+// Unlike the figure workloads this measures no latency average — the
 // point is the event mix. The queue is not pre-filled, so consumers race
 // producers and the DeqEmpty/DeqRetries counters show how often they lose.
-func RunTelemetry(variants []Variant, o Options) []TelemetrySnapshot {
+func runTelemetry(variants []Variant, o Options) []TelemetrySnapshot {
 	o = o.withDefaults()
 	var out []TelemetrySnapshot
 	for _, v := range variants {
-		m := newMachine(1)
+		m := o.newMachine(1)
 		cfg := m.Config()
 		n := 1
 		for _, t := range o.ThreadCounts {
@@ -52,7 +52,7 @@ func RunTelemetry(variants []Variant, o Options) []TelemetrySnapshot {
 		machineStats := obs.New()
 		m.SetRecorder(machineStats)
 		queueStats := obs.New()
-		q := BuildQueueRec(m, v, n, 2*n, o.BasketSize, queueStats)
+		q := buildQueue(m, v, n, 2*n, o.BasketSize, queueStats, o.coreOptions())
 
 		toNS := func(cycles uint64) uint64 { return uint64(cfg.NSPerOp(float64(cycles))) }
 		for t := 0; t < n; t++ {

@@ -9,8 +9,8 @@ import (
 	"repro/internal/trace"
 )
 
-// RunTrace runs one variant under the mixed cross-socket workload of
-// RunTelemetry with a flight recorder attached at both layers — the queue
+// runTrace runs one variant under the mixed cross-socket workload of
+// the telemetry workload with a flight recorder attached at both layers — the queue
 // (operation, CAS, basket events on per-thread lanes) and the machine
 // (coherence and HTM events on per-core lanes) — and returns the drained
 // trace. Timestamps are simulated nanoseconds on the machine's own clock,
@@ -22,9 +22,9 @@ import (
 // the paper's temporal figures: tripped-writer serialization chains (§3),
 // abort cascades (§3.3), and the intra- vs cross-socket latency split
 // (§4.3).
-func RunTrace(v Variant, o Options) *trace.Trace {
+func runTrace(v Variant, o Options) *trace.Trace {
 	o = o.withDefaults()
-	m := newMachine(1)
+	m := o.newMachine(1)
 	cfg := m.Config()
 	n := 1
 	for _, t := range o.ThreadCounts {
@@ -51,7 +51,7 @@ func RunTrace(v Variant, o Options) *trace.Trace {
 		trace.WithStats(stats),
 	)
 	m.SetRecorder(col)
-	q := BuildQueueRec(m, v, n, 2*n, o.BasketSize, col)
+	q := buildQueue(m, v, n, 2*n, o.BasketSize, col, o.coreOptions())
 
 	// Producers on socket 0 (cores 0..n-1, tids 0..n-1); consumers on
 	// socket 1 (cores cps..cps+n-1, tids n..2n-1), as in the paper's mixed
@@ -95,17 +95,18 @@ func RunTrace(v Variant, o Options) *trace.Trace {
 	return col.Snapshot()
 }
 
-// RunTraceTxCAS records the raw-TxCAS cross-socket configuration of the
+// runTraceTxCAS records the raw-TxCAS cross-socket configuration of the
 // fix ablation (§3.4.1): TxCAS threads on both sockets share one counter
 // line, with no post-abort delay and no tripped-writer fix. This is the
 // regime where post-abort check reads from the remote socket land inside
 // a committing writer's xend drain window and trip it, so the resulting
 // trace is dense in tripped-writer aborts — the input the analyzer's
 // chain reconstruction (§3) is made for.
-func RunTraceTxCAS(o Options) *trace.Trace {
+func runTraceTxCAS(o Options) *trace.Trace {
 	o = o.withDefaults()
 	cfg := machine.Default()
 	cfg.Seed = 1
+	cfg.Faults = o.Faults
 	m := machine.New(cfg)
 	perSocket := 1
 	for _, t := range o.ThreadCounts {
@@ -135,7 +136,7 @@ func RunTraceTxCAS(o Options) *trace.Trace {
 	col.SetMeta("workload", "txcas")
 
 	a := m.AllocLine(8, 0)
-	opt := core.DefaultOptions()
+	opt := o.coreOptions()
 	opt.PostAbortDelay = 0
 	for s := 0; s < 2; s++ {
 		for t := 0; t < perSocket; t++ {

@@ -1,0 +1,109 @@
+// Package deprecated defines an Analyzer that flags in-repo calls to this
+// repository's own deprecated entry points.
+//
+// # Analyzer deprecated
+//
+// deprecated: report uses of superseded repro APIs outside their home
+// package.
+//
+// The repository keeps old entry points alive as thin wrappers so
+// downstream users migrate on their own schedule: the harness's
+// per-figure Run* functions now delegate to harness.Run over typed
+// workloads, and the positional queue/basket constructors delegate to the
+// variadic options form. First-party code gets no such grace period — a
+// wrapper that the repo itself still calls never finishes migrating, and
+// the wrappers' byte-for-byte conformance tests only stay meaningful
+// while the wrappers stay leaf nodes. The analyzer keeps a curated table
+// of deprecated symbols (asserted against the source's Deprecated: doc
+// markers by its tests) and flags every use outside the symbol's defining
+// package and that package's own tests, where the wrapper bodies and
+// their direct coverage legitimately live.
+//
+// Suppress a finding (e.g. an intentional compatibility check) with
+//
+//	//lint:ignore deprecated exercising the legacy surface
+package deprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags in-repo uses of deprecated repro APIs.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc:  "report uses of superseded repro APIs outside their home package",
+	Run:  run,
+}
+
+// Symbol is one deprecated entry point: a package-level function and the
+// replacement to name in the diagnostic.
+type Symbol struct {
+	Pkg  string // defining package import path
+	Name string // function name
+	Use  string // replacement, phrased to follow "use "
+}
+
+// Table lists every deprecated symbol the analyzer knows. Tests assert
+// each entry resolves to a function whose doc carries the standard
+// "Deprecated:" marker, so the table cannot drift from the source. (The
+// stdlib-only analysis core has no export-data Facts, so the table is
+// curated rather than derived.)
+var Table = []Symbol{
+	{"repro/internal/harness", "RunFig1", "Run(Fig1{}, o).Results"},
+	{"repro/internal/harness", "RunEnqueueOnly", "Run(EnqueueOnly{Variants: v}, o).Results"},
+	{"repro/internal/harness", "RunDequeueOnly", "Run(DequeueOnly{Variants: v}, o).Results"},
+	{"repro/internal/harness", "RunMixed", "Run(Mixed{Variants: v}, o).Results"},
+	{"repro/internal/harness", "RunDelaySweep", "Run(DelaySweep{...}, o).Results"},
+	{"repro/internal/harness", "RunBasketSweep", "Run(BasketSweep{...}, o).Results"},
+	{"repro/internal/harness", "RunFixAblation", "Run(FixAblation{}, o).Fix"},
+	{"repro/internal/harness", "RunTelemetry", "Run(Telemetry{Variants: v}, o).Telemetry"},
+	{"repro/internal/harness", "RunTrace", "Run(TraceQueue{Variant: v}, o).Trace"},
+	{"repro/internal/harness", "RunTraceTxCAS", "Run(TraceTxCAS{}, o).Trace"},
+	{"repro/queue/sbq", "NewDelayedCAS", "New with WithEnqueuers and WithAppendDelay"},
+	{"repro/queue/sbq", "NewWithOptions", "New with WithEnqueuers, WithAppendDelay and WithBasket"},
+	{"repro/basket", "NewScalable", "New with WithCapacity and WithBound"},
+	{"repro/basket", "NewPartitioned", "New with WithCapacity, WithBound and WithPartitions"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	index := make(map[string]Symbol, len(Table))
+	for _, s := range Table {
+		index[s.Pkg+"."+s.Name] = s
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sym, ok := index[fn.Pkg().Path()+"."+fn.Name()]
+			if !ok || exempt(pass.Pkg.Path(), sym.Pkg) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s.%s is deprecated: use %s", sym.Pkg, sym.Name, sym.Use)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exempt reports whether a use from the pass's package of a symbol
+// defined in defPkg is allowed: the defining package itself, its internal
+// test variant, and its external _test package (that is where the wrapper
+// bodies and their direct coverage live). go vet presents test variants
+// as `path [path.test]` and external test packages as `path_test`.
+func exempt(passPkg, defPkg string) bool {
+	if i := strings.Index(passPkg, " ["); i >= 0 {
+		passPkg = passPkg[:i]
+	}
+	passPkg = strings.TrimSuffix(passPkg, "_test")
+	return passPkg == defPkg
+}

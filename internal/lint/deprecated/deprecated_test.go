@@ -1,0 +1,84 @@
+package deprecated
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestDeprecated(t *testing.T) {
+	// Package a uses the surface from outside; the stub packages check the
+	// defining-package exemption (they contain self-uses and no // want).
+	linttest.Run(t, "testdata", Analyzer, "a", "repro/internal/harness", "repro/basket")
+}
+
+func TestExempt(t *testing.T) {
+	cases := []struct {
+		pass, def string
+		want      bool
+	}{
+		{"repro/internal/harness", "repro/internal/harness", true},
+		{"repro/internal/harness [repro/internal/harness.test]", "repro/internal/harness", true},
+		{"repro/queue/sbq_test", "repro/queue/sbq", true},
+		{"repro/queue/sbq_test [repro/queue/sbq.test]", "repro/queue/sbq", true},
+		{"repro/queue/sbq", "repro/basket", false},
+		{"repro/queue/sbq_test", "repro/basket", false},
+		{"repro", "repro/internal/harness", false},
+	}
+	for _, c := range cases {
+		if got := exempt(c.pass, c.def); got != c.want {
+			t.Errorf("exempt(%q, %q) = %v, want %v", c.pass, c.def, got, c.want)
+		}
+	}
+}
+
+// TestTableMatchesSource asserts every Table entry names a real exported
+// function in this repository whose doc comment carries the standard
+// "Deprecated:" marker — the curated table cannot drift from the source.
+func TestTableMatchesSource(t *testing.T) {
+	const module = "repro"
+	repoRoot := filepath.Join("..", "..", "..")
+	fset := token.NewFileSet()
+	for _, sym := range Table {
+		rel := strings.TrimPrefix(sym.Pkg, module+"/")
+		if rel == sym.Pkg {
+			t.Errorf("%s.%s: package not under module %s", sym.Pkg, sym.Name, module)
+			continue
+		}
+		dir := filepath.Join(repoRoot, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("%s.%s: %v", sym.Pkg, sym.Name, err)
+			continue
+		}
+		found := false
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", e.Name(), err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || fd.Name.Name != sym.Name {
+					continue
+				}
+				found = true
+				if fd.Doc == nil || !strings.Contains(fd.Doc.Text(), "Deprecated:") {
+					t.Errorf("%s.%s is in the deprecated table but its doc has no Deprecated: marker", sym.Pkg, sym.Name)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s.%s is in the deprecated table but not in the source", sym.Pkg, sym.Name)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package a uses the deprecated repro surface from outside the defining
+// packages; every use must be flagged unless suppressed.
+package a
+
+import (
+	"time"
+
+	"repro/basket"
+	"repro/internal/harness"
+	"repro/queue/sbq"
+)
+
+func figures() {
+	o := harness.Options{}
+	_ = harness.RunFig1(o)                       // want `repro/internal/harness\.RunFig1 is deprecated: use Run\(Fig1\{\}, o\)\.Results`
+	_ = harness.RunEnqueueOnly(nil, o)           // want `RunEnqueueOnly is deprecated`
+	_ = harness.RunDequeueOnly(nil, o)           // want `RunDequeueOnly is deprecated`
+	_ = harness.RunMixed(nil, o)                 // want `RunMixed is deprecated`
+	_ = harness.RunDelaySweep(nil, nil, o)       // want `RunDelaySweep is deprecated`
+	_ = harness.RunBasketSweep(nil, 8, o)        // want `RunBasketSweep is deprecated`
+	_ = harness.RunFixAblation(o)                // want `RunFixAblation is deprecated`
+	_ = harness.RunTelemetry(nil, o)             // want `RunTelemetry is deprecated`
+	_ = harness.RunTrace(harness.Variant(""), o) // want `RunTrace is deprecated`
+	_ = harness.RunTraceTxCAS(o)                 // want `RunTraceTxCAS is deprecated`
+}
+
+func queues() {
+	_ = sbq.NewDelayedCAS[uint64](2, time.Nanosecond) // want `repro/queue/sbq\.NewDelayedCAS is deprecated: use New with WithEnqueuers and WithAppendDelay`
+	_ = sbq.NewWithOptions[uint64](2, 0, nil)         // want `NewWithOptions is deprecated`
+	_ = basket.NewScalable[int](4, 2)                 // want `NewScalable is deprecated`
+	_ = basket.NewPartitioned[int](4, 4, 2)           // want `NewPartitioned is deprecated`
+
+	// The modern forms draw no diagnostic.
+	_ = sbq.New[uint64]()
+	_ = basket.New[int]()
+
+	// A referenced (not called) wrapper is still a use.
+	f := harness.RunFig1 // want `RunFig1 is deprecated`
+	_ = f
+
+	//lint:ignore deprecated exercising the legacy surface on purpose
+	_ = basket.NewScalable[int](4, 2)
+}

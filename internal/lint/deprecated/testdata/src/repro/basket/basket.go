@@ -1,0 +1,24 @@
+// Package basket is a stub of repro/basket: the deprecated positional
+// constructors plus the options form they delegate to.
+package basket
+
+type Basket[T any] interface{ Put(T) bool }
+
+type Option func()
+
+type Scalable[T any] struct{}
+
+func (*Scalable[T]) Put(T) bool { return true }
+
+type Partitioned[T any] struct{}
+
+func (*Partitioned[T]) Put(T) bool { return true }
+
+func New[T any](opts ...Option) Basket[T] { return &Scalable[T]{} }
+
+func NewScalable[T any](capacity, bound int) *Scalable[T] { return &Scalable[T]{} }
+
+func NewPartitioned[T any](capacity, bound, k int) *Partitioned[T] { return &Partitioned[T]{} }
+
+// Defining-package delegation stays legal (basket.New routes here).
+func build() Basket[int] { return NewPartitioned[int](4, 4, 2) }

@@ -1,0 +1,38 @@
+// Package harness is a stub of repro/internal/harness: the deprecated
+// wrapper surface plus just enough types to use it.
+package harness
+
+type Options struct{}
+
+type Result struct{}
+
+type FixResult struct{}
+
+type TelemetrySnapshot struct{}
+
+type Trace struct{}
+
+type Variant string
+
+func RunFig1(o Options) []Result { return nil }
+
+func RunEnqueueOnly(v []Variant, o Options) []Result { return nil }
+
+func RunDequeueOnly(v []Variant, o Options) []Result { return nil }
+
+func RunMixed(v []Variant, o Options) []Result { return nil }
+
+func RunDelaySweep(delaysNS []float64, threadCounts []int, o Options) []Result { return nil }
+
+func RunBasketSweep(basketSizes []int, threads int, o Options) []Result { return nil }
+
+func RunFixAblation(o Options) []FixResult { return nil }
+
+func RunTelemetry(v []Variant, o Options) []TelemetrySnapshot { return nil }
+
+func RunTrace(v Variant, o Options) *Trace { return nil }
+
+func RunTraceTxCAS(o Options) *Trace { return nil }
+
+// The defining package may keep calling its own wrappers.
+func all(o Options) []Result { return RunFig1(o) }

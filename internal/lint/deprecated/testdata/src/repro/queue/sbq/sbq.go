@@ -1,0 +1,21 @@
+// Package sbq is a stub of repro/queue/sbq: the deprecated positional
+// constructors plus the options form they delegate to.
+package sbq
+
+import (
+	"time"
+
+	"repro/basket"
+)
+
+type Queue[T any] struct{}
+
+type Option func()
+
+func New[T any](opts ...Option) *Queue[T] { return &Queue[T]{} }
+
+func NewDelayedCAS[T any](enqueuers int, delay time.Duration) *Queue[T] { return New[T]() }
+
+func NewWithOptions[T any](enqueuers int, delay time.Duration, nb func() basket.Basket[T]) *Queue[T] {
+	return New[T]()
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// limit exists for fidelity and for studying larger transactions.
 	TxCapacityLines int
 
+	// Faults configures the seeded fault injector (see inject.go): random
+	// spurious aborts, a tightened capacity bound, persistent or mid-run
+	// HTM disablement, and cross-socket latency jitter. The zero value
+	// injects nothing.
+	Faults FaultPlan
+
 	// CyclesPerNS converts simulated cycles to reported nanoseconds.
 	CyclesPerNS float64
 

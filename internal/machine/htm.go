@@ -20,15 +20,21 @@ type AbortStatus struct {
 	// Conflict is set when a conflicting coherence message caused the abort.
 	Conflict bool
 	// Capacity is set when the transaction's footprint overflowed the
-	// configured speculative-state capacity (Config.TxCapacityLines).
+	// configured speculative-state capacity (Config.TxCapacityLines or
+	// FaultPlan.CapacityLines).
 	Capacity bool
+	// Disabled is set when _xbegin refused to start the transaction
+	// because HTM is disabled (FaultPlan.DisableHTM / DisableHTMAfter —
+	// the TSX-killed-by-microcode scenario). Real RTM reports these as
+	// zero-status aborts; the simulator additionally labels them so
+	// policies and tests can distinguish persistent disablement from a
+	// transient spurious abort without a CPUID round trip.
+	Disabled bool
 	// Nested is set when the abort hit while execution was inside a
 	// nested transaction. TxCAS uses this to tell read-step conflicts
 	// from write-step conflicts (paper §4.2).
 	Nested bool
 }
-
-var txnIDs uint64
 
 // txn is an active hardware transaction on one core.
 type txn struct {
@@ -68,9 +74,9 @@ func (c *cache) beginTx(p *Proc) {
 	if c.txn != nil {
 		panic("machine: nested Transaction call (use Tx.Nested for flat nesting)")
 	}
-	txnIDs++
+	c.m.txnIDs++
 	c.txn = &txn{
-		id:       txnIDs,
+		id:       c.m.txnIDs,
 		proc:     p,
 		depth:    1,
 		readSet:  make(map[uint64]struct{}),
@@ -80,9 +86,10 @@ func (c *cache) beginTx(p *Proc) {
 	c.m.Stats.TxStarted++
 	c.m.obsInc(obs.TxStarts)
 	c.m.obsEvent(obs.EvTxBegin, c.core, c.txn.id)
-	if n := c.m.cfg.SpuriousAbortEvery; n > 0 && txnIDs%uint64(n) == 0 {
-		// Fault injection: an "interrupt" lands somewhere inside the
-		// transaction's window and aborts it for a non-conflict reason.
+	if n := c.m.cfg.SpuriousAbortEvery; n > 0 && c.m.txnIDs%uint64(n) == 0 {
+		// Legacy deterministic injection: an "interrupt" lands somewhere
+		// inside every Nth transaction's window and aborts it for a
+		// non-conflict reason.
 		id := c.txn.id
 		delay := 5 + (id*2654435761)%150
 		c.m.eng.Schedule(delay, func() {
@@ -92,6 +99,9 @@ func (c *cache) beginTx(p *Proc) {
 				c.abortTx(AbortStatus{Nested: t.depth >= 2}, false, -1, 0)
 			}
 		})
+	}
+	if j := c.m.inj; j != nil {
+		j.onTxBegin(c)
 	}
 }
 
@@ -106,6 +116,9 @@ func (c *cache) txnID() uint64 {
 // transaction's speculative-state capacity.
 func (c *cache) txOverCapacity(t *txn, line uint64) bool {
 	capLines := c.m.cfg.TxCapacityLines
+	if j := c.m.inj; j != nil {
+		capLines = j.capacityLines()
+	}
 	if capLines <= 0 {
 		return false
 	}
@@ -204,9 +217,12 @@ func (c *cache) abortEvent(st AbortStatus, tripped bool, requester int, line uin
 	if st.Capacity {
 		reason |= obs.AbortCapacity
 	}
+	if st.Disabled {
+		reason |= obs.AbortDisabled
+	}
 	// No cause bit means an injected interrupt-style abort (RTM returns a
 	// zero status for those too).
-	if reason&(obs.AbortConflict|obs.AbortExplicit|obs.AbortCapacity) == 0 {
+	if reason&(obs.AbortConflict|obs.AbortExplicit|obs.AbortCapacity|obs.AbortDisabled) == 0 {
 		reason |= obs.AbortSpurious
 	}
 	if tripped {

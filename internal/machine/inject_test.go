@@ -1,0 +1,325 @@
+package machine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Tests for the fault injector (inject.go): HTM disablement at _xbegin,
+// the mid-run disable latch, probabilistic spurious aborts, cross-socket
+// jitter, and — the property everything else rests on — seeded replay:
+// equal (Config, program) pairs produce identical fault schedules.
+
+func faulty(plan FaultPlan) Config {
+	cfg := small()
+	cfg.Faults = plan
+	return cfg
+}
+
+func TestDisabledHTMAbortsAtXbegin(t *testing.T) {
+	m := New(faulty(FaultPlan{DisableHTM: true}))
+	a := m.AllocLine(8, 0)
+	var ok bool
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		ok, st = p.Transaction(func(tx *Tx) {
+			tx.Write(a, 99)
+		})
+	})
+	m.Run()
+	if ok {
+		t.Fatal("transaction committed with HTM disabled")
+	}
+	if !st.Disabled || st.Conflict || st.Explicit || st.Capacity {
+		t.Fatalf("abort status = %+v, want Disabled only", st)
+	}
+	if m.Peek(a) != 0 {
+		t.Fatalf("refused transaction leaked a write: a=%d", m.Peek(a))
+	}
+	if m.Stats.TxStarted != 1 || m.Stats.TxAborts != 1 || m.Stats.TxAbortDisabled != 1 {
+		t.Fatalf("stats = started %d aborts %d disabled %d, want 1/1/1",
+			m.Stats.TxStarted, m.Stats.TxAborts, m.Stats.TxAbortDisabled)
+	}
+	if m.Stats.FaultsInjected != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", m.Stats.FaultsInjected)
+	}
+	if !m.HTMDisabled() {
+		t.Fatal("HTMDisabled() = false with DisableHTM set")
+	}
+}
+
+func TestFallbackCASCountsAndKeepsSemantics(t *testing.T) {
+	m := New(faulty(FaultPlan{DisableHTM: true}))
+	a := m.AllocLine(8, 0)
+	var first, second bool
+	m.Go(0, func(p *Proc) {
+		first = p.FallbackCAS(a, 0, 7)
+		second = p.FallbackCAS(a, 0, 8) // stale expected value must fail
+	})
+	m.Run()
+	if !first || second {
+		t.Fatalf("FallbackCAS results = %v,%v, want true,false", first, second)
+	}
+	if m.Peek(a) != 7 {
+		t.Fatalf("a = %d, want 7", m.Peek(a))
+	}
+	if m.Stats.CASFallbacks != 2 {
+		t.Fatalf("CASFallbacks = %d, want 2", m.Stats.CASFallbacks)
+	}
+}
+
+// DisableHTMAfter latches: transactions before the trip point run as
+// usual, every one after aborts at _xbegin, permanently.
+func TestDisableHTMAfterLatches(t *testing.T) {
+	const trip = 3
+	m := New(faulty(FaultPlan{DisableHTMAfter: trip}))
+	a := m.AllocLine(8, 0)
+	var commits, disabled int
+	m.Go(0, func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			ok, st := p.Transaction(func(tx *Tx) {
+				tx.Write(a, tx.Read(a)+1)
+			})
+			switch {
+			case ok:
+				commits++
+			case st.Disabled:
+				disabled++
+			}
+		}
+	})
+	m.Run()
+	if commits != trip || disabled != 6-trip {
+		t.Fatalf("commits=%d disabled=%d, want %d and %d", commits, disabled, trip, 6-trip)
+	}
+	if m.Peek(a) != trip {
+		t.Fatalf("a = %d, want %d", m.Peek(a), trip)
+	}
+	if !m.HTMDisabled() {
+		t.Fatal("HTMDisabled() = false after the trip point")
+	}
+}
+
+// With SpuriousAbortProb=1 every transaction draws an injected abort; a
+// long-running transaction is killed mid-flight with no flags set (the
+// interrupt signature) and its writes discarded.
+func TestSpuriousAbortProbKillsTransactions(t *testing.T) {
+	m := New(faulty(FaultPlan{SpuriousAbortProb: 1}))
+	a := m.AllocLine(8, 0)
+	var ok bool
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		ok, st = p.Transaction(func(tx *Tx) {
+			tx.Write(a, 1)
+			tx.Delay(1000) // longer than the injector's 5..155-cycle window
+		})
+	})
+	m.Run()
+	if ok {
+		t.Fatal("transaction committed under p=1 spurious aborts")
+	}
+	if st.Conflict || st.Explicit || st.Capacity || st.Disabled {
+		t.Fatalf("abort status = %+v, want the flagless spurious signature", st)
+	}
+	if m.Peek(a) != 0 {
+		t.Fatalf("aborted write leaked: a=%d", m.Peek(a))
+	}
+	if m.Stats.TxAbortSpurious == 0 || m.Stats.FaultsInjected == 0 {
+		t.Fatalf("spurious=%d injected=%d, want both nonzero",
+			m.Stats.TxAbortSpurious, m.Stats.FaultsInjected)
+	}
+}
+
+// CapacityLines overrides the config's speculative bound.
+func TestCapacityLinesOverride(t *testing.T) {
+	m := New(faulty(FaultPlan{CapacityLines: 2}))
+	lines := []Addr{m.AllocLine(8, 0), m.AllocLine(8, 0), m.AllocLine(8, 0)}
+	var ok bool
+	var st AbortStatus
+	m.Go(0, func(p *Proc) {
+		ok, st = p.Transaction(func(tx *Tx) {
+			for _, a := range lines {
+				tx.Write(a, 1)
+			}
+		})
+	})
+	m.Run()
+	if ok || !st.Capacity {
+		t.Fatalf("3-line tx under a 2-line injected cap: ok=%v st=%+v, want capacity abort", ok, st)
+	}
+}
+
+// crossSocketTraffic bounces a line homed on socket 1 between a writer on
+// socket 0 and a writer on socket 1.
+func crossSocketTraffic(m *Machine) {
+	a := m.Alloc(8, 1)
+	remote := m.Config().CoresPerSocket // first core of socket 1
+	for _, core := range []int{0, remote} {
+		core := core
+		m.Go(core, func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.CAS(a, p.Read(a), uint64(core+1))
+			}
+		})
+	}
+	m.Run()
+}
+
+func TestCrossSocketJitter(t *testing.T) {
+	m := New(faulty(FaultPlan{CrossSocketJitter: 40}))
+	crossSocketTraffic(m)
+	if m.Stats.JitteredHops == 0 || m.Stats.JitterCycles == 0 {
+		t.Fatalf("jitter never fired: hops=%d cycles=%d", m.Stats.JitteredHops, m.Stats.JitterCycles)
+	}
+
+	quiet := New(small())
+	crossSocketTraffic(quiet)
+	if quiet.Stats.JitteredHops != 0 {
+		t.Fatalf("jitter fired with an empty plan: hops=%d", quiet.Stats.JitteredHops)
+	}
+}
+
+// memRecorder captures the full telemetry stream — counters and timeline
+// events in arrival order — for replay comparison.
+type memRecorder struct {
+	mu  sync.Mutex
+	log []memEvent
+}
+
+type memEvent struct {
+	kind string
+	a    uint64
+	b    uint64
+	c    uint64
+}
+
+func (r *memRecorder) append(e memEvent) {
+	r.mu.Lock()
+	r.log = append(r.log, e)
+	r.mu.Unlock()
+}
+
+func (r *memRecorder) Inc(c obs.Counter)              { r.append(memEvent{"inc", uint64(c), 0, 0}) }
+func (r *memRecorder) Add(c obs.Counter, d uint64)    { r.append(memEvent{"add", uint64(c), d, 0}) }
+func (r *memRecorder) Observe(s obs.Series, v uint64) { r.append(memEvent{"obs", uint64(s), v, 0}) }
+func (r *memRecorder) Event(k obs.EventKind, lane int32, arg uint64) {
+	r.append(memEvent{"ev", uint64(k), uint64(int64(lane)), arg})
+}
+
+// faultReplayRun executes one seeded faulty workload — contended
+// transactions across sockets under spurious aborts, a mid-run HTM
+// disablement, and jitter — and returns the stats and full event log.
+func faultReplayRun(t *testing.T) (Stats, []memEvent) {
+	t.Helper()
+	cfg := faulty(FaultPlan{
+		SpuriousAbortProb: 0.3,
+		DisableHTMAfter:   200,
+		CrossSocketJitter: 25,
+		Seed:              42,
+	})
+	m := New(cfg)
+	rec := &memRecorder{}
+	m.SetRecorder(rec)
+	a := m.Alloc(8, 1)
+	per := m.Config().CoresPerSocket
+	for _, core := range []int{0, 1, per, per + 1} {
+		core := core
+		m.Go(core, func(p *Proc) {
+			for i := 0; i < 40; i++ {
+				committed := false
+				for try := 0; try < 4 && !committed; try++ {
+					committed, _ = p.Transaction(func(tx *Tx) {
+						tx.Write(a, tx.Read(a)+1)
+						tx.Delay(20)
+					})
+				}
+				if !committed {
+					for {
+						old := p.Read(a)
+						if p.FallbackCAS(a, old, old+1) {
+							break
+						}
+						p.Delay(10)
+					}
+				}
+			}
+		})
+	}
+	m.Run()
+	if !m.HTMDisabled() {
+		t.Fatal("workload never reached the DisableHTMAfter trip point")
+	}
+	if m.Stats.FaultsInjected == 0 || m.Stats.CASFallbacks == 0 {
+		t.Fatalf("workload not faulty enough: injected=%d fallbacks=%d",
+			m.Stats.FaultsInjected, m.Stats.CASFallbacks)
+	}
+	if m.Peek(a) != 4*40 {
+		t.Fatalf("lost updates under faults: a=%d, want %d", m.Peek(a), 4*40)
+	}
+	return m.Stats, rec.log
+}
+
+// The ISSUE's determinism gate: a seeded injector replays an identical
+// abort/event sequence — not just equal totals — across two runs.
+func TestSeededFaultReplayIsIdentical(t *testing.T) {
+	stats1, log1 := faultReplayRun(t)
+	stats2, log2 := faultReplayRun(t)
+	if stats1 != stats2 {
+		t.Fatalf("stats diverged across identical runs:\n  %+v\n  %+v", stats1, stats2)
+	}
+	if len(log1) != len(log2) {
+		t.Fatalf("event counts diverged: %d vs %d", len(log1), len(log2))
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		for i := range log1 {
+			if log1[i] != log2[i] {
+				t.Fatalf("event %d diverged: %+v vs %+v", i, log1[i], log2[i])
+			}
+		}
+	}
+	// The log must actually contain injected-fault events.
+	n := 0
+	for _, e := range log1 {
+		if e.kind == "ev" && obs.EventKind(e.a) == obs.EvFaultInject {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no EvFaultInject events in the replayed log")
+	}
+}
+
+// A different injector seed changes the fault schedule while thread timing
+// stays legal: the run still completes and still injects.
+func TestFaultSeedVariesSchedule(t *testing.T) {
+	base := faulty(FaultPlan{SpuriousAbortProb: 0.5, Seed: 1})
+	other := base
+	other.Faults.Seed = 2
+	counts := make([]uint64, 0, 2)
+	for _, cfg := range []Config{base, other} {
+		m := New(cfg)
+		a := m.AllocLine(8, 0)
+		m.Go(0, func(p *Proc) {
+			for i := 0; i < 60; i++ {
+				p.Transaction(func(tx *Tx) {
+					tx.Write(a, tx.Read(a)+1)
+					tx.Delay(200)
+				})
+			}
+		})
+		m.Run()
+		if m.Stats.FaultsInjected == 0 {
+			t.Fatal("seeded run injected nothing at p=0.5")
+		}
+		counts = append(counts, m.Stats.FaultsInjected)
+	}
+	// Not asserting inequality of totals (they could coincide); the
+	// schedules differ, which the distinct streams make overwhelmingly
+	// likely to show up in the totals. Log if they coincide for diagnosis.
+	if counts[0] == counts[1] {
+		t.Logf("note: both seeds injected %d faults (schedules may still differ)", counts[0])
+	}
+}

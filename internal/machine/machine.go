@@ -51,6 +51,15 @@ type Machine struct {
 	lineHome map[uint64]int // line -> socket of its home directory
 	brk      []Addr         // per-socket bump-allocator cursor
 
+	// inj is the fault injector; nil when Config.Faults is empty, so the
+	// fault-free path costs one nil check per injection point.
+	inj *injector
+
+	// txnIDs issues this machine's transaction ids. Per-machine (not
+	// process-global) so equal seeds replay identical ids and the legacy
+	// SpuriousAbortEvery schedule is independent of process history.
+	txnIDs uint64
+
 	running int // procs started and not yet finished
 
 	// Stats accumulates counters for the whole run.
@@ -129,6 +138,7 @@ func New(cfg Config) *Machine {
 	for c := 0; c < cfg.NumCores(); c++ {
 		m.caches = append(m.caches, newCache(m, c))
 	}
+	m.inj = newInjector(m, cfg.Faults)
 	return m
 }
 
@@ -192,12 +202,18 @@ func (m *Machine) Peek(a Addr) uint64 { return m.mem[a] }
 func (m *Machine) Poke(a Addr, v uint64) { m.mem[a] = v }
 
 // hop returns the message latency between two endpoints. Endpoint ids are
-// core ids; directories are addressed by socket via dirEndpoint.
+// core ids; directories are addressed by socket via dirEndpoint. When the
+// fault injector configures cross-socket jitter, remote hops additionally
+// pay a random 0..CrossSocketJitter-cycle congestion penalty.
 func (m *Machine) hopCores(socketA, socketB int) uint64 {
 	if socketA == socketB {
 		return m.cfg.HopCycles
 	}
-	return m.cfg.HopCycles * m.cfg.NUMAFactor
+	lat := m.cfg.HopCycles * m.cfg.NUMAFactor
+	if j := m.inj; j != nil {
+		lat += j.hopJitter(socketA, socketB)
+	}
+	return lat
 }
 
 // sendToCache delivers msg to core dst after the appropriate hop latency.
@@ -291,6 +307,12 @@ type Stats struct {
 	TxAbortNested   uint64 // conflict aborts that hit inside a nested region
 	TxAbortSpurious uint64 // injected non-conflict aborts (interrupts etc.)
 	TxAbortCapacity uint64 // speculative-state overflow aborts
+	TxAbortDisabled uint64 // _xbegin refused because HTM is disabled
 	TrippedWriters  uint64 // aborts caused by Fwd-GetS while draining xend
 	FixStalls       uint64 // Fwd-GetS stalls avoided by the §3.4.1 fix
+
+	CASFallbacks   uint64 // software-fallback CASes (Proc.FallbackCAS)
+	FaultsInjected uint64 // injector-produced aborts (spurious + disabled)
+	JitteredHops   uint64 // cross-socket hops that drew nonzero jitter
+	JitterCycles   uint64 // total injected cross-socket jitter, in cycles
 }

@@ -192,6 +192,17 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	return ok
 }
 
+// FallbackCAS is CAS plus fallback accounting: retry policies direct TxCAS
+// here when they give up on the transactional path (HTM disabled, abort
+// budget exhausted), and the counters let experiments separate fallback
+// traffic from first-class CAS traffic.
+func (p *Proc) FallbackCAS(a Addr, old, new uint64) bool {
+	p.m.Stats.CASFallbacks++
+	p.m.obsInc(obs.CASFallbacks)
+	p.m.obsEvent(obs.EvCASFallback, p.Core(), LineOf(a))
+	return p.CAS(a, old, new)
+}
+
 // FAA atomically adds delta to the word at a and returns the previous value.
 func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 	p.checkNoTx("FAA")
@@ -252,6 +263,26 @@ type Tx struct{ p *Proc }
 // fallback policy.
 func (p *Proc) Transaction(body func(*Tx)) (committed bool, st AbortStatus) {
 	c := p.cache()
+	if j := p.m.inj; j != nil && j.htmDisabled() {
+		// HTM is disabled (FaultPlan.DisableHTM / DisableHTMAfter):
+		// _xbegin refuses to start the transaction, which software sees
+		// as an immediate zero-status abort. This path runs before
+		// beginTx — no transactional state ever exists — but counts as a
+		// started-and-aborted transaction, as real RTM reports it.
+		j.txSeen++
+		st = AbortStatus{Disabled: true}
+		p.m.Stats.TxStarted++
+		p.m.obsInc(obs.TxStarts)
+		p.m.obsEvent(obs.EvTxBegin, p.core, 0)
+		p.m.Stats.TxAborts++
+		p.m.obsInc(obs.TxAborts)
+		p.m.Stats.TxAbortDisabled++
+		p.m.obsInc(obs.TxAbortsDisabled)
+		j.noteInjected(FaultDisabled, p.core)
+		c.abortEvent(st, false, -1, 0)
+		p.Delay(p.m.cfg.AbortCycles)
+		return false, st
+	}
 	c.beginTx(p)
 	defer func() {
 		if r := recover(); r != nil {

@@ -48,6 +48,10 @@ const (
 	EvCohGetS
 	EvCohGetM
 
+	// EvFaultInject marks one injector-produced fault (machine layer). Arg
+	// is the fault kind (machine.FaultSpurious, machine.FaultDisabled).
+	EvFaultInject
+
 	// NumEventKinds bounds the enum; it is not an event kind.
 	NumEventKinds
 )
@@ -67,6 +71,7 @@ var eventNames = [NumEventKinds]string{
 	EvBasketClose: "basket_close",
 	EvCohGetS:     "coh_gets",
 	EvCohGetM:     "coh_getm",
+	EvFaultInject: "fault_inject",
 }
 
 // String returns the event kind's snake_case name.
@@ -98,6 +103,9 @@ const (
 	// AbortTripped marks a conflict abort that hit a writer already
 	// draining its xend — the tripped-writer problem of paper §3.4.
 	AbortTripped
+	// AbortDisabled marks a transaction refused at _xbegin because HTM is
+	// disabled (machine.FaultPlan.DisableHTM / DisableHTMAfter).
+	AbortDisabled
 )
 
 const (

@@ -80,6 +80,16 @@ const (
 	CohData
 	CohDownAck
 
+	// Fault-injection counters (simulated track). TxAbortsDisabled counts
+	// transactions refused at _xbegin because HTM is disabled;
+	// FaultsInjected counts injector-produced faults of any kind;
+	// FaultHopJitter counts cross-socket hops that drew a nonzero jitter
+	// penalty. Appended after the Coh block so CohGetS..CohDownAck keeps
+	// its required contiguity.
+	TxAbortsDisabled
+	FaultsInjected
+	FaultHopJitter
+
 	// NumCounters bounds the Counter enum; it is not a counter.
 	NumCounters
 )
@@ -115,6 +125,9 @@ var counterNames = [NumCounters]string{
 	CohInvAck:          "coh_inv_ack",
 	CohData:            "coh_data",
 	CohDownAck:         "coh_down_ack",
+	TxAbortsDisabled:   "tx_aborts_disabled",
+	FaultsInjected:     "faults_injected",
+	FaultHopJitter:     "fault_hop_jitter",
 }
 
 // String returns the counter's snake_case name.

@@ -82,6 +82,13 @@ func (s Snapshot) FormatHTM() string {
 		s.Counters[TxAbortsConflict], s.Counters[TxAbortsExplicit], s.Counters[TxAbortsNested],
 		s.Counters[TxAbortsCapacity], s.Counters[TxAbortsSpurious],
 		s.Counters[TxTrippedWriters], s.Counters[TxFixStalls])
+	if s.Counters[TxAbortsDisabled] > 0 {
+		fmt.Fprintf(&b, " disabled=%d", s.Counters[TxAbortsDisabled])
+	}
+	if s.Counters[FaultsInjected]+s.Counters[FaultHopJitter] > 0 {
+		fmt.Fprintf(&b, "\n     faults: injected=%d jittered-hops=%d",
+			s.Counters[FaultsInjected], s.Counters[FaultHopJitter])
+	}
 	return b.String()
 }
 

@@ -210,6 +210,7 @@ func abortReasonString(r uint8) string {
 	add(obs.AbortCapacity, "capacity")
 	add(obs.AbortSpurious, "spurious")
 	add(obs.AbortTripped, "tripped")
+	add(obs.AbortDisabled, "disabled")
 	if s == "" {
 		s = "none"
 	}

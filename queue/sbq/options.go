@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/basket"
+	"repro/internal/machine/policy"
 	"repro/internal/obs"
 )
 
@@ -19,9 +20,10 @@ import (
 type Option func(*options)
 
 type options struct {
-	enqueuers   int
-	appendDelay time.Duration
-	rec         obs.Recorder
+	enqueuers    int
+	appendDelay  time.Duration
+	appendPolicy policy.RetryPolicy
+	rec          obs.Recorder
 	// newBasket holds a func() basket.Basket[T]; it is typed any because
 	// Option is not generic (Go cannot infer a generic option's type
 	// parameter from a value-free call like WithEnqueuers(8)). New[T]
@@ -49,6 +51,21 @@ func WithEnqueuers(n int) Option {
 // recognition. Zero or negative d selects a plain immediate CAS.
 func WithAppendDelay(d time.Duration) Option {
 	return func(o *options) { o.appendDelay = d }
+}
+
+// WithAppendPolicy paces try_append with a retry policy from
+// repro/internal/machine/policy, the same policy values the simulated track
+// accepts — so an experiment can run one policy on both tracks. Natively a
+// failed linking CAS is permanent (another node is linked; SBQ profits from
+// the failure instead of retrying), so only the pre-attempt decision is
+// consulted: the policy's Decision.Delay (in simulated cycles, converted at
+// 2.5 cycles/ns) becomes a calibrated spin before the single CAS, and the
+// Fallback flag is ignored because the native CAS already is the software
+// path. policy.DelayedCAS{Delay: 675} therefore reproduces
+// WithAppendDelay(270 * time.Nanosecond). WithAppendPolicy takes precedence
+// over WithAppendDelay when both are given.
+func WithAppendPolicy(p policy.RetryPolicy) Option {
+	return func(o *options) { o.appendPolicy = p }
 }
 
 // WithBasket overrides the basket constructor (the default is the scalable

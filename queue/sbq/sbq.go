@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/basket"
+	"repro/internal/machine/policy"
 	"repro/internal/obs"
 )
 
@@ -85,7 +86,32 @@ func New[T any](opts ...Option) *Queue[T] {
 			)
 		}
 	}
-	if o.appendDelay > 0 {
+	if o.appendPolicy != nil {
+		pol := o.appendPolicy
+		// Convert the policy's cycle-denominated delays to calibrated spin
+		// iterations once; the hot path then runs integer math only. The
+		// policy draws randomness from a queue-local xorshift stream: the
+		// native track makes no determinism promise (goroutine interleaving
+		// is already nondeterministic), it just needs cheap symmetry
+		// breaking without clock reads.
+		itersPerCycle := calibrateSpin() / cyclesPerNS
+		var rng atomic.Uint64
+		rng.Store(0x9E3779B97F4A7C15)
+		randN := func(n uint64) uint64 {
+			x := rng.Add(0xBF58476D1CE4E5B9)
+			x ^= x >> 30
+			x *= 0x94D049BB133111EB
+			x ^= x >> 27
+			return x % n
+		}
+		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
+			d := pol.Decide(policy.Abort{}, randN)
+			if d.Delay > 0 {
+				spinForCycles(d.Delay, itersPerCycle)
+			}
+			return next.CompareAndSwap(nil, n)
+		}
+	} else if o.appendDelay > 0 {
 		// Calibrate once at construction so the hot path runs a fixed
 		// iteration count (see spin.go for why the loop never reads the
 		// clock).

@@ -66,7 +66,7 @@ func TestConformancePartitionedBasket(t *testing.T) {
 	// queue linearizability.
 	queuetest.RunAll(t, factory(func(e int) *sbq.Queue[uint64] {
 		return sbq.NewWithOptions[uint64](e, 0, func() basket.Basket[uint64] {
-			return basket.NewPartitioned[uint64](e, e, 2)
+			return basket.New[uint64](basket.WithCapacity(e), basket.WithBound(e), basket.WithPartitions(2))
 		})
 	}))
 }

@@ -55,6 +55,22 @@ func calibrateSpin() float64 {
 	return spinCal.perNS
 }
 
+// cyclesPerNS is the simulated track's clock convention (2.5 GHz). Retry
+// policies denominate delays in simulated cycles; the native track converts
+// through this constant so one policy value means the same wall time on
+// both tracks.
+const cyclesPerNS = 2.5
+
+// spinForCycles busy-waits for a cycle-denominated delay using a
+// pre-computed iterations-per-cycle rate (see WithAppendPolicy).
+func spinForCycles(cycles uint64, itersPerCycle float64) {
+	n := float64(cycles) * itersPerCycle
+	if n < 1 {
+		n = 1
+	}
+	spinIters(uint64(n))
+}
+
 // spinItersFor converts a duration to calibrated loop iterations.
 func spinItersFor(d time.Duration) uint64 {
 	if d <= 0 {
