@@ -188,7 +188,7 @@ func BenchmarkNative_Enqueue(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			q := inst.Producer(0)
+			q := inst.ProducerView(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Enqueue(uint64(i) + 1)
@@ -205,7 +205,7 @@ func BenchmarkNative_EnqueueDequeuePair(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			q, cons := inst.Producer(0), inst.Consumer(0)
+			q, cons := inst.ProducerView(0), inst.ConsumerView(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Enqueue(uint64(i) + 1)
@@ -230,19 +230,46 @@ func BenchmarkNative_ParallelMixed(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cons := inst.Consumer(0)
+			cons := inst.ConsumerView(0)
 			var next atomic.Int64
 			var val atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				id := int(next.Add(1)) - 1
-				q := inst.Producer(id % maxViews)
+				q := inst.ProducerView(id % maxViews)
 				for pb.Next() {
 					q.Enqueue(val.Add(1))
 					cons.Dequeue()
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkNative_EnqueueBatch sweeps the batch size on the natively
+// batch-capable hot queues: ns/op is per element, so the curve falling as
+// k grows is the amortization (one FAA or linking CAS per batch) showing
+// up directly.
+func BenchmarkNative_EnqueueBatch(b *testing.B) {
+	for _, name := range []string{"FAA-Queue", "SBQ-CAS", "Sharded-FAA"} {
+		for _, k := range []int{1, 8, 64} {
+			name, k := name, k
+			b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+				inst, err := registry.Build(name, registry.Config{Producers: 1, BatchHint: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := inst.ProducerView(0)
+				vs := make([]uint64, k)
+				for i := range vs {
+					vs[i] = uint64(i) + 1
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i += k {
+					q.EnqueueBatch(vs)
+				}
+			})
+		}
 	}
 }
 

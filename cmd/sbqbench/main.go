@@ -9,8 +9,15 @@
 //
 //	sbqbench -workload enqueue|dequeue|mixed -threads 1,2,4,8 -ops 200000
 //	sbqbench -impl SBQ-DCAS -stats        # print telemetry snapshots
+//	sbqbench -queue Sharded-FAA -shards 4 # sharded front-end, explicit shard count
+//	sbqbench -batch 1,8,64                # sweep EnqueueBatch/DequeueBatch sizes
 //	sbqbench -bench-json out.json         # also write a schema-versioned record
 //	sbqbench -diff old.json new.json      # compare two records (report-only)
+//
+// -batch 0 (the default) measures the single-operation path; positive
+// sizes drive the batch surface with that k, amortizing the shared-word
+// operation over the batch on the natively batch-capable queues (FAA-Queue,
+// the SBQ family, and the sharded front-ends).
 //
 // Worker goroutines carry pprof labels (queue=<impl>, role=<producer|
 // consumer|prefill>), so a CPU profile taken during a run attributes
@@ -40,6 +47,9 @@ func main() {
 	threads := cliflag.Threads(flag.CommandLine, "comma-separated thread counts (default 1,2,4,...,NumCPU)")
 	ops := flag.Int("ops", 100_000, "operations per thread")
 	only := flag.String("impl", "", "run a single implementation by name")
+	flag.StringVar(only, "queue", "", "alias for -impl")
+	batches := cliflag.Batches(flag.CommandLine, "comma-separated batch sizes; 0 = single-op path (default 0)")
+	shards := flag.Int("shards", 0, "shard count for the sharded front-end entries; 0 = entry default (GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
 	benchJSON := flag.String("bench-json", "", "write results as schema-versioned JSON to this file")
 	diff := flag.Bool("diff", false, "compare two bench-json files: sbqbench -diff old.json new.json")
@@ -68,8 +78,17 @@ func main() {
 	}
 	sort.Ints(threadCounts)
 
-	fmt.Printf("workload=%s ops/thread=%d GOMAXPROCS=%d\n\n", *workload, *ops, runtime.GOMAXPROCS(0))
-	fmt.Printf("%-12s", "impl")
+	batchSizes := batches.Sizes
+	if len(batchSizes) == 0 {
+		batchSizes = []int{0} // single-op path, comparable with old baselines
+	}
+
+	fmt.Printf("workload=%s ops/thread=%d GOMAXPROCS=%d", *workload, *ops, runtime.GOMAXPROCS(0))
+	if *shards > 0 {
+		fmt.Printf(" shards=%d", *shards)
+	}
+	fmt.Print("\n\n")
+	fmt.Printf("%-20s", "impl")
 	for _, n := range threadCounts {
 		fmt.Printf(" %9dT", n)
 	}
@@ -84,36 +103,43 @@ func main() {
 		if *only != "" && name != *only {
 			continue
 		}
-		var snaps []statRun
-		fmt.Printf("%-12s", name)
-		for _, n := range threadCounts {
-			// The interface must stay untyped-nil when stats are off: a
-			// typed-nil *obs.Stats would pass the queues' nil checks and
-			// crash on the first Inc.
-			var rec obs.Recorder
-			var snap *obs.Stats
-			if *stats {
-				snap = obs.New()
-				rec = snap
+		for _, k := range batchSizes {
+			var snaps []statRun
+			label := name
+			if k > 0 {
+				label = fmt.Sprintf("%s/k=%d", name, k)
 			}
-			ns := runOne(name, rec, *workload, n, *ops)
-			fmt.Printf(" %10.1f", ns)
-			record.Results = append(record.Results, benchjson.Result{
-				Impl: name, Workload: *workload, Threads: n, Ops: *ops, NSPerOp: ns,
-			})
-			if snap != nil {
-				snaps = append(snaps, statRun{n, snap.Snapshot()})
+			fmt.Printf("%-20s", label)
+			for _, n := range threadCounts {
+				// The interface must stay untyped-nil when stats are off: a
+				// typed-nil *obs.Stats would pass the queues' nil checks and
+				// crash on the first Inc.
+				var rec obs.Recorder
+				var snap *obs.Stats
+				if *stats {
+					snap = obs.New()
+					rec = snap
+				}
+				ns := runOne(name, rec, *workload, n, *ops, k, *shards)
+				fmt.Printf(" %10.1f", ns)
+				record.Results = append(record.Results, benchjson.Result{
+					Impl: name, Workload: *workload, Threads: n, Batch: k, Shards: *shards,
+					Ops: *ops, NSPerOp: ns,
+				})
+				if snap != nil {
+					snaps = append(snaps, statRun{n, snap.Snapshot()})
+				}
 			}
-		}
-		fmt.Println()
-		for _, sr := range snaps {
-			fmt.Printf("\n  %s @ %d threads:\n", name, sr.threads)
-			for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
-				fmt.Printf("    %s\n", line)
-			}
-		}
-		if len(snaps) > 0 {
 			fmt.Println()
+			for _, sr := range snaps {
+				fmt.Printf("\n  %s @ %d threads:\n", label, sr.threads)
+				for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+			if len(snaps) > 0 {
+				fmt.Println()
+			}
 		}
 	}
 	if *benchJSON != "" {
@@ -154,9 +180,11 @@ func runDiff(oldPath, newPath string, threshold float64) {
 	fmt.Print(rep.Format())
 }
 
-// runOne measures one (impl, workload, threads) cell and returns ns per
-// operation normalized to one thread.
-func runOne(name string, rec obs.Recorder, workload string, threads, ops int) float64 {
+// runOne measures one (impl, workload, threads, batch) cell and returns ns
+// per element normalized to one thread. batch 0 drives the single-op path;
+// positive batch drives EnqueueBatch/DequeueBatch with that k (ops still
+// counts elements, so numbers across batch sizes compare per element).
+func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch, shards int) float64 {
 	producers, consumers := threads, threads
 	switch workload {
 	case "enqueue":
@@ -172,7 +200,9 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 	if nProd == 0 {
 		nProd = threads // prefill threads double as producers
 	}
-	inst, err := registry.Build(name, registry.Config{Producers: nProd, Recorder: rec})
+	inst, err := registry.Build(name, registry.Config{
+		Producers: nProd, Shards: shards, BatchHint: batch, Recorder: rec,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbqbench:", err)
 		os.Exit(2)
@@ -202,7 +232,7 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			go func() {
 				defer wg.Done()
 				labeled("prefill", func() {
-					q := inst.Producer(i)
+					q := inst.ProducerView(i)
 					for k := 0; k < per; k++ {
 						q.Enqueue(uint64(i+1)<<32 | uint64(k+1))
 					}
@@ -222,9 +252,22 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			go func() {
 				defer wg.Done()
 				labeled("producer", func() {
-					q := inst.Producer(i)
-					for k := 0; k < ops; k++ {
-						q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
+					q := inst.ProducerView(i)
+					if batch > 0 {
+						vs := make([]uint64, batch)
+						for k := 0; k < ops; k += len(vs) {
+							if rem := ops - k; rem < len(vs) {
+								vs = vs[:rem]
+							}
+							for j := range vs {
+								vs[j] = uint64(i+1)<<40 | uint64(k+j+1)
+							}
+							q.EnqueueBatch(vs)
+						}
+					} else {
+						for k := 0; k < ops; k++ {
+							q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
+						}
 					}
 				})()
 			}()
@@ -238,13 +281,31 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops int) fl
 			go func() {
 				defer wg.Done()
 				labeled("consumer", func() {
-					q := inst.Consumer(i)
+					q := inst.ConsumerView(i)
 					got := 0
-					for got < ops {
-						if _, ok := q.Dequeue(); ok {
-							got++
-						} else {
-							runtime.Gosched()
+					if batch > 0 {
+						dst := make([]uint64, batch)
+						for got < ops {
+							// Cap the request at the remaining quota: an
+							// overshoot would starve another consumer of its
+							// share and spin the run forever.
+							want := dst
+							if rem := ops - got; rem < len(dst) {
+								want = dst[:rem]
+							}
+							if n := q.DequeueBatch(want); n > 0 {
+								got += n
+							} else {
+								runtime.Gosched()
+							}
+						}
+					} else {
+						for got < ops {
+							if _, ok := q.Dequeue(); ok {
+								got++
+							} else {
+								runtime.Gosched()
+							}
 						}
 					}
 				})()

@@ -26,16 +26,37 @@ const DefaultThreshold = 0.10
 
 // Result is one measured cell.
 type Result struct {
-	Impl     string  `json:"impl"`
-	Workload string  `json:"workload"`
-	Threads  int     `json:"threads"`
-	Ops      int     `json:"ops_per_thread"`
-	NSPerOp  float64 `json:"ns_per_op"`
+	Impl     string `json:"impl"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	// Batch is the batch size driven through EnqueueBatch/DequeueBatch;
+	// zero means the single-operation path (plain Enqueue/Dequeue), which
+	// also keeps pre-batch baseline files comparable: their cells decode
+	// with Batch zero and match new single-op runs.
+	Batch int `json:"batch,omitempty"`
+	// Shards is the explicit shard count the queue was built with; zero
+	// means the entry's default (or an unsharded entry).
+	Shards  int     `json:"shards,omitempty"`
+	Ops     int     `json:"ops_per_thread"`
+	NSPerOp float64 `json:"ns_per_op"`
 }
 
 // key identifies the cell a result belongs to, for baseline matching.
 func (r Result) key() string {
-	return fmt.Sprintf("%s|%s|%d", r.Impl, r.Workload, r.Threads)
+	return fmt.Sprintf("%s|%s|%d|%d|%d", r.Impl, r.Workload, r.Threads, r.Batch, r.Shards)
+}
+
+// label renders the workload cell for tables: the workload name plus the
+// batch/shard dimensions when they are set.
+func (r Result) label() string {
+	l := r.Workload
+	if r.Batch > 0 {
+		l += fmt.Sprintf("/k=%d", r.Batch)
+	}
+	if r.Shards > 0 {
+		l += fmt.Sprintf("/s=%d", r.Shards)
+	}
+	return l
 }
 
 // File is one benchmark invocation's record.
@@ -151,7 +172,7 @@ func Diff(old, new *File, threshold float64) *Report {
 // one-line verdict, suitable for CI logs.
 func (r *Report) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %-8s %8s %12s %12s %8s\n", "impl", "workload", "threads", "old ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(&b, "%-14s %-14s %8s %12s %12s %8s\n", "impl", "workload", "threads", "old ns/op", "new ns/op", "ratio")
 	for _, d := range r.Deltas {
 		mark := ""
 		if d.Regressed {
@@ -159,14 +180,14 @@ func (r *Report) Format() string {
 		} else if d.Ratio > 0 && d.Ratio < 1-r.Threshold {
 			mark = "  (improved)"
 		}
-		fmt.Fprintf(&b, "%-14s %-8s %8d %12.1f %12.1f %7.2fx%s\n",
-			d.Impl, d.Workload, d.Threads, d.OldNSPerOp, d.NSPerOp, d.Ratio, mark)
+		fmt.Fprintf(&b, "%-14s %-14s %8d %12.1f %12.1f %7.2fx%s\n",
+			d.Impl, d.label(), d.Threads, d.OldNSPerOp, d.NSPerOp, d.Ratio, mark)
 	}
 	for _, o := range r.OnlyOld {
-		fmt.Fprintf(&b, "%-14s %-8s %8d   baseline only (not measured in new run)\n", o.Impl, o.Workload, o.Threads)
+		fmt.Fprintf(&b, "%-14s %-14s %8d   baseline only (not measured in new run)\n", o.Impl, o.label(), o.Threads)
 	}
 	for _, n := range r.OnlyNew {
-		fmt.Fprintf(&b, "%-14s %-8s %8d   new cell (no baseline)\n", n.Impl, n.Workload, n.Threads)
+		fmt.Fprintf(&b, "%-14s %-14s %8d   new cell (no baseline)\n", n.Impl, n.label(), n.Threads)
 	}
 	if r.EnvDiffer {
 		b.WriteString("note: environments differ between baseline and new run; ratios are indicative only\n")

@@ -56,6 +56,51 @@ func Threads(fs *flag.FlagSet, usage string) *ThreadList {
 	return l
 }
 
+// BatchList is a flag.Value accepting a comma-separated list of batch
+// sizes ("1,8,64") for the batch-capable queue surface. Size 0 selects the
+// single-operation path (plain Enqueue/Dequeue, no batch API); positive
+// sizes drive EnqueueBatch/DequeueBatch with that k. An unset flag leaves
+// Sizes nil; commands interpret that as their own default (typically the
+// single-operation path, so records stay comparable with pre-batch
+// baselines).
+type BatchList struct {
+	Sizes []int
+}
+
+// String implements flag.Value.
+func (l *BatchList) String() string {
+	if l == nil || len(l.Sizes) == 0 {
+		return ""
+	}
+	parts := make([]string, len(l.Sizes))
+	for i, n := range l.Sizes {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value. Like ThreadList, a repeated flag replaces the
+// list rather than appending.
+func (l *BatchList) Set(s string) error {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad batch size %q", strings.TrimSpace(f))
+		}
+		sizes = append(sizes, n)
+	}
+	l.Sizes = sizes
+	return nil
+}
+
+// Batches registers a "-batch" BatchList on fs and returns it.
+func Batches(fs *flag.FlagSet, usage string) *BatchList {
+	l := &BatchList{}
+	fs.Var(l, "batch", usage)
+	return l
+}
+
 // PowersOfTwo returns 1, 2, 4, ... up to and including at most max — the
 // native benchmark's default sweep shape.
 func PowersOfTwo(max int) []int {

@@ -34,6 +34,32 @@ func TestThreadListSet(t *testing.T) {
 	}
 }
 
+func TestBatchListSet(t *testing.T) {
+	var l BatchList
+	if err := l.Set("0, 1,8,64"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.Sizes, []int{0, 1, 8, 64}) {
+		t.Fatalf("Sizes = %v", l.Sizes)
+	}
+	if got := l.String(); got != "0,1,8,64" {
+		t.Fatalf("String = %q", got)
+	}
+	// A second Set replaces, like a scalar flag. Zero (single-op path) is
+	// legal; negatives and junk are not.
+	if err := l.Set("16"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.Sizes, []int{16}) {
+		t.Fatalf("Sizes after replace = %v", l.Sizes)
+	}
+	for _, bad := range []string{"", "-1", "8,x", "8,,16"} {
+		if err := l.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
 func TestPowersOfTwo(t *testing.T) {
 	if got := PowersOfTwo(44); !reflect.DeepEqual(got, []int{1, 2, 4, 8, 16, 32}) {
 		t.Fatalf("PowersOfTwo(44) = %v", got)
@@ -89,11 +115,15 @@ func TestRegistration(t *testing.T) {
 	fs.SetOutput(io.Discard)
 	tl := Threads(fs, "thread counts")
 	fp := Faults(fs)
-	if err := fs.Parse([]string{"-threads", "4,8", "-faults", "disable"}); err != nil {
+	bl := Batches(fs, "batch sizes")
+	if err := fs.Parse([]string{"-threads", "4,8", "-faults", "disable", "-batch", "1,8"}); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(tl.Counts, []int{4, 8}) {
 		t.Fatalf("Counts = %v", tl.Counts)
+	}
+	if !reflect.DeepEqual(bl.Sizes, []int{1, 8}) {
+		t.Fatalf("Sizes = %v", bl.Sizes)
 	}
 	if !fp.Plan.DisableHTM {
 		t.Fatalf("Plan = %+v", fp.Plan)

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/queue/registry"
+)
+
+// ShardedThroughput measures the native (wall-clock, not simulated) queue
+// library under the mixed workload, sweeping batch size across registry
+// entries: the companion experiment to the sharded front-end. Each series
+// is one (impl, batch) pair named "<impl>/k=<batch>" ("<impl>" alone for
+// the single-op path), so tables and plots line the amortization curves up
+// next to each other. Populates Output.Results.
+//
+// Unlike the figure workloads this runs real goroutines against the
+// registry's queues, so its numbers depend on the host: treat them like
+// cmd/sbqbench output (which shares the measurement shape), not like the
+// simulated figures.
+type ShardedThroughput struct {
+	// Impls are registry entry names; default compares the best unsharded
+	// FAA queue against its sharded composition.
+	Impls []string
+	// BatchSizes sweeps EnqueueBatch/DequeueBatch sizes; 0 is the
+	// single-op path. Default {0, 1, 8, 64}.
+	BatchSizes []int
+	// Shards pins the front-end's shard count; 0 keeps the entry default
+	// (GOMAXPROCS).
+	Shards int
+}
+
+// Name implements Workload.
+func (ShardedThroughput) Name() string { return "sharded" }
+
+func (w ShardedThroughput) run(o Options) Output { return Output{Results: runSharded(w, o)} }
+
+func runSharded(w ShardedThroughput, o Options) []Result {
+	o = o.withDefaults()
+	impls := w.Impls
+	if len(impls) == 0 {
+		impls = []string{"FAA-Queue", "Sharded-FAA"}
+	}
+	batches := w.BatchSizes
+	if len(batches) == 0 {
+		batches = []int{0, 1, 8, 64}
+	}
+	var out []Result
+	for _, impl := range impls {
+		for _, k := range batches {
+			series := impl
+			if k > 0 {
+				series = fmt.Sprintf("%s/k=%d", impl, k)
+			}
+			for _, n := range o.ThreadCounts {
+				var ns []float64
+				for rep := 0; rep < o.Reps; rep++ {
+					ns = append(ns, nativeMixedNS(impl, n, o.OpsPerThread, k, w.Shards))
+				}
+				s := stats.Summarize(ns)
+				out = append(out, Result{Series: series, Threads: n, NSPerOp: s.Mean, StdNS: s.Stddev,
+					Mops: 1e3 * float64(n) / s.Mean})
+				o.progress("sharded %s %d threads: %.0f ns/op\n", series, n, s.Mean)
+			}
+		}
+	}
+	return out
+}
+
+// nativeMixedNS runs n producers against n consumers on the named registry
+// entry and returns wall-clock ns per element normalized to one thread
+// (the same normalization cmd/sbqbench applies, so the two agree). batch 0
+// uses plain Enqueue/Dequeue; positive batch drives the batch surface.
+func nativeMixedNS(impl string, n, ops, batch, shards int) float64 {
+	inst, err := registry.Build(impl, registry.Config{
+		Producers: n, Shards: shards, BatchHint: batch,
+	})
+	if err != nil {
+		panic("harness: " + err.Error()) // impl names come from the closed caller set
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := inst.ProducerView(i)
+			if batch > 0 {
+				vs := make([]uint64, batch)
+				for k := 0; k < ops; k += len(vs) {
+					if rem := ops - k; rem < len(vs) {
+						vs = vs[:rem]
+					}
+					for j := range vs {
+						vs[j] = uint64(i+1)<<40 | uint64(k+j+1)
+					}
+					q.EnqueueBatch(vs)
+				}
+			} else {
+				for k := 0; k < ops; k++ {
+					q.Enqueue(uint64(i+1)<<40 | uint64(k+1))
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := inst.ConsumerView(i)
+			got := 0
+			if batch > 0 {
+				dst := make([]uint64, batch)
+				for got < ops {
+					// Cap the request at the remaining quota: an overshoot
+					// would starve another consumer of its share and spin
+					// the run forever.
+					want := dst
+					if rem := ops - got; rem < len(dst) {
+						want = dst[:rem]
+					}
+					if m := q.DequeueBatch(want); m > 0 {
+						got += m
+					} else {
+						runtime.Gosched()
+					}
+				}
+			} else {
+				for got < ops {
+					if _, ok := q.Dequeue(); ok {
+						got++
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 2 * n * ops
+	return float64(time.Since(start).Nanoseconds()) * float64(2*n) / float64(total)
+}

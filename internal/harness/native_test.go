@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardedThroughputShape checks the native workload's output grid:
+// one series per (impl, batch) with the documented naming, one result per
+// thread count, positive measurements.
+func TestShardedThroughputShape(t *testing.T) {
+	w := ShardedThroughput{
+		Impls:      []string{"FAA-Queue", "Sharded-FAA"},
+		BatchSizes: []int{0, 8},
+		Shards:     2,
+	}
+	o := Options{OpsPerThread: 200, Reps: 1, ThreadCounts: []int{1, 2}}
+	out := Run(w, o)
+	if got, want := len(out.Results), 2*2*2; got != want {
+		t.Fatalf("got %d results, want %d", got, want)
+	}
+	series := map[string]int{}
+	for _, r := range out.Results {
+		series[r.Series]++
+		if r.NSPerOp <= 0 || r.Mops <= 0 {
+			t.Errorf("%s @ %d threads: non-positive measurement %+v", r.Series, r.Threads, r)
+		}
+	}
+	for _, want := range []string{"FAA-Queue", "FAA-Queue/k=8", "Sharded-FAA", "Sharded-FAA/k=8"} {
+		if series[want] != 2 {
+			t.Errorf("series %q has %d points, want 2 (have %v)", want, series[want], series)
+		}
+	}
+	if w.Name() != "sharded" {
+		t.Errorf("Name() = %q", w.Name())
+	}
+}
+
+// TestShardedThroughputDefaults exercises the zero-value workload with a
+// reduced Options load, covering the default impl and batch lists.
+func TestShardedThroughputDefaults(t *testing.T) {
+	o := Options{OpsPerThread: 50, Reps: 1, ThreadCounts: []int{1}}
+	out := Run(ShardedThroughput{}, o)
+	// 2 default impls x 4 default batch sizes x 1 thread count.
+	if got, want := len(out.Results), 8; got != want {
+		t.Fatalf("got %d results, want %d", got, want)
+	}
+	sawBatchSeries := false
+	for _, r := range out.Results {
+		if strings.Contains(r.Series, "/k=") {
+			sawBatchSeries = true
+		}
+	}
+	if !sawBatchSeries {
+		t.Error("no batch-suffixed series in default sweep")
+	}
+}

@@ -39,11 +39,12 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// Symbol is one deprecated entry point: a package-level function and the
-// replacement to name in the diagnostic.
+// Symbol is one deprecated entry point: a package-level function — or a
+// method, written "Type.Method" — and the replacement to name in the
+// diagnostic.
 type Symbol struct {
 	Pkg  string // defining package import path
-	Name string // function name
+	Name string // function name, or "Type.Method" for methods
 	Use  string // replacement, phrased to follow "use "
 }
 
@@ -67,6 +68,9 @@ var Table = []Symbol{
 	{"repro/queue/sbq", "NewWithOptions", "New with WithEnqueuers, WithAppendDelay and WithBasket"},
 	{"repro/basket", "NewScalable", "New with WithCapacity and WithBound"},
 	{"repro/basket", "NewPartitioned", "New with WithCapacity, WithBound and WithPartitions"},
+	{"repro/queue/registry", "Shared", "Batched(queue.AsBatch(q))"},
+	{"repro/queue/registry", "Instance.Producer", "ProducerView"},
+	{"repro/queue/registry", "Instance.Consumer", "ConsumerView"},
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -84,7 +88,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			sym, ok := index[fn.Pkg().Path()+"."+fn.Name()]
+			sym, ok := index[fn.Pkg().Path()+"."+symbolName(fn)]
 			if !ok || exempt(pass.Pkg.Path(), sym.Pkg) {
 				return true
 			}
@@ -93,6 +97,26 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// symbolName renders fn the way Table spells it: the bare name for
+// package-level functions, "Type.Method" for methods (qualified by the
+// receiver's type name so a method and a function sharing a name — or two
+// types' same-named methods — never collide in the table).
+func symbolName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fn.Name() // interface methods and other receivers stay unqualified
+	}
+	return named.Obj().Name() + "." + fn.Name()
 }
 
 // exempt reports whether a use from the pass's package of a symbol

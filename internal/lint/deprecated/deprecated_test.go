@@ -15,7 +15,7 @@ import (
 func TestDeprecated(t *testing.T) {
 	// Package a uses the surface from outside; the stub packages check the
 	// defining-package exemption (they contain self-uses and no // want).
-	linttest.Run(t, "testdata", Analyzer, "a", "repro/internal/harness", "repro/basket")
+	linttest.Run(t, "testdata", Analyzer, "a", "repro/internal/harness", "repro/basket", "repro/queue/registry")
 }
 
 func TestExempt(t *testing.T) {
@@ -39,8 +39,10 @@ func TestExempt(t *testing.T) {
 }
 
 // TestTableMatchesSource asserts every Table entry names a real exported
-// function in this repository whose doc comment carries the standard
-// "Deprecated:" marker — the curated table cannot drift from the source.
+// function or method in this repository whose doc comment carries the
+// standard "Deprecated:" marker — the curated table cannot drift from the
+// source. Method entries are spelled "Type.Method" and matched against
+// declarations with the corresponding receiver type.
 func TestTableMatchesSource(t *testing.T) {
 	const module = "repro"
 	repoRoot := filepath.Join("..", "..", "..")
@@ -50,6 +52,10 @@ func TestTableMatchesSource(t *testing.T) {
 		if rel == sym.Pkg {
 			t.Errorf("%s.%s: package not under module %s", sym.Pkg, sym.Name, module)
 			continue
+		}
+		recv, name, isMethod := strings.Cut(sym.Name, ".")
+		if !isMethod {
+			name, recv = recv, ""
 		}
 		dir := filepath.Join(repoRoot, filepath.FromSlash(rel))
 		entries, err := os.ReadDir(dir)
@@ -68,7 +74,7 @@ func TestTableMatchesSource(t *testing.T) {
 			}
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv != nil || fd.Name.Name != sym.Name {
+				if !ok || fd.Name.Name != name || receiverName(fd) != recv {
 					continue
 				}
 				found = true
@@ -79,6 +85,30 @@ func TestTableMatchesSource(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("%s.%s is in the deprecated table but not in the source", sym.Pkg, sym.Name)
+		}
+	}
+}
+
+// receiverName returns the type name of fd's receiver ("" for functions),
+// unwrapping pointers and generic instantiations the way symbolName does
+// for type-checked objects.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/basket"
 	"repro/internal/harness"
+	"repro/queue/registry"
 	"repro/queue/sbq"
 )
 
@@ -40,4 +41,19 @@ func queues() {
 
 	//lint:ignore deprecated exercising the legacy surface on purpose
 	_ = basket.NewScalable[int](4, 2)
+}
+
+func views() {
+	inst := registry.Shared(7) // want `repro/queue/registry\.Shared is deprecated: use Batched\(queue\.AsBatch\(q\)\)`
+	_ = inst.Producer(0)       // want `repro/queue/registry\.Instance\.Producer is deprecated: use ProducerView`
+	_ = inst.Consumer(0)       // want `Instance\.Consumer is deprecated`
+
+	// The modern method surface draws no diagnostic.
+	inst = registry.Batched(7)
+	_ = inst.ProducerView(0)
+	_ = inst.ConsumerView(0)
+
+	// A method value (not called) is still a use.
+	f := inst.Producer // want `Instance\.Producer is deprecated`
+	_ = f
 }

@@ -1,0 +1,37 @@
+// Package registry is a stub of repro/queue/registry: the deprecated
+// view methods and Shared constructor plus the batch-capable surface they
+// delegate to.
+package registry
+
+type Instance struct {
+	producer func(i int) int
+	consumer func(i int) int
+}
+
+func Views(producer, consumer func(i int) int) Instance {
+	return Instance{producer: producer, consumer: consumer}
+}
+
+func (in Instance) ProducerView(i int) int { return in.producer(i) }
+
+func (in Instance) ConsumerView(i int) int { return in.consumer(i) }
+
+// Deprecated: use ProducerView.
+func (in Instance) Producer(i int) int { return in.producer(i) }
+
+// Deprecated: use ConsumerView.
+func (in Instance) Consumer(i int) int { return in.consumer(i) }
+
+func Batched(q int) Instance {
+	view := func(int) int { return q }
+	return Views(view, view)
+}
+
+// Deprecated: use Batched.
+func Shared(q int) Instance { return Batched(q) }
+
+// Defining-package delegation stays legal (the wrapper bodies live here).
+func selfUse() int {
+	inst := Shared(7)
+	return inst.Producer(0) + inst.Consumer(0)
+}

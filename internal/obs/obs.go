@@ -90,6 +90,15 @@ const (
 	FaultsInjected
 	FaultHopJitter
 
+	// Batch and sharding counters (native track). EnqBatches/DeqBatches
+	// count batch operations (EnqOps/DeqOps still count elements, so
+	// ops/batches is the realized amortization factor k); DeqSteals
+	// counts dequeues a sharded front-end satisfied from a non-home
+	// shard.
+	EnqBatches
+	DeqBatches
+	DeqSteals
+
 	// NumCounters bounds the Counter enum; it is not a counter.
 	NumCounters
 )
@@ -128,6 +137,9 @@ var counterNames = [NumCounters]string{
 	TxAbortsDisabled:   "tx_aborts_disabled",
 	FaultsInjected:     "faults_injected",
 	FaultHopJitter:     "fault_hop_jitter",
+	EnqBatches:         "enq_batches",
+	DeqBatches:         "deq_batches",
+	DeqSteals:          "deq_steals",
 }
 
 // String returns the counter's snake_case name.

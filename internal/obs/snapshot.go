@@ -66,6 +66,10 @@ func (s Snapshot) FormatQueue() string {
 			s.Counters[BasketInserts], s.Counters[BasketInsertFails],
 			s.Counters[BasketExtracts], s.Counters[BasketExtractFails])
 	}
+	if s.Counters[EnqBatches]+s.Counters[DeqBatches]+s.Counters[DeqSteals] > 0 {
+		fmt.Fprintf(&b, "\nbatch: enq=%d deq=%d steals=%d",
+			s.Counters[EnqBatches], s.Counters[DeqBatches], s.Counters[DeqSteals])
+	}
 	return b.String()
 }
 

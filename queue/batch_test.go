@@ -1,0 +1,108 @@
+package queue_test
+
+import (
+	"testing"
+
+	"repro/queue"
+)
+
+// sliceQueue is a minimal single-goroutine Queue with no batch support.
+type sliceQueue struct{ vs []uint64 }
+
+func (q *sliceQueue) Enqueue(v uint64) { q.vs = append(q.vs, v) }
+
+func (q *sliceQueue) Dequeue() (uint64, bool) {
+	if len(q.vs) == 0 {
+		return 0, false
+	}
+	v := q.vs[0]
+	q.vs = q.vs[1:]
+	return v, true
+}
+
+// enqBatcher adds only the native batch-enqueue capability, recording
+// whether it was used.
+type enqBatcher struct {
+	sliceQueue
+	nativeEnq int
+}
+
+func (q *enqBatcher) EnqueueBatch(vs []uint64) {
+	q.nativeEnq++
+	q.vs = append(q.vs, vs...)
+}
+
+// fullBatcher implements the whole BatchQueue surface.
+type fullBatcher struct {
+	enqBatcher
+	nativeDeq int
+}
+
+func (q *fullBatcher) DequeueBatch(dst []uint64) int {
+	q.nativeDeq++
+	n := copy(dst, q.vs)
+	q.vs = q.vs[n:]
+	return n
+}
+
+func TestAsBatchLoopFallback(t *testing.T) {
+	b := queue.AsBatch[uint64](&sliceQueue{})
+	b.EnqueueBatch([]uint64{1, 2, 3})
+	b.Enqueue(4)
+	dst := make([]uint64, 8)
+	if n := b.DequeueBatch(dst); n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %d, want %d (batch order must be FIFO)", i, dst[i], want)
+		}
+	}
+	if n := b.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty = %d, want 0", n)
+	}
+	b.EnqueueBatch(nil) // empty batch is a no-op
+	if _, ok := b.Dequeue(); ok {
+		t.Fatal("empty EnqueueBatch enqueued something")
+	}
+}
+
+func TestAsBatchPartialCapability(t *testing.T) {
+	q := &enqBatcher{}
+	b := queue.AsBatch[uint64](q)
+	b.EnqueueBatch([]uint64{7, 8})
+	if q.nativeEnq != 1 {
+		t.Fatalf("native EnqueueBatch used %d times, want 1", q.nativeEnq)
+	}
+	dst := make([]uint64, 2)
+	if n := b.DequeueBatch(dst); n != 2 || dst[0] != 7 || dst[1] != 8 {
+		t.Fatalf("DequeueBatch = %d %v, want 2 [7 8]", n, dst)
+	}
+}
+
+func TestAsBatchIdentityOnNative(t *testing.T) {
+	q := &fullBatcher{}
+	b := queue.AsBatch[uint64](q)
+	if b != queue.BatchQueue[uint64](q) {
+		t.Fatal("AsBatch wrapped a queue that already implements BatchQueue")
+	}
+	b.EnqueueBatch([]uint64{1})
+	if n := b.DequeueBatch(make([]uint64, 1)); n != 1 {
+		t.Fatalf("DequeueBatch = %d, want 1", n)
+	}
+	if q.nativeEnq != 1 || q.nativeDeq != 1 {
+		t.Fatalf("native methods used %d/%d times, want 1/1", q.nativeEnq, q.nativeDeq)
+	}
+}
+
+func TestAsBatchDstSmallerThanQueue(t *testing.T) {
+	b := queue.AsBatch[uint64](&sliceQueue{})
+	b.EnqueueBatch([]uint64{1, 2, 3, 4, 5})
+	dst := make([]uint64, 2)
+	if n := b.DequeueBatch(dst); n != 2 || dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("DequeueBatch = %d %v, want 2 [1 2]", n, dst)
+	}
+	if n := b.DequeueBatch(make([]uint64, 0)); n != 0 {
+		t.Fatalf("DequeueBatch with empty dst = %d, want 0", n)
+	}
+}

@@ -1,0 +1,176 @@
+package faaq_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/queue/faaq"
+)
+
+func TestBatchSequentialFIFO(t *testing.T) {
+	q := faaq.New[int]()
+	q.EnqueueBatch(nil) // empty batch is a no-op
+	q.EnqueueBatch([]int{0, 1, 2})
+	q.EnqueueBatch([]int{3})
+	q.Enqueue(4) // singles and batches interleave
+	q.EnqueueBatch([]int{5, 6})
+	dst := make([]int, 16)
+	if n := q.DequeueBatch(dst); n != 7 {
+		t.Fatalf("DequeueBatch = %d, want 7", n)
+	}
+	for i := 0; i < 7; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], i)
+		}
+	}
+	if n := q.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty = %d, want 0", n)
+	}
+	if n := q.DequeueBatch(nil); n != 0 {
+		t.Fatalf("DequeueBatch with empty dst = %d, want 0", n)
+	}
+}
+
+// TestBatchSegmentCrossing drives one batch across several segment
+// boundaries: the single FAA claims a contiguous block spanning
+// segments, so the cell walk must extend the list correctly.
+func TestBatchSegmentCrossing(t *testing.T) {
+	q := faaq.New[int]()
+	n := faaq.SegSize*2 + 37
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	q.EnqueueBatch(vs)
+	dst := make([]int, n+10)
+	if got := q.DequeueBatch(dst); got != n {
+		t.Fatalf("DequeueBatch = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], i)
+		}
+	}
+}
+
+func TestBatchPartialDequeue(t *testing.T) {
+	q := faaq.New[int]()
+	q.EnqueueBatch([]int{1, 2, 3})
+	dst := make([]int, 2)
+	if n := q.DequeueBatch(dst); n != 2 || dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("DequeueBatch = %d %v, want 2 [1 2]", n, dst)
+	}
+	// dst larger than what's left: partial fill, honest count.
+	big := make([]int, 10)
+	if n := q.DequeueBatch(big); n != 1 || big[0] != 3 {
+		t.Fatalf("DequeueBatch = %d %v..., want 1 [3]", n, big[0])
+	}
+}
+
+// TestBatchConcurrentExactlyOnce hammers batch producers against batch
+// consumers and verifies exactly-once delivery plus intra-batch order
+// per producer.
+func TestBatchConcurrentExactlyOnce(t *testing.T) {
+	q := faaq.New[uint64]()
+	const producers, batches, k = 4, 50, 16
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vs := make([]uint64, k)
+			for b := 0; b < batches; b++ {
+				for i := range vs {
+					vs[i] = uint64(p+1)<<32 | uint64(b*k+i+1)
+				}
+				q.EnqueueBatch(vs)
+			}
+		}()
+	}
+	want := producers * batches * k
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			dst := make([]uint64, k)
+			for {
+				n := q.DequeueBatch(dst)
+				if n == 0 {
+					select {
+					case <-done:
+						if n = q.DequeueBatch(dst); n == 0 {
+							return
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				for _, v := range dst[:n] {
+					if seen[v] {
+						mu.Unlock()
+						t.Errorf("duplicate element %#x", v)
+						return
+					}
+					seen[v] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	// Final drain from the test goroutine.
+	dst := make([]uint64, 64)
+	for {
+		n := q.DequeueBatch(dst)
+		if n == 0 {
+			break
+		}
+		for _, v := range dst[:n] {
+			if seen[v] {
+				t.Fatalf("duplicate element %#x", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("delivered %d of %d elements", len(seen), want)
+	}
+}
+
+// TestBatchTelemetry verifies the batch counters: EnqOps/DeqOps count
+// elements while EnqBatches/DeqBatches count operations, so their ratio
+// is the realized amortization factor.
+func TestBatchTelemetry(t *testing.T) {
+	rec := obs.New()
+	q := faaq.New[uint64](faaq.WithRecorder(rec))
+	vs := make([]uint64, 8)
+	for i := range vs {
+		vs[i] = uint64(i + 1)
+	}
+	q.EnqueueBatch(vs)
+	dst := make([]uint64, 8)
+	if n := q.DequeueBatch(dst); n != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", n)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counter(obs.EnqOps); got != 8 {
+		t.Errorf("EnqOps = %d, want 8", got)
+	}
+	if got := snap.Counter(obs.EnqBatches); got != 1 {
+		t.Errorf("EnqBatches = %d, want 1", got)
+	}
+	if got := snap.Counter(obs.DeqOps); got != 8 {
+		t.Errorf("DeqOps = %d, want 8", got)
+	}
+	if got := snap.Counter(obs.DeqBatches); got != 1 {
+		t.Errorf("DeqBatches = %d, want 1", got)
+	}
+}

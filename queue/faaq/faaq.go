@@ -88,6 +88,13 @@ func New[T any](opts ...Option) *Queue[T] {
 // snapshot can never overshoot idx's segment, and holding the snapshot
 // keeps older segments alive against the GC while we walk.
 func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx uint64) *cell[T] {
+	c, _ := findCellSeg(cache, start, idx)
+	return c
+}
+
+// findCellSeg is findCell, also returning idx's segment so batch loops
+// over ascending indices can resume the walk where the last one ended.
+func findCellSeg[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx uint64) (*cell[T], *segment[T]) {
 	seg := start
 	for seg.id != idx/SegSize {
 		next := seg.next.Load()
@@ -111,7 +118,7 @@ func findCell[T any](cache *atomic.Pointer[segment[T]], start *segment[T], idx u
 			break
 		}
 	}
-	return &seg.cells[idx%SegSize]
+	return &seg.cells[idx%SegSize], seg
 }
 
 // Enqueue claims a cell with one FAA and publishes v; if a fast dequeuer
@@ -172,4 +179,107 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		// The enqueuer of this cell has not arrived; it will see the
 		// poison and move on. Claim the next cell.
 	}
+}
+
+// EnqueueBatch publishes vs in order, claiming len(vs) consecutive cells
+// with ONE fetch-and-add — the batch analogue of the paper's basket:
+// where §5 amortizes the serialized handoff over the k operations that
+// happened to collide, the batch amortizes it over the k elements the
+// caller already grouped. Cells poisoned by overtaking dequeuers are
+// rare; when one is hit, the not-yet-published suffix of the batch moves
+// wholesale to a fresh contiguous claim so intra-batch FIFO order is
+// preserved (already-claimed later cells are simply abandoned to the
+// dequeuers' poison path, like a single Enqueue's failed cell).
+func (q *Queue[T]) EnqueueBatch(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	if r := q.rec; r != nil {
+		r.Add(obs.EnqOps, uint64(len(vs)))
+		r.Inc(obs.EnqBatches)
+	}
+	q.event(obs.EvEnqStart, uint64(len(vs)))
+	rest := vs
+	for {
+		seg := q.enqSeg.Load() // snapshot before the claim; see findCell
+		n := uint64(len(rest))
+		base := q.enqIdx.Add(n) - n
+		publishedAll := true
+		for j := uint64(0); j < n; j++ {
+			var c *cell[T]
+			c, seg = findCellSeg(&q.enqSeg, seg, base+j)
+			c.v = rest[j]
+			q.event(obs.EvCASAttempt, base+j)
+			if !c.state.CompareAndSwap(cellEmpty, cellFull) {
+				// A dequeuer overtook this cell. Re-claim the whole
+				// unpublished suffix (this element included) at fresh
+				// indices; cells j+1..n-1 of this claim stay empty and
+				// will be poisoned by dequeuers in their own time.
+				q.event(obs.EvCASFailure, base+j)
+				if r := q.rec; r != nil {
+					r.Add(obs.EnqRetries, n-j)
+				}
+				rest = rest[j:]
+				publishedAll = false
+				break
+			}
+		}
+		if publishedAll {
+			q.event(obs.EvEnqEnd, uint64(len(vs)))
+			return
+		}
+	}
+}
+
+// DequeueBatch fills a prefix of dst in queue order, claiming each block
+// of cells with ONE fetch-and-add. The claim is bounded by the published
+// index, so an over-large dst does not poison unwritten cells beyond
+// what concurrent single dequeues would. Returns the number of elements
+// written; 0 means the queue appeared empty.
+func (q *Queue[T]) DequeueBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.event(obs.EvDeqStart, uint64(len(dst)))
+	if r := q.rec; r != nil {
+		r.Inc(obs.DeqBatches)
+	}
+	got := 0
+	for got < len(dst) {
+		d, e := q.deqIdx.Load(), q.enqIdx.Load()
+		if d >= e {
+			break // appeared empty
+		}
+		n := uint64(len(dst) - got)
+		if avail := e - d; avail < n {
+			n = avail
+		}
+		seg := q.deqSeg.Load() // snapshot before the claim; see findCell
+		base := q.deqIdx.Add(n) - n
+		misses := uint64(0)
+		for j := uint64(0); j < n; j++ {
+			var c *cell[T]
+			c, seg = findCellSeg(&q.deqSeg, seg, base+j)
+			if c.state.Swap(cellTaken) == cellFull {
+				dst[got] = c.v
+				got++
+			} else {
+				// Poisoned an unpublished cell; its enqueuer retries
+				// elsewhere, we just got fewer elements than claimed.
+				misses++
+			}
+		}
+		if r := q.rec; r != nil && misses > 0 {
+			r.Add(obs.DeqRetries, misses)
+		}
+	}
+	if r := q.rec; r != nil {
+		if got > 0 {
+			r.Add(obs.DeqOps, uint64(got))
+		} else {
+			r.Inc(obs.DeqEmpty)
+		}
+	}
+	q.event(obs.EvDeqEnd, uint64(got))
+	return got
 }

@@ -16,6 +16,13 @@
 // is delegated to the Go garbage collector, which provides the safety the
 // paper's epoch scheme provides in C; the epoch scheme itself is
 // implemented faithfully on the simulator.
+//
+// Beyond the single-element Queue interface, batch.go defines the
+// optional batch capability (BatchEnqueuer, BatchDequeuer, BatchQueue)
+// and the AsBatch adapter that upgrades any Queue to it; repro/queue/
+// sharded composes several queues into a production front-end with
+// per-producer shard affinity and work-stealing dequeue. See batch.go's
+// migration notes.
 package queue
 
 // Queue is a linearizable MPMC FIFO queue.

@@ -10,6 +10,27 @@ import (
 func FromRegistry(b registry.Builder) Factory {
 	return func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
 		inst := b(registry.Config{Producers: producers})
-		return inst.Producer, inst.Consumer
+		return func(i int) queue.Queue[uint64] { return inst.ProducerView(i) },
+			func(i int) queue.Queue[uint64] { return inst.ConsumerView(i) }
+	}
+}
+
+// FromRegistryBatch adapts a registry builder into a BatchFactory with a
+// zero Config (beyond the producer count the suite chooses per check).
+func FromRegistryBatch(b registry.Builder) BatchFactory {
+	return FromRegistryConfig(b, registry.Config{})
+}
+
+// FromRegistryConfig adapts a registry builder into a BatchFactory, using
+// cfg as the build template: the suite overwrites Producers per check and
+// leaves the rest (Shards, BatchHint, Recorder) as given — the way to pin
+// an explicit shard count so multi-shard paths get covered even when
+// GOMAXPROCS is 1.
+func FromRegistryConfig(b registry.Builder, cfg registry.Config) BatchFactory {
+	return func(producers int) (func(int) queue.BatchQueue[uint64], func(int) queue.BatchQueue[uint64]) {
+		c := cfg
+		c.Producers = producers
+		inst := b(c)
+		return inst.ProducerView, inst.ConsumerView
 	}
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/queue/lcrq"
 	"repro/queue/msq"
 	"repro/queue/sbq"
+	"repro/queue/sharded"
 )
 
 // DelayedCASDelay is the try_append delay of the SBQ-DCAS entry, the
@@ -20,19 +22,22 @@ const DelayedCASDelay = 270 * time.Nanosecond
 
 func init() {
 	Register("MS-Queue", func(cfg Config) Instance {
-		return Shared(msq.New[uint64](msq.WithRecorder(cfg.Recorder)))
+		return Batched(queue.AsBatch(msq.New[uint64](msq.WithRecorder(cfg.Recorder))))
 	})
 	Register("BQ-Original", func(cfg Config) Instance {
-		return Shared(baskets.New[uint64](baskets.WithRecorder(cfg.Recorder)))
+		return Batched(queue.AsBatch(baskets.New[uint64](baskets.WithRecorder(cfg.Recorder))))
 	})
+	// faaq and sbq implement the batch surface natively: one FAA claims a
+	// whole enqueue batch on faaq, one linking CAS appends a private chain
+	// on sbq, so AsBatch is an identity upgrade for them.
 	Register("FAA-Queue", func(cfg Config) Instance {
-		return Shared(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder)))
+		return Batched(queue.AsBatch(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder))))
 	})
 	Register("LCRQ", func(cfg Config) Instance {
-		return Shared(lcrq.New[uint64](lcrq.WithRecorder(cfg.Recorder)))
+		return Batched(queue.AsBatch(lcrq.New[uint64](lcrq.WithRecorder(cfg.Recorder))))
 	})
 	Register("CC-Queue", func(cfg Config) Instance {
-		return Shared(ccq.New[uint64](ccq.WithRecorder(cfg.Recorder)))
+		return Batched(queue.AsBatch(ccq.New[uint64](ccq.WithRecorder(cfg.Recorder))))
 	})
 	Register("SBQ-CAS", sbqEntry(func(int, Config) sbq.Option {
 		return sbq.WithAppendDelay(0)
@@ -51,11 +56,55 @@ func init() {
 			)
 		})
 	}))
+	// The sharded front-ends relax total FIFO to per-producer FIFO (see
+	// repro/queue/sharded): conformance suites must read the contract via
+	// LookupEntry and skip the linearizability checker.
+	RegisterEntry("Sharded-FAA", Entry{
+		Ordering: PerProducerFIFO,
+		Build: func(cfg Config) Instance {
+			q := sharded.New[uint64](shardedOptions(cfg)...)
+			return Views(q.Producer, q.Consumer)
+		},
+	})
+	RegisterEntry("Sharded-SBQ", Entry{
+		Ordering: PerProducerFIFO,
+		Build: func(cfg Config) Instance {
+			opts := append(shardedOptions(cfg),
+				sharded.WithShardBuilder[uint64](func(_, perShard int) sharded.Shard[uint64] {
+					inst := sbqEntry()(Config{Producers: perShard, Recorder: cfg.Recorder})
+					return sharded.Shard[uint64]{
+						Producer: inst.ProducerView,
+						Consumer: inst.ConsumerView,
+					}
+				}))
+			q := sharded.New[uint64](opts...)
+			return Views(q.Producer, q.Consumer)
+		},
+	})
+}
+
+// shardedOptions translates a Config into sharded front-end options. The
+// default shard count is GOMAXPROCS (the contention-minimizing production
+// setting), matching the package's own default.
+func shardedOptions(cfg Config) []sharded.Option[uint64] {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	producers := cfg.Producers
+	if producers < 1 {
+		producers = 1
+	}
+	return []sharded.Option[uint64]{
+		sharded.WithShards[uint64](shards),
+		sharded.WithProducers[uint64](producers),
+		sharded.WithRecorder[uint64](cfg.Recorder),
+	}
 }
 
 // sbqEntry builds an SBQ instance: producer views are lazily-issued handles
-// (one basket cell each), the consumer view wraps Queue.Dequeue. extra
-// options receive the resolved producer count and the build Config.
+// (one basket cell each), the consumer view wraps the queue's dequeue side.
+// extra options receive the resolved producer count and the build Config.
 func sbqEntry(extra ...func(producers int, cfg Config) sbq.Option) Builder {
 	return func(cfg Config) Instance {
 		producers := cfg.Producers
@@ -75,9 +124,9 @@ func sbqEntry(extra ...func(producers int, cfg Config) sbq.Option) Builder {
 
 func sbqInstance(q *sbq.Queue[uint64]) Instance {
 	var hmu sync.Mutex
-	handles := map[int]queue.Queue[uint64]{}
-	return Instance{
-		Producer: func(i int) queue.Queue[uint64] {
+	handles := map[int]queue.BatchQueue[uint64]{}
+	return Views(
+		func(i int) queue.BatchQueue[uint64] {
 			hmu.Lock()
 			defer hmu.Unlock()
 			if h, ok := handles[i]; ok {
@@ -87,12 +136,18 @@ func sbqInstance(q *sbq.Queue[uint64]) Instance {
 			handles[i] = h
 			return h
 		},
-		Consumer: func(int) queue.Queue[uint64] { return sbqConsumer{q} },
-	}
+		func(int) queue.BatchQueue[uint64] { return sbqConsumer{q} },
+	)
 }
 
-// sbqConsumer adapts the dequeue side of an SBQ to queue.Queue.
+// sbqConsumer adapts the dequeue side of an SBQ to queue.BatchQueue: the
+// dequeue half is native (including the one-advance-per-batch DequeueBatch),
+// the enqueue half panics because SBQ enqueues need a Handle.
 type sbqConsumer struct{ q *sbq.Queue[uint64] }
 
-func (c sbqConsumer) Enqueue(uint64)          { panic("registry: SBQ consumer view cannot enqueue") }
-func (c sbqConsumer) Dequeue() (uint64, bool) { return c.q.Dequeue() }
+func (c sbqConsumer) Enqueue(uint64) { panic("registry: SBQ consumer view cannot enqueue") }
+func (c sbqConsumer) EnqueueBatch([]uint64) {
+	panic("registry: SBQ consumer view cannot enqueue")
+}
+func (c sbqConsumer) Dequeue() (uint64, bool)       { return c.q.Dequeue() }
+func (c sbqConsumer) DequeueBatch(dst []uint64) int { return c.q.DequeueBatch(dst) }

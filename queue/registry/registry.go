@@ -3,11 +3,20 @@
 // one queue-selection table instead of each keeping its own switch.
 //
 // Entries are uint64-element queues (the element type every harness in this
-// repository drives). Each builder receives a Config — producer count and
-// an optional telemetry recorder — and returns an Instance handing out
-// per-producer and per-consumer views: implementations whose producers need
-// private state (SBQ handles own a basket cell) return distinct views per
-// producer index, the rest return the shared queue.
+// repository drives). Each builder receives a Config — producer count,
+// shard count, batch hint, and an optional telemetry recorder — and returns
+// an Instance handing out per-producer and per-consumer views:
+// implementations whose producers need private state (SBQ handles own a
+// basket cell) return distinct views per producer index, the rest return
+// the shared queue. Views are batch-capable (queue.BatchQueue); entries
+// whose implementation has no native batch path are upgraded through
+// queue.AsBatch, so callers can always drive EnqueueBatch/DequeueBatch and
+// get at worst the looped equivalent.
+//
+// Entries also declare their ordering contract: the classic queues are
+// TotalFIFO (linearizable against a sequential FIFO spec), while the
+// sharded front-ends relax to PerProducerFIFO. Conformance suites read the
+// contract through LookupEntry and pick the matching checker.
 package registry
 
 import (
@@ -22,59 +31,142 @@ import (
 // Config parameterizes a build.
 type Config struct {
 	// Producers is the number of distinct producer views the caller will
-	// request (SBQ sizes baskets from it). Zero means one.
+	// request (SBQ sizes baskets from it; sharded entries derive per-shard
+	// producer counts from it). Zero means one.
 	Producers int
+	// Shards is the shard count for entries that compose a sharded
+	// front-end (see repro/queue/sharded). Zero lets the entry pick its
+	// default (GOMAXPROCS); unsharded entries ignore it.
+	Shards int
+	// BatchHint is the batch size the caller intends to drive through
+	// EnqueueBatch/DequeueBatch, or zero when unknown. It is advisory:
+	// entries may use it to pre-size internal buffers, and harnesses
+	// thread the swept batch size through it so a build sees the same
+	// shape it will be measured under.
+	BatchHint int
 	// Recorder, when non-nil, is threaded into the queue's telemetry hooks
 	// (see repro/internal/obs).
 	Recorder obs.Recorder
 }
 
-// Instance is a built queue exposed as per-role views. Producer(i) must be
-// called with 0 <= i < Config.Producers and each returned view used by at
-// most one goroutine at a time; Consumer views are safe to share.
-type Instance struct {
-	Producer func(i int) queue.Queue[uint64]
-	Consumer func(i int) queue.Queue[uint64]
+// Ordering is the dequeue-order contract a registry entry guarantees.
+type Ordering int
+
+const (
+	// TotalFIFO entries are linearizable against the sequential FIFO
+	// spec: all the classic single-queue implementations.
+	TotalFIFO Ordering = iota
+	// PerProducerFIFO entries preserve each producer's enqueue order but
+	// may interleave different producers arbitrarily — even when their
+	// enqueues did not overlap. The sharded front-ends live here.
+	PerProducerFIFO
+)
+
+// String returns the contract's conventional name.
+func (o Ordering) String() string {
+	switch o {
+	case TotalFIFO:
+		return "total-fifo"
+	case PerProducerFIFO:
+		return "per-producer-fifo"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
 }
+
+// Instance is a built queue exposed as per-role views. ProducerView(i) must
+// be called with 0 <= i < Config.Producers and each returned view used by
+// at most one goroutine at a time; ConsumerView views are safe to share
+// unless the entry documents otherwise.
+//
+// The view funcs are unexported fields reached through methods so the old
+// field-style surface (Producer/Consumer) could be kept as deprecated
+// wrappers: construct an Instance with Views or Batched.
+type Instance struct {
+	producer func(i int) queue.BatchQueue[uint64]
+	consumer func(i int) queue.BatchQueue[uint64]
+}
+
+// Views builds an Instance from per-role view constructors.
+func Views(producer, consumer func(i int) queue.BatchQueue[uint64]) Instance {
+	return Instance{producer: producer, consumer: consumer}
+}
+
+// ProducerView returns the batch-capable view for producer i.
+func (in Instance) ProducerView(i int) queue.BatchQueue[uint64] { return in.producer(i) }
+
+// ConsumerView returns the batch-capable view for consumer i.
+func (in Instance) ConsumerView(i int) queue.BatchQueue[uint64] { return in.consumer(i) }
+
+// Producer returns the view for producer i.
+//
+// Deprecated: use ProducerView, which returns the batch-capable view.
+func (in Instance) Producer(i int) queue.Queue[uint64] { return in.producer(i) }
+
+// Consumer returns the view for consumer i.
+//
+// Deprecated: use ConsumerView, which returns the batch-capable view.
+func (in Instance) Consumer(i int) queue.Queue[uint64] { return in.consumer(i) }
 
 // Builder constructs a queue for one registry entry.
 type Builder func(cfg Config) Instance
 
+// Entry is one registered implementation: how to build it and what
+// ordering contract the built queue honors.
+type Entry struct {
+	Build    Builder
+	Ordering Ordering
+}
+
 var (
-	mu       sync.RWMutex
-	builders = map[string]Builder{}
+	mu      sync.RWMutex
+	entries = map[string]Entry{}
 )
 
-// Register adds a named builder. Registering a duplicate name panics: the
-// registry is assembled from package init functions where a collision is a
-// programming error.
-func Register(name string, b Builder) {
+// RegisterEntry adds a named entry. Registering a duplicate name panics:
+// the registry is assembled from package init functions where a collision
+// is a programming error. A nil Build also panics.
+func RegisterEntry(name string, e Entry) {
+	if e.Build == nil {
+		panic("registry: entry " + name + " has no builder")
+	}
 	mu.Lock()
 	defer mu.Unlock()
-	if _, dup := builders[name]; dup {
+	if _, dup := entries[name]; dup {
 		panic("registry: duplicate queue name " + name)
 	}
-	builders[name] = b
+	entries[name] = e
+}
+
+// Register adds a named builder with the default TotalFIFO contract.
+func Register(name string, b Builder) {
+	RegisterEntry(name, Entry{Build: b})
 }
 
 // Names returns the registered names, sorted for stable iteration order.
 func Names() []string {
 	mu.RLock()
 	defer mu.RUnlock()
-	names := make([]string, 0, len(builders))
-	for n := range builders {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Lookup returns the builder for name.
-func Lookup(name string) (Builder, bool) {
+// LookupEntry returns the full entry for name.
+func LookupEntry(name string) (Entry, bool) {
 	mu.RLock()
 	defer mu.RUnlock()
-	b, ok := builders[name]
-	return b, ok
+	e, ok := entries[name]
+	return e, ok
+}
+
+// Lookup returns the builder for name.
+func Lookup(name string) (Builder, bool) {
+	e, ok := LookupEntry(name)
+	return e.Build, ok
 }
 
 // Build constructs the named queue, erroring on unknown names (with the
@@ -87,9 +179,19 @@ func Build(name string, cfg Config) (Instance, error) {
 	return b(cfg), nil
 }
 
+// Batched wraps a single thread-safe batch-capable queue as an Instance:
+// every view is the queue itself. Upgrade a plain queue.Queue first with
+// queue.AsBatch.
+func Batched(q queue.BatchQueue[uint64]) Instance {
+	view := func(int) queue.BatchQueue[uint64] { return q }
+	return Views(view, view)
+}
+
 // Shared wraps a single thread-safe queue as an Instance: every view is the
 // queue itself.
+//
+// Deprecated: use Batched(queue.AsBatch(q)), which hands out batch-capable
+// views.
 func Shared(q queue.Queue[uint64]) Instance {
-	view := func(int) queue.Queue[uint64] { return q }
-	return Instance{Producer: view, Consumer: view}
+	return Batched(queue.AsBatch(q))
 }

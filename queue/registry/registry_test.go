@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/queue"
 	"repro/queue/queuetest"
 	"repro/queue/registry"
 )
@@ -12,25 +13,67 @@ import (
 // one table, no per-implementation switch. Per-package tests keep the
 // heavier RunAll shapes; this table uses a reduced load so the whole
 // registry stays cheap under go test ./...
+//
+// The concurrent check is picked from the entry's declared ordering
+// contract: TotalFIFO entries run the linearizability checker,
+// PerProducerFIFO entries (the sharded front-ends) run the relaxed check —
+// exactly-once plus per-consumer per-producer order.
 func TestConformance(t *testing.T) {
 	names := registry.Names()
-	if len(names) < 6 {
+	if len(names) < 8 {
 		t.Fatalf("registry unexpectedly small: %v", names)
 	}
 	for _, name := range names {
-		b, ok := registry.Lookup(name)
+		e, ok := registry.LookupEntry(name)
 		if !ok {
-			t.Fatalf("Lookup(%q) failed after Names listed it", name)
+			t.Fatalf("LookupEntry(%q) failed after Names listed it", name)
 		}
-		f := queuetest.FromRegistry(b)
+		// Pin Shards to 3 so the sharded entries cover multi-shard routing
+		// and work-stealing even where GOMAXPROCS is 1; unsharded entries
+		// ignore the field.
+		f := queuetest.FromRegistryConfig(e.Build, registry.Config{Shards: 3})
+		single := queuetest.FromRegistry(e.Build)
 		t.Run(name, func(t *testing.T) {
-			queuetest.CheckSequential(t, f)
+			queuetest.CheckSequential(t, single)
 			per := 500
 			if testing.Short() {
 				per = 100
 			}
-			queuetest.CheckConcurrent(t, f, 4, 4, per)
-			queuetest.CheckDrainMultiset(t, f, 8, per)
+			switch e.Ordering {
+			case registry.TotalFIFO:
+				queuetest.CheckConcurrent(t, single, 4, 4, per)
+			case registry.PerProducerFIFO:
+				relaxed := func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+					p, c := f(producers)
+					return func(i int) queue.Queue[uint64] { return p(i) },
+						func(i int) queue.Queue[uint64] { return c(i) }
+				}
+				queuetest.CheckConcurrentRelaxed(t, relaxed, 4, 4, per)
+			default:
+				t.Fatalf("entry %q has unknown ordering %v", name, e.Ordering)
+			}
+			queuetest.CheckDrainMultiset(t, single, 8, per)
+		})
+	}
+}
+
+// TestBatchConformance drives the batch surface of every entry — native
+// (faaq, sbq, sharded) and AsBatch-upgraded alike — through the sequential
+// and concurrent batch checks.
+func TestBatchConformance(t *testing.T) {
+	for _, name := range registry.Names() {
+		e, ok := registry.LookupEntry(name)
+		if !ok {
+			t.Fatalf("LookupEntry(%q) failed after Names listed it", name)
+		}
+		f := queuetest.FromRegistryConfig(e.Build, registry.Config{Shards: 3, BatchHint: 8})
+		t.Run(name, func(t *testing.T) {
+			queuetest.CheckBatchSequential(t, f)
+			per := 400
+			if testing.Short() {
+				per = 80
+			}
+			queuetest.CheckBatchConcurrent(t, f, 4, 4, 8, per)
 		})
 	}
 }
@@ -59,19 +102,41 @@ func TestBuildUnknown(t *testing.T) {
 	}
 }
 
+// TestOrderingContracts pins each entry's declared contract: the sharded
+// front-ends are the only relaxed entries, and Ordering strings stay
+// stable (they appear in logs and bench records).
+func TestOrderingContracts(t *testing.T) {
+	relaxed := map[string]bool{"Sharded-FAA": true, "Sharded-SBQ": true}
+	for _, name := range registry.Names() {
+		e, _ := registry.LookupEntry(name)
+		want := registry.TotalFIFO
+		if relaxed[name] {
+			want = registry.PerProducerFIFO
+		}
+		if e.Ordering != want {
+			t.Errorf("%s: ordering %v, want %v", name, e.Ordering, want)
+		}
+	}
+	if registry.TotalFIFO.String() != "total-fifo" || registry.PerProducerFIFO.String() != "per-producer-fifo" {
+		t.Errorf("Ordering strings drifted: %q, %q", registry.TotalFIFO, registry.PerProducerFIFO)
+	}
+}
+
 // TestRecorderThreading verifies that a recorder handed to Build reaches
-// the queue's telemetry hooks for every entry.
+// the queue's telemetry hooks for every entry. The front-end must not
+// double-count: sharded entries thread the recorder into their sub-queues,
+// so EnqOps/DeqOps still count elements exactly once.
 func TestRecorderThreading(t *testing.T) {
 	for _, name := range registry.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			st := obs.New()
-			inst, err := registry.Build(name, registry.Config{Producers: 2, Recorder: st})
+			inst, err := registry.Build(name, registry.Config{Producers: 2, Shards: 2, Recorder: st})
 			if err != nil {
 				t.Fatal(err)
 			}
-			p0, p1 := inst.Producer(0), inst.Producer(1)
-			c := inst.Consumer(0)
+			p0, p1 := inst.ProducerView(0), inst.ProducerView(1)
+			c := inst.ConsumerView(0)
 			const per = 200
 			for i := 0; i < per; i++ {
 				p0.Enqueue(uint64(1)<<32 | uint64(i))
@@ -99,4 +164,95 @@ func TestRecorderThreading(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBatchRecorderThreading checks the batch counters registry-wide:
+// driving k elements per EnqueueBatch must report EnqOps in elements, and
+// entries with a native batch path must report fewer batches than
+// elements (the amortization the counters exist to expose).
+func TestBatchRecorderThreading(t *testing.T) {
+	native := map[string]bool{
+		"FAA-Queue": true, "SBQ-CAS": true, "SBQ-DCAS": true, "SBQ-PB": true,
+		"Sharded-FAA": true, "Sharded-SBQ": true,
+	}
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			st := obs.New()
+			inst, err := registry.Build(name, registry.Config{Producers: 1, Shards: 2, BatchHint: 8, Recorder: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := inst.ProducerView(0)
+			const rounds, k = 10, 8
+			vs := make([]uint64, k)
+			for r := 0; r < rounds; r++ {
+				for i := range vs {
+					vs[i] = uint64(r*k + i + 1)
+				}
+				p.EnqueueBatch(vs)
+			}
+			c := inst.ConsumerView(0)
+			dst := make([]uint64, k)
+			got := 0
+			for {
+				n := c.DequeueBatch(dst)
+				if n == 0 {
+					break
+				}
+				got += n
+			}
+			if got != rounds*k {
+				t.Fatalf("drained %d of %d", got, rounds*k)
+			}
+			snap := st.Snapshot()
+			if snap.Counter(obs.EnqOps) != rounds*k {
+				t.Errorf("EnqOps = %d, want %d (elements, not batches)", snap.Counter(obs.EnqOps), rounds*k)
+			}
+			if native[name] {
+				if b := snap.Counter(obs.EnqBatches); b != rounds {
+					t.Errorf("EnqBatches = %d, want %d", b, rounds)
+				}
+				if b := snap.Counter(obs.DeqBatches); b == 0 || b > uint64(rounds*k) {
+					t.Errorf("DeqBatches = %d, want within (0, %d]", b, rounds*k)
+				}
+			}
+		})
+	}
+}
+
+// TestDeprecatedSurface keeps the deprecated wrappers' behavior pinned:
+// Producer/Consumer return the same views as ProducerView/ConsumerView,
+// and Shared hands out AsBatch-upgraded views. This test lives in the
+// defining package's _test package, where deprecated uses are exempt from
+// the lint table.
+func TestDeprecatedSurface(t *testing.T) {
+	inst, err := registry.Build("FAA-Queue", registry.Config{Producers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Producer(0).Enqueue(11)
+	if v, ok := inst.Consumer(0).Dequeue(); !ok || v != 11 {
+		t.Fatalf("deprecated views: got %d,%v, want 11,true", v, ok)
+	}
+
+	sh := registry.Shared(queue.AsBatch[uint64](sliceQueue{new([]uint64)}))
+	sh.ProducerView(0).EnqueueBatch([]uint64{1, 2, 3})
+	dst := make([]uint64, 4)
+	if n := sh.ConsumerView(0).DequeueBatch(dst); n != 3 || dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("Shared batch views: got %d %v, want 3 [1 2 3 _]", n, dst)
+	}
+}
+
+// sliceQueue is a minimal single-threaded queue.Queue for the Shared test.
+type sliceQueue struct{ vs *[]uint64 }
+
+func (q sliceQueue) Enqueue(v uint64) { *q.vs = append(*q.vs, v) }
+func (q sliceQueue) Dequeue() (uint64, bool) {
+	if len(*q.vs) == 0 {
+		return 0, false
+	}
+	v := (*q.vs)[0]
+	*q.vs = (*q.vs)[1:]
+	return v, true
 }

@@ -285,9 +285,86 @@ func (h *Handle[T]) Enqueue(v T) {
 	}
 }
 
+// EnqueueBatch appends vs in order with ONE linking CAS: the handle
+// builds a private chain of len(vs) nodes — each carrying one element in
+// this handle's basket cell — links it fully before publication, and
+// appends the whole chain where a single Enqueue appends one node. This
+// is the basket-as-batch reading of §5: the paper's basket amortizes the
+// serialized handoff over the k enqueuers whose CASs happened to fail
+// together; the batch amortizes it over the k elements one producer
+// already grouped. The chain's interior baskets are ordinary open
+// baskets, so concurrent enqueuers whose CAS fails against the chain
+// still profit by joining them.
+//
+// Unlike a failed single Enqueue, a failed chain CAS does not drop into
+// the winner's basket (a basket holds at most one element per inserter
+// id); it re-finds the tail and retries the whole chain.
+func (h *Handle[T]) EnqueueBatch(vs []T) {
+	k := len(vs)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		h.Enqueue(vs[0])
+		return
+	}
+	q := h.q
+	if r := q.rec; r != nil {
+		r.Add(obs.EnqOps, uint64(k))
+		r.Inc(obs.EnqBatches)
+	}
+	lane := int32(h.id)
+	q.event(obs.EvEnqStart, lane, uint64(k))
+	nodes := make([]*node[T], k)
+	for i, v := range vs {
+		n := h.reserved
+		if n != nil {
+			h.reserved = nil
+			n.basket.ResetOwn(h.id) // undo the previous insertion (§5.2.2)
+			n.next.Store(nil)
+		} else {
+			n = &node[T]{basket: q.newBasket()}
+		}
+		n.basket.Insert(h.id, v)
+		nodes[i] = n
+	}
+	for i := 0; i < k-1; i++ {
+		nodes[i].next.Store(nodes[i+1])
+	}
+	t := q.tail.Load()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if r := q.rec; r != nil {
+				r.Inc(obs.EnqRetries)
+			}
+		}
+		for i, n := range nodes {
+			n.index = t.index + 1 + uint64(i)
+		}
+		if q.tryAppend(t, nodes[0], lane) == appendSuccess {
+			advanceNode(&q.tail, nodes[k-1], q.rec)
+			q.event(obs.EvEnqEnd, lane, uint64(k))
+			return
+		}
+		// Chain CAS lost or BAD_TAIL: find the real tail, catch the
+		// queue's tail pointer up, and retry the whole chain.
+		for {
+			nx := t.next.Load()
+			if nx == nil {
+				break
+			}
+			t = nx
+		}
+		advanceNode(&q.tail, t, q.rec)
+	}
+}
+
 // Dequeue is Algorithm 5: find the first node with a non-exhausted basket
 // and extract from it.
 func (h *Handle[T]) Dequeue() (T, bool) { return h.q.Dequeue() }
+
+// DequeueBatch fills a prefix of dst; see Queue.DequeueBatch.
+func (h *Handle[T]) DequeueBatch(dst []T) int { return h.q.DequeueBatch(dst) }
 
 // Dequeue removes and returns the oldest element. Unlike Enqueue it needs
 // no per-thread state and may be called on the queue directly.
@@ -329,4 +406,52 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 	}
 	q.event(obs.EvDeqEnd, obs.LaneDefault, 1)
 	return v, true
+}
+
+// DequeueBatch fills a prefix of dst in queue order and returns how many
+// elements were written. It amortizes the dequeue side's serialized
+// work: the node walk resumes in place between extractions and the head
+// pointer is caught up ONCE per batch (one advanceNode CAS loop instead
+// of one per element). Returns 0 when the queue appeared empty.
+func (q *Queue[T]) DequeueBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.event(obs.EvDeqStart, obs.LaneDefault, uint64(len(dst)))
+	if r := q.rec; r != nil {
+		r.Inc(obs.DeqBatches)
+	}
+	h := q.head.Load()
+	got := 0
+	rounds := 0
+	for got < len(dst) {
+		rounds++
+		for h.basket.Empty() {
+			nx := h.next.Load()
+			if nx == nil {
+				goto drained
+			}
+			h = nx
+		}
+		if v, ok := h.basket.Extract(); ok {
+			dst[got] = v
+			got++
+		} else if h.next.Load() == nil {
+			break
+		}
+	}
+drained:
+	advanceNode(&q.head, h, q.rec)
+	if r := q.rec; r != nil {
+		if got > 0 {
+			r.Add(obs.DeqOps, uint64(got))
+		} else {
+			r.Inc(obs.DeqEmpty)
+		}
+		if rounds > got+1 {
+			r.Add(obs.DeqRetries, uint64(rounds-got-1))
+		}
+	}
+	q.event(obs.EvDeqEnd, obs.LaneDefault, uint64(got))
+	return got
 }
