@@ -74,6 +74,8 @@ func NewPartitioned[T any](capacity, bound, k int) *Partitioned[T] {
 
 // Insert publishes x in inserter id's private cell, exactly like the
 // scalable basket.
+//
+//lf:hotpath
 func (b *Partitioned[T]) Insert(id int, x T) bool {
 	c := &b.cells[id]
 	if c.state.Load() != cellInsert {
@@ -96,6 +98,8 @@ func (b *Partitioned[T]) Insert(id int, x T) bool {
 
 // Extract claims indices from a random home partition, falling over to
 // the others only when it is exhausted.
+//
+//lf:hotpath
 func (b *Partitioned[T]) Extract() (T, bool) {
 	v, ok := b.extract()
 	if r := b.rec; r != nil {
@@ -143,10 +147,30 @@ func (b *Partitioned[T]) extract() (T, bool) {
 }
 
 // Empty reports the global empty bit; false negatives are allowed.
+//
+//lf:hotpath
 func (b *Partitioned[T]) Empty() bool { return b.empty.Load() }
 
 // ResetOwn returns inserter id's cell to the insertable state. Only legal
 // on an unpublished basket.
 func (b *Partitioned[T]) ResetOwn(id int) {
 	b.cells[id].state.Store(cellInsert)
+}
+
+// Reset re-arms a drained basket for reuse: every cell back to the
+// insertable state with its value dropped, all partition counters and
+// the exhausted count zeroed, empty bit cleared. Only legal on a basket
+// no other goroutine can reach (see basket.Resettable).
+func (b *Partitioned[T]) Reset() {
+	var zero T
+	for i := range b.cells {
+		c := &b.cells[i]
+		c.v = zero
+		c.state.Store(cellInsert)
+	}
+	for i := range b.parts {
+		b.parts[i].counter.Store(0)
+	}
+	b.exhausted.Store(0)
+	b.empty.Store(false)
 }

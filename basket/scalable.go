@@ -61,6 +61,8 @@ func NewScalable[T any](capacity, bound int) *Scalable[T] {
 
 // Insert publishes x in inserter id's private cell: synchronization-free
 // in the sense that distinct inserters never contend with each other.
+//
+//lf:hotpath
 func (b *Scalable[T]) Insert(id int, x T) bool {
 	c := &b.cells[id]
 	if c.state.Load() != cellInsert {
@@ -84,6 +86,8 @@ func (b *Scalable[T]) Insert(id int, x T) bool {
 // Extract claims an index with FAA and takes whatever its inserter
 // published, retrying past cells whose inserter never arrived. The
 // extractor that claims the last index sets the empty bit.
+//
+//lf:hotpath
 func (b *Scalable[T]) Extract() (T, bool) {
 	v, ok := b.extract()
 	if r := b.rec; r != nil {
@@ -120,12 +124,29 @@ func (b *Scalable[T]) extract() (T, bool) {
 }
 
 // Empty reports the empty bit; false negatives are allowed per the spec.
+//
+//lf:hotpath
 func (b *Scalable[T]) Empty() bool { return b.empty.Load() }
 
 // ResetOwn returns inserter id's cell to the insertable state. Only legal
 // on an unpublished basket (node reuse, §5.2.2).
 func (b *Scalable[T]) ResetOwn(id int) {
 	b.cells[id].state.Store(cellInsert)
+}
+
+// Reset re-arms a drained basket for reuse: every cell back to the
+// insertable state with its value dropped, scan counter zeroed, empty
+// bit cleared. Only legal on a basket no other goroutine can reach (see
+// basket.Resettable).
+func (b *Scalable[T]) Reset() {
+	var zero T
+	for i := range b.cells {
+		c := &b.cells[i]
+		c.v = zero
+		c.state.Store(cellInsert)
+	}
+	b.counter.Store(0)
+	b.empty.Store(false)
 }
 
 // Capacity returns the number of cells.

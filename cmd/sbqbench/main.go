@@ -11,13 +11,20 @@
 //	sbqbench -impl SBQ-DCAS -stats        # print telemetry snapshots
 //	sbqbench -queue Sharded-FAA -shards 4 # sharded front-end, explicit shard count
 //	sbqbench -batch 1,8,64                # sweep EnqueueBatch/DequeueBatch sizes
+//	sbqbench -pooled both                 # sweep GC mode and pooled-node mode
 //	sbqbench -bench-json out.json         # also write a schema-versioned record
 //	sbqbench -diff old.json new.json      # compare two records (report-only)
+//	sbqbench -diff -diff-enforce b.json n.json  # exit 1 on regressions
 //
 // -batch 0 (the default) measures the single-operation path; positive
 // sizes drive the batch surface with that k, amortizing the shared-word
 // operation over the batch on the natively batch-capable queues (FAA-Queue,
 // the SBQ family, and the sharded front-ends).
+//
+// -pooled selects node reclamation: "false" (the default; nodes are
+// garbage-collected), "true" (WithNodePool: reclaim-backed freelists,
+// zero steady-state allocations — the configuration the alloc gates
+// enforce), or "both" to measure the two modes side by side.
 //
 // Worker goroutines carry pprof labels (queue=<impl>, role=<producer|
 // consumer|prefill>), so a CPU profile taken during a run attributes
@@ -50,10 +57,12 @@ func main() {
 	flag.StringVar(only, "queue", "", "alias for -impl")
 	batches := cliflag.Batches(flag.CommandLine, "comma-separated batch sizes; 0 = single-op path (default 0)")
 	shards := flag.Int("shards", 0, "shard count for the sharded front-end entries; 0 = entry default (GOMAXPROCS)")
+	pooled := flag.String("pooled", "false", `node reclamation mode: "false" (GC), "true" (WithNodePool), or "both" to sweep`)
 	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
 	benchJSON := flag.String("bench-json", "", "write results as schema-versioned JSON to this file")
 	diff := flag.Bool("diff", false, "compare two bench-json files: sbqbench -diff old.json new.json")
 	diffThreshold := flag.Float64("diff-threshold", benchjson.DefaultThreshold, "relative slowdown flagged as a regression by -diff")
+	diffEnforce := flag.Bool("diff-enforce", false, "exit 1 when -diff flags regressions beyond the threshold (report-only otherwise)")
 	flag.Parse()
 
 	if *diff {
@@ -61,8 +70,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: sbqbench -diff old.json new.json")
 			os.Exit(2)
 		}
-		runDiff(flag.Arg(0), flag.Arg(1), *diffThreshold)
+		runDiff(flag.Arg(0), flag.Arg(1), *diffThreshold, *diffEnforce)
 		return
+	}
+
+	var pooledModes []bool
+	switch *pooled {
+	case "false":
+		pooledModes = []bool{false}
+	case "true":
+		pooledModes = []bool{true}
+	case "both":
+		pooledModes = []bool{false, true}
+	default:
+		fmt.Fprintf(os.Stderr, "sbqbench: -pooled must be false, true, or both (got %q)\n", *pooled)
+		os.Exit(2)
 	}
 
 	if *only != "" {
@@ -103,42 +125,47 @@ func main() {
 		if *only != "" && name != *only {
 			continue
 		}
-		for _, k := range batchSizes {
-			var snaps []statRun
-			label := name
-			if k > 0 {
-				label = fmt.Sprintf("%s/k=%d", name, k)
-			}
-			fmt.Printf("%-20s", label)
-			for _, n := range threadCounts {
-				// The interface must stay untyped-nil when stats are off: a
-				// typed-nil *obs.Stats would pass the queues' nil checks and
-				// crash on the first Inc.
-				var rec obs.Recorder
-				var snap *obs.Stats
-				if *stats {
-					snap = obs.New()
-					rec = snap
+		for _, pm := range pooledModes {
+			for _, k := range batchSizes {
+				var snaps []statRun
+				label := name
+				if k > 0 {
+					label = fmt.Sprintf("%s/k=%d", name, k)
 				}
-				ns := runOne(name, rec, *workload, n, *ops, k, *shards)
-				fmt.Printf(" %10.1f", ns)
-				record.Results = append(record.Results, benchjson.Result{
-					Impl: name, Workload: *workload, Threads: n, Batch: k, Shards: *shards,
-					Ops: *ops, NSPerOp: ns,
-				})
-				if snap != nil {
-					snaps = append(snaps, statRun{n, snap.Snapshot()})
+				if pm {
+					label += "/pooled"
 				}
-			}
-			fmt.Println()
-			for _, sr := range snaps {
-				fmt.Printf("\n  %s @ %d threads:\n", label, sr.threads)
-				for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
-					fmt.Printf("    %s\n", line)
+				fmt.Printf("%-20s", label)
+				for _, n := range threadCounts {
+					// The interface must stay untyped-nil when stats are off: a
+					// typed-nil *obs.Stats would pass the queues' nil checks and
+					// crash on the first Inc.
+					var rec obs.Recorder
+					var snap *obs.Stats
+					if *stats {
+						snap = obs.New()
+						rec = snap
+					}
+					ns := runOne(name, rec, *workload, n, *ops, k, *shards, pm)
+					fmt.Printf(" %10.1f", ns)
+					record.Results = append(record.Results, benchjson.Result{
+						Impl: name, Workload: *workload, Threads: n, Batch: k, Shards: *shards,
+						Pooled: pm, Ops: *ops, NSPerOp: ns,
+					})
+					if snap != nil {
+						snaps = append(snaps, statRun{n, snap.Snapshot()})
+					}
 				}
-			}
-			if len(snaps) > 0 {
 				fmt.Println()
+				for _, sr := range snaps {
+					fmt.Printf("\n  %s @ %d threads:\n", label, sr.threads)
+					for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
+						fmt.Printf("    %s\n", line)
+					}
+				}
+				if len(snaps) > 0 {
+					fmt.Println()
+				}
 			}
 		}
 	}
@@ -157,11 +184,12 @@ func main() {
 	}
 }
 
-// runDiff compares two bench-json files and prints the report. The exit
-// code is 0 even when regressions are flagged: the comparison is
-// report-only, because wall-clock benchmarks regress for many reasons
-// besides the code under test.
-func runDiff(oldPath, newPath string, threshold float64) {
+// runDiff compares two bench-json files and prints the report. Without
+// enforce the exit code is 0 even when regressions are flagged —
+// wall-clock benchmarks regress for many reasons besides the code under
+// test; with enforce (the CI smoke gate, run with a threshold calibrated
+// far above runner noise) flagged regressions exit 1.
+func runDiff(oldPath, newPath string, threshold float64, enforce bool) {
 	read := func(path string) *benchjson.File {
 		f, err := os.Open(path)
 		if err != nil {
@@ -178,13 +206,17 @@ func runDiff(oldPath, newPath string, threshold float64) {
 	}
 	rep := benchjson.Diff(read(oldPath), read(newPath), threshold)
 	fmt.Print(rep.Format())
+	if enforce && len(rep.Regressions()) > 0 {
+		os.Exit(1)
+	}
 }
 
-// runOne measures one (impl, workload, threads, batch) cell and returns ns
-// per element normalized to one thread. batch 0 drives the single-op path;
-// positive batch drives EnqueueBatch/DequeueBatch with that k (ops still
-// counts elements, so numbers across batch sizes compare per element).
-func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch, shards int) float64 {
+// runOne measures one (impl, workload, threads, batch, pooled) cell and
+// returns ns per element normalized to one thread. batch 0 drives the
+// single-op path; positive batch drives EnqueueBatch/DequeueBatch with
+// that k (ops still counts elements, so numbers across batch sizes
+// compare per element). pooled selects WithNodePool reclamation.
+func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch, shards int, pooled bool) float64 {
 	producers, consumers := threads, threads
 	switch workload {
 	case "enqueue":
@@ -201,7 +233,7 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch,
 		nProd = threads // prefill threads double as producers
 	}
 	inst, err := registry.Build(name, registry.Config{
-		Producers: nProd, Shards: shards, BatchHint: batch, Recorder: rec,
+		Producers: nProd, Shards: shards, BatchHint: batch, Recorder: rec, Pooled: pooled,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbqbench:", err)

@@ -36,18 +36,24 @@ type Result struct {
 	Batch int `json:"batch,omitempty"`
 	// Shards is the explicit shard count the queue was built with; zero
 	// means the entry's default (or an unsharded entry).
-	Shards  int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Pooled reports whether the queue ran in pooled-node mode
+	// (WithNodePool: reclaim-backed freelists, zero steady-state
+	// allocations) rather than leaning on the garbage collector. False —
+	// the GC mode every pre-pooling baseline measured — is omitted, so
+	// old files decode to comparable cells.
+	Pooled  bool    `json:"pooled,omitempty"`
 	Ops     int     `json:"ops_per_thread"`
 	NSPerOp float64 `json:"ns_per_op"`
 }
 
 // key identifies the cell a result belongs to, for baseline matching.
 func (r Result) key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d", r.Impl, r.Workload, r.Threads, r.Batch, r.Shards)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%t", r.Impl, r.Workload, r.Threads, r.Batch, r.Shards, r.Pooled)
 }
 
 // label renders the workload cell for tables: the workload name plus the
-// batch/shard dimensions when they are set.
+// batch/shard/pooled dimensions when they are set.
 func (r Result) label() string {
 	l := r.Workload
 	if r.Batch > 0 {
@@ -55,6 +61,9 @@ func (r Result) label() string {
 	}
 	if r.Shards > 0 {
 		l += fmt.Sprintf("/s=%d", r.Shards)
+	}
+	if r.Pooled {
+		l += "/pooled"
 	}
 	return l
 }

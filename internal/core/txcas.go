@@ -112,6 +112,8 @@ func New(opt Options) *CAS {
 // the location's value actually changed (CAS semantics), per paper §4.2.
 //
 // This is Algorithm 1 of the paper.
+//
+//lf:hotpath
 func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 	c.Ops++
 	if c.opt.Policy != nil {
@@ -123,7 +125,9 @@ func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 		if c.opt.DelayJitter > 0 {
 			delay += p.RandN(c.opt.DelayJitter)
 		}
+		//lint:ignore allocfree the transaction body closure is the machine API's shape; the simulated track prices operations in simulated cycles, so Go-allocator cost is outside its measurement (the native queues are the zero-alloc surface)
 		committed, st := p.Transaction(func(tx *machine.Tx) {
+			//lint:ignore allocfree nested read-step closure, same machine-API shape as the transaction body above
 			tx.Nested(func(tx *machine.Tx) {
 				value := tx.Read(ptr) // CAS read step
 				if value != old {
@@ -187,7 +191,9 @@ func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) bool 
 		if c.opt.DelayJitter > 0 {
 			delay += p.RandN(c.opt.DelayJitter)
 		}
+		//lint:ignore allocfree the transaction body closure is the machine API's shape; the simulated track prices operations in simulated cycles, so Go-allocator cost is outside its measurement (the native queues are the zero-alloc surface)
 		committed, st := p.Transaction(func(tx *machine.Tx) {
+			//lint:ignore allocfree nested read-step closure, same machine-API shape as the transaction body above
 			tx.Nested(func(tx *machine.Tx) {
 				value := tx.Read(ptr) // CAS read step
 				if value != old {

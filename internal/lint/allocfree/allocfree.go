@@ -1,0 +1,339 @@
+// Package allocfree flags heap-allocation constructs inside hot-path
+// code, as computed by the hotpath analyzer (its Requires dependency).
+//
+// The paper's scaling argument (§3) prices a queue operation by its
+// shared-word atomic; a heap allocation on that path hands the budget
+// to the allocator instead, and every GC pause it eventually causes
+// acts as a failed-operation multiplier across all threads. allocfree
+// enforces the repository's zero-alloc hot-path invariant statically —
+// the dynamic half is queuetest's AllocsPerRun gates.
+//
+// Inside every hot-path-reachable function it reports:
+//
+//   - composite literals whose address is taken, and slice/map literals
+//     (heap-escaping or growing storage);
+//   - new(T), and make with a non-constant size or a map/chan kind;
+//   - append (backing-array growth);
+//   - conversions of non-pointer-shaped values to interface types, and
+//     interface-elem variadic calls (boxing — the obs/trace emit paths
+//     must stay monomorphic);
+//   - calls into fmt, string concatenation, and string<->[]byte/[]rune
+//     conversions;
+//   - func literals capturing outer variables (closure allocation);
+//   - map assignments (growth).
+//
+// The analysis is deliberately more conservative than the compiler's
+// escape analysis: a flagged site that provably does not escape (or is
+// a pool-miss cold branch) is suppressed in place with
+// //lint:ignore allocfree <reason>, keeping the justification next to
+// the code it excuses.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer reports heap-allocation constructs in hot-path code.
+var Analyzer = &analysis.Analyzer{
+	Name:     "allocfree",
+	Doc:      "flag heap allocations, boxing and closures in //lf:hotpath-reachable code",
+	Requires: []*analysis.Analyzer{hotpath.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	hot := pass.ResultOf[hotpath.Analyzer].(*hotpath.Result)
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if seed, ok := hot.Hot(fn); ok {
+				c.body(fd.Body, seed)
+			}
+		}
+	}
+	// Hot literals include both annotated seeds and literals nested in
+	// hot bodies; c.body skips nested literals, so each is checked once.
+	for lit, seed := range hot.Lits {
+		c.body(lit.Body, seed)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) report(pos token.Pos, seed, format string, args ...interface{}) {
+	args = append(args, seed)
+	c.pass.Reportf(pos, format+" on the hot path (via %s)", args...)
+}
+
+func (c *checker) typeString(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(c.pass.Pkg))
+}
+
+func (c *checker) body(body *ast.BlockStmt, seed string) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if v := c.captured(n); v != "" {
+				c.report(n.Pos(), seed, "closure captures %s and allocates", v)
+			}
+			return false // its body is a hot literal of its own
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				if !isSliceOrMapLit(info, lit) { // those report at the literal itself
+					c.report(n.Pos(), seed, "address of composite literal escapes")
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceOrMapLit(info, n) {
+				c.report(n.Pos(), seed, "%s literal allocates", c.typeString(info.TypeOf(n)))
+			}
+		case *ast.CallExpr:
+			c.call(n, seed)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
+				c.report(n.Pos(), seed, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMap(info.TypeOf(ix.X)) {
+					c.report(lhs.Pos(), seed, "map assignment may allocate")
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && isString(info.TypeOf(n.Lhs[0])) {
+				c.report(n.Pos(), seed, "string concatenation allocates")
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					c.boxing(n.Rhs[i].Pos(), info.TypeOf(n.Lhs[i]), info.TypeOf(n.Rhs[i]), seed)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dt := info.TypeOf(n.Type)
+				for _, rhs := range n.Values {
+					c.boxing(rhs.Pos(), dt, info.TypeOf(rhs), seed)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isMap(info.TypeOf(ix.X)) {
+				c.report(n.Pos(), seed, "map assignment may allocate")
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: allocation builtins, conversions,
+// fmt, and interface boxing of arguments.
+func (c *checker) call(call *ast.CallExpr, seed string) {
+	info := c.pass.TypesInfo
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				c.report(call.Pos(), seed, "new(%s) allocates", c.typeString(info.TypeOf(call)))
+			case "make":
+				c.makeCall(call, seed)
+			case "append":
+				c.report(call.Pos(), seed, "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.TypeOf(call.Args[0])
+		c.conversion(call.Pos(), dst, src, seed)
+		return
+	}
+
+	// fmt on a hot path is both an allocation and a formatting walk.
+	if fn := lintutil.Callee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.report(call.Pos(), seed, "call into fmt allocates")
+	}
+
+	// Interface boxing through parameters.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return // spread call passes an existing slice: no boxing, no new slice
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			if isInterface(pt) && i == params.Len()-1 {
+				c.report(arg.Pos(), seed, "variadic interface call allocates its argument slice")
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if src := info.TypeOf(arg); pt != nil {
+			c.boxing(arg.Pos(), pt, src, seed)
+		}
+	}
+}
+
+// makeCall flags make of maps and chans, and of slices with a
+// non-constant length (a constant-size make can stay on the stack; a
+// dynamic one is an allocation whose size the hot path cannot bound).
+func (c *checker) makeCall(call *ast.CallExpr, seed string) {
+	info := c.pass.TypesInfo
+	t := info.TypeOf(call)
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Map, *types.Chan:
+		c.report(call.Pos(), seed, "make(%s) allocates", c.typeString(t))
+	case *types.Slice:
+		for _, sz := range call.Args[1:] {
+			if tv, ok := info.Types[sz]; !ok || tv.Value == nil {
+				c.report(call.Pos(), seed, "make(%s) with non-constant size allocates", c.typeString(t))
+				return
+			}
+		}
+	}
+}
+
+// conversion flags interface boxing and string<->byte/rune-slice copies.
+func (c *checker) conversion(pos token.Pos, dst, src types.Type, seed string) {
+	c.boxing(pos, dst, src, seed)
+	if isString(dst) && isByteOrRuneSlice(src) {
+		c.report(pos, seed, "conversion from %s to string allocates", c.typeString(src))
+	}
+	if isByteOrRuneSlice(dst) && isString(src) {
+		c.report(pos, seed, "conversion from string to %s allocates", c.typeString(dst))
+	}
+}
+
+// boxing reports a conversion of src into interface type dst unless src
+// is itself an interface or pointer-shaped (fits an iface data word
+// without an allocation).
+func (c *checker) boxing(pos token.Pos, dst, src types.Type, seed string) {
+	if !isInterface(dst) || src == nil || isInterface(src) || pointerShaped(src) {
+		return
+	}
+	if b, ok := types.Unalias(src).(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		if b.Kind() == types.UntypedNil {
+			return
+		}
+	}
+	c.report(pos, seed, "conversion of %s to %s boxes its operand", c.typeString(src), c.typeString(dst))
+}
+
+// captured returns the name of a variable the literal captures from an
+// enclosing function scope, or "" if it captures nothing (a capture-free
+// literal compiles to a singleton and does not allocate).
+func (c *checker) captured(lit *ast.FuncLit) string {
+	info := c.pass.TypesInfo
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == c.pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true // package-level: referenced, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Map)
+	return ok
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isParam := types.Unalias(t).(*types.TypeParam); isParam {
+		return false // a type param converts per-instantiation; not flagged
+	}
+	return types.IsInterface(t)
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isSliceOrMapLit reports whether lit builds a slice or map (storage on
+// the heap), as opposed to a struct/array value.
+func isSliceOrMapLit(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// pointerShaped reports whether values of t occupy one pointer word and
+// convert to an interface without allocating.
+func pointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/linttest"
+)
+
+func TestAllocfree(t *testing.T) {
+	linttest.Run(t, "testdata", allocfree.Analyzer, "a")
+}

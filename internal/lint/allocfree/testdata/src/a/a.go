@@ -1,0 +1,78 @@
+package a
+
+import "fmt"
+
+type node struct {
+	v    int
+	next *node
+}
+
+func sink(v interface{}) { _ = v }
+
+//lf:hotpath
+func Enqueue(v int, s1, s2 string, bs []byte) {
+	n := &node{v: v} // want `address of composite literal escapes`
+	_ = n
+	sl := []int{1, 2} // want `\[\]int literal allocates`
+	_ = sl
+	m := map[int]int{} // want `map\[int\]int literal allocates`
+	m[v] = 1           // want `map assignment may allocate`
+	m[v]++             // want `map assignment may allocate`
+	p := new(node)     // want `new\(\*node\) allocates`
+	_ = p
+
+	d1 := make([]int, v) // want `make\(\[\]int\) with non-constant size allocates`
+	_ = d1
+	d2 := make([]int, 8) // constant size: stack-allocatable, not flagged
+	_ = d2
+	d3 := make(map[int]int, 8) // want `make\(map\[int\]int\) allocates`
+	_ = d3
+	ch := make(chan int) // want `make\(chan int\) allocates`
+	_ = ch
+	d2 = append(d2, v) // want `append may grow its backing array`
+
+	_ = fmt.Sprintln() // want `call into fmt allocates`
+	_ = s1 + s2        // want `string concatenation allocates`
+	s1 += "x"          // want `string concatenation allocates`
+	_ = []byte(s1)     // want `conversion from string to \[\]byte allocates`
+	_ = string(bs)     // want `conversion from \[\]byte to string allocates`
+
+	sink(v)  // want `conversion of int to interface\{\} boxes its operand`
+	sink(&v) // pointer-shaped: fits the iface word, not flagged
+	var i interface{}
+	i = v // want `conversion of int to interface\{\} boxes its operand`
+	_ = i
+	var j interface{} = v // want `conversion of int to interface\{\} boxes its operand`
+	_ = j
+
+	x := v
+	f := func() int { return x } // want `closure captures x and allocates`
+	_ = f()
+	g := func() int { return 7 } // capture-free literal: a singleton, not flagged
+	_ = g()
+
+	//lint:ignore allocfree pool-miss refill modeled cold for this test
+	suppressed := &node{}
+	_ = suppressed
+
+	helper()
+	refill()
+}
+
+// helper is hot by reachability, not annotation.
+func helper() *node {
+	return &node{} // want `address of composite literal escapes`
+}
+
+// refill is an annotated slow path: its allocation is intentional.
+//
+//lf:coldpath
+func refill() *node {
+	return &node{}
+}
+
+// NotHot is outside the hot set: nothing here is flagged.
+func NotHot() *node {
+	_ = fmt.Sprintln()
+	return &node{next: &node{}}
+}

@@ -32,6 +32,14 @@ type Analyzer struct {
 	// line, then detail. The first line is shown in usage listings.
 	Doc string
 
+	// Requires lists analyzers that must run on the package first.
+	// Their results are available through Pass.ResultOf. The graph
+	// must be acyclic; drivers run requirements before the requirer
+	// and report diagnostics only for the analyzers they were asked
+	// to run (a requirement pulled in implicitly contributes its
+	// result, not its findings).
+	Requires []*Analyzer
+
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
 }
@@ -50,6 +58,10 @@ type Pass struct {
 	// TypesSizes gives the sizes/alignments of the target build
 	// platform (the platform the package was type-checked for).
 	TypesSizes types.Sizes
+
+	// ResultOf maps each analyzer in Analyzer.Requires to the value
+	// its Run returned for this same package.
+	ResultOf map[*Analyzer]interface{}
 
 	// Report records one diagnostic. Drivers install it; analyzers
 	// usually call Reportf instead.

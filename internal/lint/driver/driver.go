@@ -41,10 +41,26 @@ type Package struct {
 // Analyze applies the analyzers to pkg and returns the surviving
 // diagnostics (Category filled in, //lint:ignore directives applied,
 // malformed directives reported) sorted by position.
+//
+// Analyzers named in a Requires graph run before their requirers and
+// feed them through Pass.ResultOf; requirements pulled in implicitly
+// (not in the analyzers argument) contribute results only — their
+// diagnostics are dropped, so a test or a trimmed command line can run
+// one analyzer without also surfacing its dependencies' findings.
 func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	ignores := analysis.NewIgnoreSet(pkg.Fset, pkg.Files)
-	var diags []analysis.Diagnostic
+	requested := make(map[*analysis.Analyzer]bool, len(analyzers))
 	for _, a := range analyzers {
+		requested[a] = true
+	}
+	order, err := depOrder(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[*analysis.Analyzer]interface{}, len(order))
+	var diags []analysis.Diagnostic
+	for _, a := range order {
+		a := a
 		pass := &analysis.Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
@@ -53,16 +69,27 @@ func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnosti
 			TypesInfo:  pkg.Info,
 			TypesSizes: pkg.Sizes,
 		}
+		if len(a.Requires) > 0 {
+			pass.ResultOf = make(map[*analysis.Analyzer]interface{}, len(a.Requires))
+			for _, req := range a.Requires {
+				pass.ResultOf[req] = results[req]
+			}
+		}
 		pass.Report = func(d analysis.Diagnostic) {
 			d.Category = a.Name
+			if !requested[a] {
+				return
+			}
 			if ignores.Suppressed(pkg.Fset, a.Name, d.Pos) {
 				return
 			}
 			diags = append(diags, d)
 		}
-		if _, err := a.Run(pass); err != nil {
+		res, err := a.Run(pass)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
+		results[a] = res
 	}
 	for _, d := range ignores.Malformed {
 		d.Category = "lintdirective"
@@ -70,6 +97,42 @@ func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnosti
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// depOrder expands the analyzer set with its transitive requirements
+// and returns a topological order (requirements first). It rejects
+// cycles, which would be a programming error in analyzer wiring.
+func depOrder(analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var (
+		order   []*analysis.Analyzer
+		done    = map[*analysis.Analyzer]bool{}
+		visit   func(a *analysis.Analyzer) error
+		onStack = map[*analysis.Analyzer]bool{}
+	)
+	visit = func(a *analysis.Analyzer) error {
+		if done[a] {
+			return nil
+		}
+		if onStack[a] {
+			return fmt.Errorf("analyzer requirement cycle through %s", a.Name)
+		}
+		onStack[a] = true
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		onStack[a] = false
+		done[a] = true
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 // TargetSizes returns the std sizes for the platform selected by the

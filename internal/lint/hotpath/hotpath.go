@@ -1,0 +1,241 @@
+// Package hotpath computes which functions of a package can execute on
+// an operation hot path, seeded by //lf:hotpath annotations.
+//
+// The paper's cost model (§3) prices an operation by its shared-word
+// atomics; anything else on the path — in Go, above all a heap
+// allocation — dilutes the claimed scaling. The hotpath analyzer is the
+// fact layer of that discipline: it produces no findings of its own
+// (beyond directive hygiene) but exports a Result mapping every
+// hot-path-reachable function to the seed it is reachable from, which
+// the allocfree analyzer consumes through Pass.ResultOf.
+//
+// Seeding and propagation:
+//
+//   - A //lf:hotpath line in a function declaration's doc comment seeds
+//     that function (Enqueue/Dequeue and friends).
+//   - A //lf:hotpath comment on the same line as a func literal's func
+//     keyword, or on the line directly above it, seeds the literal —
+//     the escape hatch for hot code reached only through stored
+//     function values (e.g. sbq's try_append variants, built once in
+//     New and invoked per enqueue).
+//   - Hotness propagates through statically-resolvable calls to
+//     functions declared in the same package, and into func literals
+//     nested in hot bodies. Cross-package propagation is deliberately
+//     out of scope: each package annotates its own hot entry points, so
+//     a pass never needs facts from outside its unit.
+//   - A //lf:coldpath line in a declaration's doc comment stops
+//     propagation into that function: the annotation for intentional
+//     slow paths (pool-miss refill, error reporting) called from hot
+//     code. Using both directives on one declaration is an error.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+const (
+	hotDirective  = "//lf:hotpath"
+	coldDirective = "//lf:coldpath"
+)
+
+// Analyzer seeds hot-path reachability from //lf:hotpath annotations and
+// propagates it through the package call graph.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "compute //lf:hotpath-seeded hot-path reachability (fact layer for allocfree)",
+	Run:  run,
+}
+
+// Result maps each hot-path-reachable function body to a description of
+// the seed it is reachable from. Funcs holds declared functions and
+// methods (keyed by their generic origin object), Lits holds function
+// literals that are themselves seeds or appear inside hot bodies.
+type Result struct {
+	Funcs map[*types.Func]string
+	Lits  map[*ast.FuncLit]string
+}
+
+// Hot reports whether fn is hot-path reachable, and from which seed.
+func (r *Result) Hot(fn *types.Func) (seed string, ok bool) {
+	if fn == nil {
+		return "", false
+	}
+	seed, ok = r.Funcs[fn.Origin()]
+	return seed, ok
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	res := &Result{
+		Funcs: map[*types.Func]string{},
+		Lits:  map[*ast.FuncLit]string{},
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	cold := map[*types.Func]bool{}
+	consumed := map[*ast.Comment]bool{}
+	var seedFuncs []*types.Func
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			hc := directive(fd.Doc, hotDirective)
+			cc := directive(fd.Doc, coldDirective)
+			if hc != nil {
+				consumed[hc] = true
+			}
+			if cc != nil {
+				consumed[cc] = true
+			}
+			switch {
+			case hc != nil && cc != nil:
+				pass.Reportf(hc.Pos(), "%s is annotated both //lf:hotpath and //lf:coldpath", funcName(fn))
+			case hc != nil:
+				res.Funcs[fn] = funcName(fn)
+				seedFuncs = append(seedFuncs, fn)
+			case cc != nil:
+				cold[fn] = true
+			}
+		}
+	}
+
+	// Loose //lf:hotpath comments (outside declaration docs) seed the
+	// func literal starting on the same or the following line.
+	type lineKey struct {
+		file string
+		line int
+	}
+	loose := map[lineKey]*ast.Comment{}
+	for _, file := range pass.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				if consumed[c] || !isDirective(c.Text, hotDirective) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				loose[lineKey{p.Filename, p.Line}] = c
+			}
+		}
+	}
+	var seedLits []*ast.FuncLit
+	if len(loose) > 0 {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				p := pass.Fset.Position(lit.Pos())
+				for _, line := range []int{p.Line, p.Line - 1} {
+					c, ok := loose[lineKey{p.Filename, line}]
+					if !ok {
+						continue
+					}
+					delete(loose, lineKey{p.Filename, line})
+					consumed[c] = true
+					res.Lits[lit] = fmt.Sprintf("func literal at %s:%d", filepath.Base(p.Filename), p.Line)
+					seedLits = append(seedLits, lit)
+					break
+				}
+				return true
+			})
+		}
+	}
+	for _, c := range loose {
+		pass.Reportf(c.Pos(), "//lf:hotpath directive is not attached to a function declaration or literal")
+	}
+
+	// Propagate: a worklist of hot bodies; every statically-resolvable
+	// in-package callee and every nested func literal becomes hot with
+	// the same seed. Nested literals are cut out of the enclosing walk
+	// (return false) so each body is visited exactly once.
+	type work struct {
+		body *ast.BlockStmt
+		seed string
+	}
+	var queue []work
+	for _, fn := range seedFuncs {
+		if d := decls[fn]; d.Body != nil {
+			queue = append(queue, work{d.Body, res.Funcs[fn]})
+		}
+	}
+	for _, lit := range seedLits {
+		queue = append(queue, work{lit.Body, res.Lits[lit]})
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		ast.Inspect(w.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if _, seen := res.Lits[n]; !seen {
+					res.Lits[n] = w.seed
+					queue = append(queue, work{n.Body, w.seed})
+				}
+				return false
+			case *ast.CallExpr:
+				fn := lintutil.Callee(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				fn = fn.Origin()
+				if cold[fn] {
+					return true
+				}
+				d, ok := decls[fn]
+				if !ok || d.Body == nil {
+					return true
+				}
+				if _, seen := res.Funcs[fn]; !seen {
+					res.Funcs[fn] = w.seed
+					queue = append(queue, work{d.Body, w.seed})
+				}
+			}
+			return true
+		})
+	}
+	return res, nil
+}
+
+// directive returns the comment in g carrying the given //-directive.
+func directive(g *ast.CommentGroup, d string) *ast.Comment {
+	if g == nil {
+		return nil
+	}
+	for _, c := range g.List {
+		if isDirective(c.Text, d) {
+			return c
+		}
+	}
+	return nil
+}
+
+func isDirective(text, d string) bool {
+	return text == d ||
+		strings.HasPrefix(text, d+" ") ||
+		strings.HasPrefix(text, d+"\t")
+}
+
+// funcName renders fn for diagnostics: "(Recv).Name" for methods,
+// "Name" for functions, with package qualifiers dropped.
+func funcName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		if r := sig.Recv(); r != nil {
+			return "(" + types.TypeString(r.Type(), func(*types.Package) string { return "" }) + ")." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

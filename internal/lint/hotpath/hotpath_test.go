@@ -1,0 +1,46 @@
+package hotpath_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotpathDiagnostics(t *testing.T) {
+	linttest.Run(t, "testdata", hotpath.Analyzer, "a")
+}
+
+// TestHotpathResult checks the exported reachability facts directly: a
+// probe analyzer requiring hotpath reports every hot function, and the
+// testdata file asserts the expected set via // want lines.
+func TestHotpathResult(t *testing.T) {
+	probe := &analysis.Analyzer{
+		Name:     "hotprobe",
+		Doc:      "report every hot-path-reachable function (test only)",
+		Requires: []*analysis.Analyzer{hotpath.Analyzer},
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			hot := pass.ResultOf[hotpath.Analyzer].(*hotpath.Result)
+			for _, file := range pass.Files {
+				for _, d := range file.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					if seed, ok := hot.Hot(fn); ok {
+						pass.Reportf(fd.Name.Pos(), "hot via %s", seed)
+					}
+				}
+			}
+			for lit, seed := range hot.Lits {
+				pass.Reportf(lit.Pos(), "hot literal via %s", seed)
+			}
+			return nil, nil
+		},
+	}
+	linttest.Run(t, "testdata", probe, "probe")
+}

@@ -1,0 +1,43 @@
+package a
+
+// Enqueue is a seed; hotness must flow into helper and leaf but not
+// into Refill (coldpath) or Unrelated.
+//
+//lf:hotpath
+func Enqueue() {
+	helper()
+	Refill()
+}
+
+func helper() { leaf() }
+
+func leaf() {}
+
+// Refill is an intentional slow path: propagation stops here.
+//
+//lf:coldpath
+func Refill() { Unrelated() }
+
+func Unrelated() {}
+
+// Both directives on one declaration is a wiring error.
+//
+//lf:hotpath // want `annotated both //lf:hotpath and //lf:coldpath`
+//lf:coldpath
+func Both() {}
+
+// A loose directive seeds the func literal starting on the next line —
+// the stored-function-value escape hatch.
+func makeHot() func() {
+	//lf:hotpath
+	return func() { litHelper() }
+}
+
+var hotFn = makeHot()
+
+func litHelper() {}
+
+// A directive attached to nothing callable is reported.
+//
+//lf:hotpath // want `not attached to a function`
+var X int

@@ -1,0 +1,49 @@
+package probe
+
+// Annotation-free helpers first, so reachability (not file order) is
+// what the probe observes.
+
+func helper() { leaf() } // want `hot via Enqueue`
+
+func leaf() {} // want `hot via Enqueue`
+
+//lf:hotpath
+func Enqueue() { // want `hot via Enqueue`
+	helper()
+	cold()
+}
+
+//lf:coldpath
+func cold() { missed() }
+
+func missed() {}
+
+// Methods propagate like functions, keyed by their generic origin.
+type Q[T any] struct{ v T }
+
+//lf:hotpath
+func (q *Q[T]) Push(v T) { // want `hot via \(\*Q\[T\]\).Push`
+	q.step()
+}
+
+func (q *Q[T]) step() {} // want `hot via \(\*Q\[T\]\).Push`
+
+// Literals nested in hot bodies are hot with the same seed; the
+// loose-directive form seeds a stored literal.
+//
+//lf:hotpath
+func Drive() { // want `hot via Drive`
+	f := func() { leaf2() } // want `hot literal via Drive`
+	f()
+}
+
+func leaf2() {} // want `hot via Drive`
+
+func install() func() {
+	//lf:hotpath
+	return func() { stored() } // want `hot literal via func literal at probe.go:\d+`
+}
+
+var fn = install()
+
+func stored() {} // want `hot via func literal at probe.go:\d+`

@@ -9,15 +9,19 @@ package lint
 
 import (
 	"repro/internal/lint/align64"
+	"repro/internal/lint/allocfree"
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/atomicmix"
 	"repro/internal/lint/casloop"
 	"repro/internal/lint/deprecated"
+	"repro/internal/lint/hotpath"
 	"repro/internal/lint/nocopy"
 	"repro/internal/lint/padcheck"
 )
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order. hotpath precedes
+// allocfree, its requirer; the driver would order them anyway, but
+// listing both keeps hotpath's own directive-hygiene diagnostics on.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicmix.Analyzer,
@@ -26,5 +30,7 @@ func Analyzers() []*analysis.Analyzer {
 		casloop.Analyzer,
 		nocopy.Analyzer,
 		deprecated.Analyzer,
+		hotpath.Analyzer,
+		allocfree.Analyzer,
 	}
 }

@@ -25,12 +25,14 @@ type instrumented[T any] struct {
 	r Recorder
 }
 
+//lf:hotpath
 func (w *instrumented[T]) Enqueue(v T) {
 	start := time.Now()
 	w.q.Enqueue(v)
 	w.r.Observe(EnqLatency, uint64(time.Since(start).Nanoseconds()))
 }
 
+//lf:hotpath
 func (w *instrumented[T]) Dequeue() (T, bool) {
 	start := time.Now()
 	v, ok := w.q.Dequeue()

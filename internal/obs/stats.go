@@ -48,12 +48,18 @@ type Stats struct {
 func New() *Stats { return &Stats{} }
 
 // Inc implements Recorder on the shared base shard.
+//
+//lf:hotpath
 func (s *Stats) Inc(c Counter) { s.base.inc(c) }
 
 // Add implements Recorder on the shared base shard.
+//
+//lf:hotpath
 func (s *Stats) Add(c Counter, d uint64) { s.base.add(c, d) }
 
 // Observe implements Recorder on the shared base shard.
+//
+//lf:hotpath
 func (s *Stats) Observe(se Series, v uint64) { s.base.observe(se, v) }
 
 // Local issues a per-handle Recorder with its own padded shard, so that
@@ -106,12 +112,18 @@ type Local struct {
 }
 
 // Inc implements Recorder on the handle's private shard.
+//
+//lf:hotpath
 func (l *Local) Inc(c Counter) { l.shard.inc(c) }
 
 // Add implements Recorder on the handle's private shard.
+//
+//lf:hotpath
 func (l *Local) Add(c Counter, d uint64) { l.shard.add(c, d) }
 
 // Observe implements Recorder on the handle's private shard.
+//
+//lf:hotpath
 func (l *Local) Observe(se Series, v uint64) { l.shard.observe(se, v) }
 
 // Snapshot returns the parent Stats' aggregate snapshot (all shards, not

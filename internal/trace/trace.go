@@ -227,6 +227,8 @@ func (c *Collector) Add(ct obs.Counter, d uint64) { c.base.Add(ct, d) }
 func (c *Collector) Observe(s obs.Series, v uint64) { c.base.Observe(s, v) }
 
 // Event implements obs.EventRecorder on the collector's built-in handle.
+//
+//lf:hotpath
 func (c *Collector) Event(k obs.EventKind, lane int32, arg uint64) { c.base.Event(k, lane, arg) }
 
 // Snapshot opens a new epoch and drains every ring up to its cut,
@@ -281,6 +283,8 @@ type Handle struct {
 func (h *Handle) Lane() int32 { return h.lane }
 
 // Inc implements obs.Recorder by forwarding to the chained stats recorder.
+//
+//lf:hotpath
 func (h *Handle) Inc(ct obs.Counter) {
 	if r := h.c.stats; r != nil {
 		r.Inc(ct)
@@ -288,6 +292,8 @@ func (h *Handle) Inc(ct obs.Counter) {
 }
 
 // Add implements obs.Recorder by forwarding to the chained stats recorder.
+//
+//lf:hotpath
 func (h *Handle) Add(ct obs.Counter, d uint64) {
 	if r := h.c.stats; r != nil {
 		r.Add(ct, d)
@@ -296,6 +302,8 @@ func (h *Handle) Add(ct obs.Counter, d uint64) {
 
 // Observe implements obs.Recorder by forwarding to the chained stats
 // recorder.
+//
+//lf:hotpath
 func (h *Handle) Observe(s obs.Series, v uint64) {
 	if r := h.c.stats; r != nil {
 		r.Observe(s, v)
@@ -304,6 +312,8 @@ func (h *Handle) Observe(s obs.Series, v uint64) {
 
 // Event records one event in the handle's ring. obs.LaneDefault resolves
 // to the handle's own lane.
+//
+//lf:hotpath
 func (h *Handle) Event(k obs.EventKind, lane int32, arg uint64) {
 	if lane == obs.LaneDefault {
 		lane = h.lane

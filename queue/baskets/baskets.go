@@ -9,21 +9,41 @@
 // the predecessor's basket to further insertions — the property that makes
 // the queue linearizable. Go's garbage collector forbids pointer tagging,
 // so each next field holds an atomically replaced edge record (pointer +
-// deleted flag); retired records are garbage collected.
+// deleted flag); retired records are garbage collected, or recycled
+// through reclaim pools in pooled-node mode (WithNodePool).
+//
+// Pooled-mode reclamation: nodes carry structural stamps (each node's
+// stamp is its predecessor's plus one; basket members share a stamp, so
+// stamps are non-strictly increasing along every traversal). Operations
+// pin their head/tail snapshot with the announce-and-verify protocol;
+// the verify is sound because q.head/q.tail never point at a retired
+// node — a dequeuer helps the tail past head before closing a basket,
+// and tail CASes only ever move it forward. A node is retired by the
+// winner of the head CAS that passes it (together with its final,
+// deleted edge); an edge is retired by the winner of the CAS that
+// replaces it, under its from-node's stamp.
 package baskets
 
 import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/reclaim"
 )
 
 type node[T any] struct {
-	v    T
-	next atomic.Pointer[edge[T]]
+	// stamp orders nodes along the list; atomic because a stale reader
+	// may race a pooled node's re-stamping (see reclaim's protocol note).
+	stamp atomic.Uint64
+	v     T
+	next  atomic.Pointer[edge[T]]
 }
 
-// edge is an atomically-replaced (pointer, deleted) pair.
+// edge is an atomically-replaced (pointer, deleted) pair. Its fields are
+// written only before publication (the CAS installing it) and are
+// immutable afterwards; stale readers of a recycled edge are excluded by
+// the same stamp protection as nodes (an edge shares its from-node's
+// stamp).
 type edge[T any] struct {
 	to      *node[T]
 	deleted bool
@@ -42,6 +62,11 @@ type Queue[T any] struct {
 	// flight-recorder collector); events land on the collector handle's
 	// own lane (obs.LaneDefault).
 	ev obs.EventRecorder
+
+	// epoch/nodes/edges are non-nil in pooled-node mode (WithNodePool).
+	epoch *reclaim.Epoch
+	nodes *reclaim.Pool[node[T]]
+	edges *reclaim.Pool[edge[T]]
 }
 
 // event records one timeline event, if a flight recorder is attached.
@@ -58,6 +83,18 @@ func New[T any](opts ...Option) *Queue[T] {
 		opt(&o)
 	}
 	q := &Queue[T]{rec: o.rec, ev: obs.Events(o.rec)}
+	if o.pooled {
+		q.epoch = reclaim.NewEpoch()
+		q.nodes = reclaim.NewPool(q.epoch, func() *node[T] { return &node[T]{} }, func(n *node[T]) {
+			var zero T
+			n.v = zero // drop element references while parked in the freelist
+			n.next.Store(nil)
+		})
+		q.edges = reclaim.NewPool(q.epoch, func() *edge[T] { return &edge[T]{} }, func(e *edge[T]) {
+			e.to = nil
+			e.deleted = false
+		})
+	}
 	s := &node[T]{}
 	s.next.Store(&edge[T]{})
 	q.head.Store(s)
@@ -65,35 +102,112 @@ func New[T any](opts ...Option) *Queue[T] {
 	return q
 }
 
+// getNode returns a fresh or recycled node with v zero and next nil.
+func (q *Queue[T]) getNode() *node[T] {
+	if p := q.nodes; p != nil {
+		return p.Get()
+	}
+	//lint:ignore allocfree GC mode allocates one node per enqueue by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return &node[T]{}
+}
+
+// getEdge returns a fresh or recycled empty edge record.
+func (q *Queue[T]) getEdge() *edge[T] {
+	if p := q.edges; p != nil {
+		return p.Get()
+	}
+	//lint:ignore allocfree GC mode allocates edge records per CAS attempt by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return &edge[T]{}
+}
+
+// retireEdge defers w — just CASed out of from.next by the caller — for
+// recycling under from's stamp (readers of w announced at most that).
+func (q *Queue[T]) retireEdge(from *node[T], w *edge[T]) {
+	if p := q.edges; p != nil {
+		p.Retire(from.stamp.Load(), w)
+	}
+}
+
+// retireNode defers n — the caller's head CAS just passed it — together
+// with its final (deleted, never again replaced) edge record.
+func (q *Queue[T]) retireNode(n *node[T]) {
+	if q.nodes == nil {
+		return
+	}
+	stamp := n.stamp.Load()
+	if w := n.next.Load(); w != nil {
+		q.edges.Retire(stamp, w)
+	}
+	q.nodes.Retire(stamp, n)
+}
+
+// protect pins src's current node against pooled reuse (announce-and-
+// verify; see the package comment for why the verify is sound) and
+// returns it. With a nil guard it is a plain load.
+func (q *Queue[T]) protect(src *atomic.Pointer[node[T]], g *reclaim.Guard) *node[T] {
+	n := src.Load()
+	if g == nil {
+		return n
+	}
+	for {
+		g.Protect(n.stamp.Load())
+		again := src.Load()
+		if again == n {
+			return n
+		}
+		n = again
+	}
+}
+
 // Enqueue appends v. If the linking CAS fails, the enqueuer joins the
 // basket at the same predecessor: the failure itself proves the presence
 // of concurrent enqueuers, so their elements may enter in any order.
+//
+//lf:hotpath
 func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
 	q.event(obs.EvEnqStart, 0)
-	n := &node[T]{v: v}
-	n.next.Store(&edge[T]{})
+	n := q.getNode()
+	n.v = v
+	en := q.getEdge() // n's own next edge; mutable until n is published
+	n.next.Store(en)
+	link := q.getEdge() // the edge the CAS installs; mutable until published
+	link.to = n
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
 				r.Inc(obs.EnqRetries)
 			}
 		}
-		tail := q.tail.Load()
+		tail := q.protect(&q.tail, g)
 		w := tail.next.Load()
 		if w.deleted {
 			q.fixTail(tail)
 			continue
 		}
+		n.stamp.Store(tail.stamp.Load() + 1)
 		if w.to == nil {
+			// Reset n's own edge: a failed basket attempt on an earlier
+			// tail may have left it pointing at that basket's successor,
+			// and linking n as the new last node with a stale forward
+			// edge would corrupt later traversals.
+			en.to = nil
 			if r := q.rec; r != nil {
 				r.Inc(obs.CASAttempts)
 			}
 			q.event(obs.EvCASAttempt, 0)
-			if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
+			if tail.next.CompareAndSwap(w, link) {
+				q.retireEdge(tail, w)
 				q.tail.CompareAndSwap(tail, n)
+				if g != nil {
+					q.epoch.Release(g)
+				}
 				q.event(obs.EvEnqEnd, 1)
 				return
 			}
@@ -108,10 +222,14 @@ func (q *Queue[T]) Enqueue(v T) {
 				if w.deleted || w.to == nil {
 					break // basket closed by a dequeuer; start over
 				}
-				n.next.Store(&edge[T]{to: w.to})
-				if tail.next.CompareAndSwap(w, &edge[T]{to: n}) {
+				en.to = w.to // n is unpublished; its edge mutates in place
+				if tail.next.CompareAndSwap(w, link) {
+					q.retireEdge(tail, w)
 					if r := q.rec; r != nil {
 						r.Inc(obs.BasketInserts)
+					}
+					if g != nil {
+						q.epoch.Release(g)
 					}
 					q.event(obs.EvEnqEnd, 1)
 					return
@@ -143,22 +261,33 @@ func (q *Queue[T]) fixTail(tail *node[T]) {
 
 // Dequeue claims the node after head by marking head's next edge deleted —
 // which closes head's basket — then swings head forward.
+//
+//lf:hotpath
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	q.event(obs.EvDeqStart, 0)
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqRetries)
 			}
 		}
-		head := q.head.Load()
+		head := q.protect(&q.head, g)
 		w := head.next.Load()
 		if w.deleted {
-			q.head.CompareAndSwap(head, w.to)
+			if q.head.CompareAndSwap(head, w.to) {
+				q.retireNode(head)
+			}
 			continue
 		}
 		if w.to == nil {
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqEmpty)
 			}
@@ -172,14 +301,25 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			r.Inc(obs.CASAttempts)
 		}
 		q.event(obs.EvCASAttempt, 0)
-		if head.next.CompareAndSwap(w, &edge[T]{to: w.to, deleted: true}) {
+		del := q.getEdge()
+		del.to, del.deleted = w.to, true
+		if head.next.CompareAndSwap(w, del) {
+			q.retireEdge(head, w)
 			v := w.to.v
-			q.head.CompareAndSwap(head, w.to)
+			if q.head.CompareAndSwap(head, w.to) {
+				q.retireNode(head)
+			}
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqOps)
 			}
 			q.event(obs.EvDeqEnd, 1)
 			return v, true
+		}
+		if p := q.edges; p != nil {
+			p.Put(del) // lost the delete race; del was never published
 		}
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASFailures)

@@ -6,7 +6,17 @@ import "repro/internal/obs"
 type Option func(*options)
 
 type options struct {
-	rec obs.Recorder
+	rec    obs.Recorder
+	pooled bool
+}
+
+// WithNodePool enables pooled-node mode: nodes and edge records recycle
+// through reclaim-backed freelists (per-P via sync.Pool) with
+// epoch-deferred reuse, so steady-state enqueue/dequeue allocate nothing
+// and the queue stops leaning on the garbage collector under sustained
+// load. The trade is one guard acquire/announce per operation.
+func WithNodePool() Option {
+	return func(o *options) { o.pooled = true }
 }
 
 // WithRecorder attaches a telemetry recorder (see repro/internal/obs): the

@@ -56,7 +56,13 @@ type BatchQueue[T any] interface {
 // capability and to an element-at-a-time loop when it does not. Single
 // Enqueue/Dequeue always delegate to q directly, so an AsBatch-wrapped
 // view can be used anywhere the plain view was.
+//
+// AsBatch panics on a nil queue: wrapping nil would defer the failure
+// to the first operation, far from the construction-site bug.
 func AsBatch[T any](q Queue[T]) BatchQueue[T] {
+	if q == nil {
+		panic("queue: AsBatch requires a non-nil queue")
+	}
 	if b, ok := q.(BatchQueue[T]); ok {
 		return b
 	}
@@ -69,6 +75,8 @@ type batched[T any] struct {
 }
 
 // EnqueueBatch implements BatchEnqueuer.
+//
+//lf:hotpath
 func (b batched[T]) EnqueueBatch(vs []T) {
 	if be, ok := b.Queue.(BatchEnqueuer[T]); ok {
 		be.EnqueueBatch(vs)
@@ -80,6 +88,8 @@ func (b batched[T]) EnqueueBatch(vs []T) {
 }
 
 // DequeueBatch implements BatchDequeuer.
+//
+//lf:hotpath
 func (b batched[T]) DequeueBatch(dst []T) int {
 	if bd, ok := b.Queue.(BatchDequeuer[T]); ok {
 		return bd.DequeueBatch(dst)

@@ -95,6 +95,86 @@ func TestAsBatchIdentityOnNative(t *testing.T) {
 	}
 }
 
+// deqBatcher adds only the native batch-dequeue capability: the inverse
+// of enqBatcher, so each half of the capability split is covered.
+type deqBatcher struct {
+	sliceQueue
+	nativeDeq int
+}
+
+func (q *deqBatcher) DequeueBatch(dst []uint64) int {
+	q.nativeDeq++
+	n := copy(dst, q.vs)
+	q.vs = q.vs[n:]
+	return n
+}
+
+func TestAsBatchDequeueOnlyCapability(t *testing.T) {
+	q := &deqBatcher{}
+	b := queue.AsBatch[uint64](q)
+	b.EnqueueBatch([]uint64{5, 6, 7}) // looped: no native enqueue half
+	dst := make([]uint64, 3)
+	if n := b.DequeueBatch(dst); n != 3 || dst[0] != 5 || dst[2] != 7 {
+		t.Fatalf("DequeueBatch = %d %v, want 3 [5 6 7]", n, dst)
+	}
+	if q.nativeDeq != 1 {
+		t.Fatalf("native DequeueBatch used %d times, want 1", q.nativeDeq)
+	}
+}
+
+// hiccupQueue reports empty on every other dequeue even while holding
+// elements, modelling the transient empty a concurrent queue's failed
+// probe produces mid-batch.
+type hiccupQueue struct {
+	sliceQueue
+	calls int
+}
+
+func (q *hiccupQueue) Dequeue() (uint64, bool) {
+	q.calls++
+	if q.calls%2 == 0 {
+		return 0, false
+	}
+	return q.sliceQueue.Dequeue()
+}
+
+func TestAsBatchPartialFailureMidBatch(t *testing.T) {
+	q := &hiccupQueue{}
+	b := queue.AsBatch[uint64](q)
+	b.EnqueueBatch([]uint64{1, 2, 3, 4})
+
+	// The fallback loop must stop at the first failed dequeue and report
+	// the short count; a short batch is not an emptiness guarantee, and
+	// no element may be lost or duplicated across the failure.
+	dst := make([]uint64, 4)
+	var got []uint64
+	rounds := 0
+	for len(got) < 4 {
+		rounds++
+		if rounds > 16 {
+			t.Fatalf("drained only %v after %d rounds", got, rounds-1)
+		}
+		got = append(got, dst[:b.DequeueBatch(dst)]...)
+	}
+	if rounds < 2 {
+		t.Fatalf("hiccup never split a batch (drained in %d round); the partial-failure path went unexercised", rounds)
+	}
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("drained %v, want [1 2 3 4] in order", got)
+		}
+	}
+}
+
+func TestAsBatchNilQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsBatch(nil) did not panic; wrapping nil defers the failure to first use")
+		}
+	}()
+	queue.AsBatch[uint64](nil)
+}
+
 func TestAsBatchDstSmallerThanQueue(t *testing.T) {
 	b := queue.AsBatch[uint64](&sliceQueue{})
 	b.EnqueueBatch([]uint64{1, 2, 3, 4, 5})

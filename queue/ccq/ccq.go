@@ -43,6 +43,14 @@ type Queue[T any] struct {
 	qhead *snode[T]
 	qtail *snode[T]
 
+	// sfree is the combiner-owned freelist of pooled-node mode
+	// (WithNodePool); nil head otherwise. Like qhead/qtail it is only
+	// touched while holding the combiner role, whose handoff (the atomic
+	// wait store/load pair) orders one combiner's writes before the next
+	// combiner's reads.
+	sfree  *snode[T]
+	pooled bool
+
 	// CombineLimit bounds the batch one combiner serves before handing
 	// the role over.
 	combineLimit int
@@ -73,7 +81,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	if o.combineLimit <= 0 {
 		panic("ccq: combine limit must be positive")
 	}
-	q := &Queue[T]{combineLimit: o.combineLimit, rec: o.rec, ev: obs.Events(o.rec)}
+	q := &Queue[T]{combineLimit: o.combineLimit, rec: o.rec, ev: obs.Events(o.rec), pooled: o.pooled}
 	dummy := &request[T]{} // wait==0: first arrival combines immediately
 	q.tail.Store(dummy)
 	s := &snode[T]{}
@@ -127,10 +135,23 @@ func (q *Queue[T]) apply(isEnq bool, arg T) (T, bool) {
 	return ret, ok
 }
 
+// getSNode returns a fresh or recycled sequential-queue node with next
+// already nil. Combiner-only.
+func (q *Queue[T]) getSNode() *snode[T] {
+	if n := q.sfree; n != nil {
+		q.sfree = n.next
+		n.next = nil
+		return n
+	}
+	//lint:ignore allocfree GC mode allocates one node per enqueue by design; WithNodePool recycles dequeued nodes through the combiner-owned freelist
+	return &snode[T]{}
+}
+
 // applySequential executes one announced operation on the sequential queue.
 func (q *Queue[T]) applySequential(r *request[T]) {
 	if r.isEnq {
-		n := &snode[T]{v: r.arg}
+		n := q.getSNode()
+		n.v = r.arg
 		q.qtail.next = n
 		q.qtail = n
 		r.ok = true
@@ -142,11 +163,22 @@ func (q *Queue[T]) applySequential(r *request[T]) {
 		r.ret, r.ok = zero, false
 		return
 	}
+	old := q.qhead
 	q.qhead = next
 	r.ret, r.ok = next.v, true
+	if q.pooled {
+		// old was the sentinel; next takes over that role. Scrub the
+		// recycled node so parked nodes hold no element references.
+		var zero T
+		old.v = zero
+		old.next = q.sfree
+		q.sfree = old
+	}
 }
 
 // Enqueue appends v through the combiner.
+//
+//lf:hotpath
 func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
@@ -157,6 +189,8 @@ func (q *Queue[T]) Enqueue(v T) {
 }
 
 // Dequeue removes the oldest element through the combiner.
+//
+//lf:hotpath
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	q.event(obs.EvDeqStart, 0)

@@ -8,6 +8,7 @@ type Option func(*options)
 type options struct {
 	combineLimit int
 	rec          obs.Recorder
+	pooled       bool
 }
 
 // WithCombineLimit bounds the batch one combiner serves before handing the
@@ -15,6 +16,16 @@ type options struct {
 // 64. n must be positive.
 func WithCombineLimit(n int) Option {
 	return func(o *options) { o.combineLimit = n }
+}
+
+// WithNodePool enables pooled-node mode: dequeued sequential-queue nodes
+// recycle through a combiner-owned freelist instead of churning the
+// garbage collector. No epoch protection is needed — only the current
+// combiner ever touches the sequential queue, and the combiner-role
+// handoff (an atomic store/load pair on the request's wait word) orders
+// one combiner's freelist writes before the next combiner's reads.
+func WithNodePool() Option {
+	return func(o *options) { o.pooled = true }
 }
 
 // WithRecorder attaches a telemetry recorder (see repro/internal/obs): the

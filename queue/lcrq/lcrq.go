@@ -7,24 +7,44 @@
 //
 // The original relies on a double-width CAS to update a cell's
 // (safe, index, value) triple atomically. Go has no DWCAS, so each cell
-// holds an atomically replaced slot record instead (one small allocation
-// per update, absorbed by the GC) — the standard translation of
-// tagged-word algorithms into Go used throughout this repository.
+// holds an atomically replaced slot record instead — the standard
+// translation of tagged-word algorithms into Go used throughout this
+// repository. Slot records hold their element BY VALUE, so Enqueue never
+// forces its argument to escape; in GC mode replaced records are one
+// small garbage-collected allocation per update, and in pooled mode
+// (WithNodePool) records and rings both recycle through reclaim pools.
+//
+// Pooled-mode reclamation uses the epoch's clock discipline
+// (reclaim.Epoch.Now) rather than per-item structural stamps: an
+// operation announces the clock's current position once, before loading
+// any shared pointer, and every ring and record it can subsequently
+// reach is protected — a pointer loaded after the announce refers to a
+// then-live item, and items are stamped with NextStamp() AT RETIRE
+// TIME, strictly after they become unreachable (a replaced record after
+// its CAS, a drained ring after the head pointer moves past it and the
+// tail pointer is helped off it), so their stamps exceed the
+// announcement. Structural stamps would deadlock here: a record retired
+// under its ring's fixed generation can never satisfy "stamp below
+// every announcement" while an operation on that same ring announces
+// that generation, so nothing would ever recycle.
 package lcrq
 
 import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/reclaim"
 )
 
 // RingSize is the default number of cells per CRQ (see WithRingSize).
 const RingSize = 256
 
-// slot is a cell's immutable state record.
+// slot is a cell's immutable state record: fields are written only
+// before the CAS that publishes the record and never after.
 type slot[T any] struct {
 	idx  uint64
-	val  *T
+	val  T
+	has  bool
 	safe bool
 }
 
@@ -34,6 +54,13 @@ type cell[T any] struct {
 }
 
 const closedBit = uint64(1) << 63
+
+// pools is the shared reclamation state of pooled mode; nil otherwise.
+type pools[T any] struct {
+	epoch *reclaim.Epoch
+	rings *reclaim.Pool[crq[T]]
+	slots *reclaim.Pool[slot[T]]
+}
 
 // crq is one bounded ring.
 type crq[T any] struct {
@@ -46,22 +73,66 @@ type crq[T any] struct {
 	next  atomic.Pointer[crq[T]]
 	size  uint64
 	rec   obs.Recorder
+	pl    *pools[T] // nil in GC mode
 	cells []cell[T]
 }
 
-func newCRQ[T any](startIdx, size uint64, rec obs.Recorder) *crq[T] {
-	q := &crq[T]{size: size, rec: rec, cells: make([]cell[T], size)}
-	q.head.Store(startIdx)
-	q.tail.Store(startIdx)
+// newCRQ allocates a ring with all cells armed for their first epoch.
+// Amortized over size operations in GC mode; the pool-miss constructor
+// in pooled mode.
+//
+//lf:coldpath
+func newCRQ[T any](size uint64, rec obs.Recorder, pl *pools[T]) *crq[T] {
+	q := &crq[T]{size: size, rec: rec, pl: pl, cells: make([]cell[T], size)}
 	for i := range q.cells {
-		s := &slot[T]{idx: startIdx + uint64(i), safe: true}
+		s := &slot[T]{idx: uint64(i), safe: true}
 		q.cells[i].s.Store(s)
 	}
 	return q
 }
 
+// rearm resets a ring (and, in place, the records still installed in its
+// cells — unreachable along with the ring) for reuse from index 0. Only
+// called on rings no guarded operation can still reach.
+func (q *crq[T]) rearm() {
+	q.head.Store(0)
+	q.tail.Store(0)
+	q.next.Store(nil)
+	for i := range q.cells {
+		s := q.cells[i].s.Load()
+		*s = slot[T]{idx: uint64(i), safe: true}
+	}
+}
+
+// getSlot returns a zeroed record for the next CAS attempt.
+func (q *crq[T]) getSlot() *slot[T] {
+	if pl := q.pl; pl != nil {
+		return pl.slots.Get()
+	}
+	//lint:ignore allocfree GC mode allocates one record per slot update by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return &slot[T]{}
+}
+
+// putSlot recycles a record whose publishing CAS lost (never visible).
+func (q *crq[T]) putSlot(s *slot[T]) {
+	if pl := q.pl; pl != nil {
+		pl.slots.Put(s)
+	}
+}
+
+// retireSlot defers a record the caller's CAS just replaced. The stamp
+// is drawn from the epoch clock at retire time — after the CAS made the
+// record unreachable — so it exceeds the announcement of every
+// operation that could still hold a pointer to it (the clock
+// discipline; see the package comment).
+func (q *crq[T]) retireSlot(s *slot[T]) {
+	if pl := q.pl; pl != nil {
+		pl.slots.Retire(pl.epoch.NextStamp(), s)
+	}
+}
+
 // enqueue attempts to place v; it reports false if the ring closed.
-func (q *crq[T]) enqueue(v *T) bool {
+func (q *crq[T]) enqueue(v T) bool {
 	for tries := uint64(0); ; tries++ {
 		t := q.tail.Add(1) - 1
 		if t&closedBit != 0 {
@@ -69,13 +140,17 @@ func (q *crq[T]) enqueue(v *T) bool {
 		}
 		c := &q.cells[t%q.size]
 		s := c.s.Load()
-		if s.val == nil && s.idx <= t && (s.safe || q.head.Load() <= t) {
+		if !s.has && s.idx <= t && (s.safe || q.head.Load() <= t) {
 			if r := q.rec; r != nil {
 				r.Inc(obs.CASAttempts)
 			}
-			if c.s.CompareAndSwap(s, &slot[T]{idx: t, val: v, safe: true}) {
+			ns := q.getSlot()
+			ns.idx, ns.val, ns.has, ns.safe = t, v, true, true
+			if c.s.CompareAndSwap(s, ns) {
+				q.retireSlot(s)
 				return true
 			}
+			q.putSlot(ns)
 			if r := q.rec; r != nil {
 				r.Inc(obs.CASFailures)
 			}
@@ -104,20 +179,26 @@ func (q *crq[T]) close() {
 
 // dequeue attempts to take the oldest element; ok=false means the ring is
 // (transiently) empty.
-func (q *crq[T]) dequeue() (*T, bool) {
+func (q *crq[T]) dequeue() (T, bool) {
+	var zero T
 	for {
 		h := q.head.Add(1) - 1
 		c := &q.cells[h%q.size]
 		for {
 			s := c.s.Load()
-			if s.val != nil && s.idx == h {
+			if s.has && s.idx == h {
 				// Take the value; re-arm the cell for index h+size.
 				if r := q.rec; r != nil {
 					r.Inc(obs.CASAttempts)
 				}
-				if c.s.CompareAndSwap(s, &slot[T]{idx: h + q.size, safe: s.safe}) {
-					return s.val, true
+				ns := q.getSlot()
+				ns.idx, ns.safe = h+q.size, s.safe
+				if c.s.CompareAndSwap(s, ns) {
+					v := s.val // copy out; the caller's guard pins s
+					q.retireSlot(s)
+					return v, true
 				}
+				q.putSlot(ns)
 				if r := q.rec; r != nil {
 					r.Inc(obs.CASFailures)
 				}
@@ -127,22 +208,24 @@ func (q *crq[T]) dequeue() (*T, bool) {
 			// epoch): mark the cell unsafe for index h so a late enqueuer
 			// cannot publish into a slot we have logically passed.
 			if s.idx <= h+q.size {
-				var next *slot[T]
-				if s.val == nil {
-					next = &slot[T]{idx: h + q.size, safe: s.safe}
+				ns := q.getSlot()
+				if !s.has {
+					ns.idx, ns.safe = h+q.size, s.safe
 				} else {
-					next = &slot[T]{idx: s.idx, val: s.val, safe: false}
+					ns.idx, ns.val, ns.has, ns.safe = s.idx, s.val, true, false
 				}
-				if !c.s.CompareAndSwap(s, next) {
+				if !c.s.CompareAndSwap(s, ns) {
+					q.putSlot(ns)
 					continue
 				}
+				q.retireSlot(s)
 			}
 			break
 		}
 		// Empty check: if the ring holds nothing ahead of h, give up.
 		if tail := q.tail.Load() &^ closedBit; tail <= h+1 {
 			q.fixState()
-			return nil, false
+			return zero, false
 		}
 	}
 }
@@ -177,6 +260,7 @@ type Queue[T any] struct {
 	// flight-recorder collector); events land on the collector handle's
 	// own lane (obs.LaneDefault).
 	ev obs.EventRecorder
+	pl *pools[T] // non-nil in pooled mode (WithNodePool)
 }
 
 // event records one timeline event, if a flight recorder is attached.
@@ -196,18 +280,53 @@ func New[T any](opts ...Option) *Queue[T] {
 		panic("lcrq: ring size must be positive")
 	}
 	q := &Queue[T]{size: uint64(o.ringSize), rec: o.rec, ev: obs.Events(o.rec)}
-	r := newCRQ[T](0, q.size, q.rec)
+	if o.pooled {
+		pl := &pools[T]{epoch: reclaim.NewEpoch()}
+		pl.rings = reclaim.NewPool(pl.epoch, func() *crq[T] { return newCRQ(q.size, q.rec, pl) }, func(r *crq[T]) { r.rearm() })
+		pl.slots = reclaim.NewPool(pl.epoch, func() *slot[T] { return &slot[T]{} }, func(s *slot[T]) { *s = slot[T]{} })
+		q.pl = pl
+	}
+	r := q.getRing()
 	q.head.Store(r)
 	q.tail.Store(r)
 	return q
 }
 
+// getRing returns a fresh or recycled ring armed from index 0 (the
+// pool's reset hook rearms recycled rings before they are handed out).
+func (q *Queue[T]) getRing() *crq[T] {
+	if pl := q.pl; pl != nil {
+		return pl.rings.Get()
+	}
+	//lint:ignore allocfree GC mode allocates one ring per turnover (amortized over RingSize operations) by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return newCRQ[T](q.size, q.rec, nil)
+}
+
+// acquireGuard returns an announced guard in pooled mode (nil
+// otherwise). Announcing the epoch clock's current position BEFORE any
+// shared pointer is loaded protects every ring and record the operation
+// can reach — retire-time stamps are strictly larger (see the package
+// comment) — so one announcement covers the whole operation, with no
+// per-ring re-announce or verify loop.
+func (q *Queue[T]) acquireGuard() *reclaim.Guard {
+	pl := q.pl
+	if pl == nil {
+		return nil
+	}
+	g := pl.epoch.Acquire()
+	g.Protect(pl.epoch.Now())
+	return g
+}
+
 // Enqueue appends v.
+//
+//lf:hotpath
 func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
 	q.event(obs.EvEnqStart, 0)
+	g := q.acquireGuard()
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -219,27 +338,39 @@ func (q *Queue[T]) Enqueue(v T) {
 			q.tail.CompareAndSwap(r, next)
 			continue
 		}
-		if r.enqueue(&v) {
+		if r.enqueue(v) {
+			if g != nil {
+				q.pl.epoch.Release(g)
+			}
 			q.event(obs.EvEnqEnd, 1)
 			return
 		}
 		// Ring closed: append a successor and retry there.
-		nr := newCRQ[T](0, q.size, q.rec)
-		nr.enqueue(&v)
+		nr := q.getRing()
+		nr.enqueue(v)
 		q.event(obs.EvCASAttempt, 0)
 		if r.next.CompareAndSwap(nil, nr) {
 			q.tail.CompareAndSwap(r, nr)
+			if g != nil {
+				q.pl.epoch.Release(g)
+			}
 			q.event(obs.EvEnqEnd, 1)
 			return
+		}
+		if pl := q.pl; pl != nil {
+			pl.rings.Put(nr) // lost the append race; nr was never published
 		}
 		q.event(obs.EvCASFailure, 0)
 	}
 }
 
 // Dequeue removes the oldest element.
+//
+//lf:hotpath
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	q.event(obs.EvDeqStart, 0)
+	g := q.acquireGuard()
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -248,16 +379,22 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 		r := q.head.Load()
 		if v, ok := r.dequeue(); ok {
+			if g != nil {
+				q.pl.epoch.Release(g)
+			}
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqOps)
 			}
 			q.event(obs.EvDeqEnd, 1)
-			return *v, true
+			return v, true
 		}
 		// Ring drained. If it has no successor the queue is empty;
 		// otherwise retire it and move on.
 		next := r.next.Load()
 		if next == nil {
+			if g != nil {
+				q.pl.epoch.Release(g)
+			}
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqEmpty)
 			}
@@ -266,12 +403,25 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 		// Re-check after observing next: an enqueue may have slipped in.
 		if v, ok := r.dequeue(); ok {
+			if g != nil {
+				q.pl.epoch.Release(g)
+			}
 			if rec := q.rec; rec != nil {
 				rec.Inc(obs.DeqOps)
 			}
 			q.event(obs.EvDeqEnd, 1)
-			return *v, true
+			return v, true
 		}
-		q.head.CompareAndSwap(r, next)
+		if q.head.CompareAndSwap(r, next) {
+			if pl := q.pl; pl != nil {
+				// Help the tail pointer past r before retiring it, so
+				// q.tail never points at a retired ring — the retire-time
+				// stamp below must postdate r's unreachability.
+				if q.tail.Load() == r {
+					q.tail.CompareAndSwap(r, next)
+				}
+				pl.rings.Retire(pl.epoch.NextStamp(), r)
+			}
+		}
 	}
 }

@@ -8,6 +8,16 @@ type Option func(*options)
 type options struct {
 	ringSize int
 	rec      obs.Recorder
+	pooled   bool
+}
+
+// WithNodePool enables pooled mode: rings and slot records recycle
+// through reclaim-backed freelists (per-P via sync.Pool) with
+// epoch-deferred reuse, so steady-state operations allocate nothing and
+// the queue stops leaning on the garbage collector under sustained
+// load. The trade is one guard acquire/announce per operation.
+func WithNodePool() Option {
+	return func(o *options) { o.pooled = true }
 }
 
 // WithRingSize sets the number of cells per CRQ (default RingSize). Larger

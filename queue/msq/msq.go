@@ -2,17 +2,31 @@
 // classic CAS-based design the baskets queue builds on. Its enqueue
 // blindly retries a contended CAS on the tail node's next pointer — the
 // non-scalable behavior the paper's introduction starts from.
+//
+// WithNodePool switches the queue to pooled-node mode: nodes recycle
+// through a reclaim.Pool freelist instead of churning the garbage
+// collector, with epoch guards (announce-and-verify on head/tail, node
+// stamps increasing along the list) deferring reuse until no in-flight
+// operation can still touch a retired node. The steady state then
+// allocates nothing per operation — the invariant the allocfree
+// analyzer and queuetest's AllocsPerRun gates enforce.
 package msq
 
 import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/reclaim"
 )
 
 type node[T any] struct {
-	v    T
-	next atomic.Pointer[node[T]]
+	// stamp orders nodes along the list (each node's stamp is its
+	// predecessor's plus one), so protecting a node's stamp protects
+	// everything reachable forward of it. Atomic because a stale reader
+	// may race a pooled node's re-stamping; see reclaim's protocol note.
+	stamp atomic.Uint64
+	v     T
+	next  atomic.Pointer[node[T]]
 }
 
 // Queue is a Michael-Scott queue. The zero value is not usable; call New.
@@ -28,6 +42,10 @@ type Queue[T any] struct {
 	// flight-recorder collector); events land on the collector handle's
 	// own lane (obs.LaneDefault).
 	ev obs.EventRecorder
+
+	// epoch/pool are non-nil in pooled-node mode (WithNodePool).
+	epoch *reclaim.Epoch
+	pool  *reclaim.Pool[node[T]]
 }
 
 // event records one timeline event, if a flight recorder is attached.
@@ -44,19 +62,44 @@ func New[T any](opts ...Option) *Queue[T] {
 		opt(&o)
 	}
 	q := &Queue[T]{rec: o.rec, ev: obs.Events(o.rec)}
+	if o.pooled {
+		q.epoch = reclaim.NewEpoch()
+		q.pool = reclaim.NewPool(q.epoch, func() *node[T] { return &node[T]{} }, func(n *node[T]) {
+			var zero T
+			n.v = zero // drop element references while parked in the freelist
+			n.next.Store(nil)
+		})
+	}
 	s := &node[T]{}
 	q.head.Store(s)
 	q.tail.Store(s)
 	return q
 }
 
+// getNode returns a fresh or recycled node with next already nil.
+func (q *Queue[T]) getNode() *node[T] {
+	if p := q.pool; p != nil {
+		return p.Get()
+	}
+	//lint:ignore allocfree GC mode allocates one node per enqueue by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return &node[T]{}
+}
+
 // Enqueue appends v, retrying its linking CAS until it wins.
+//
+//lf:hotpath
 func (q *Queue[T]) Enqueue(v T) {
 	if r := q.rec; r != nil {
 		r.Inc(obs.EnqOps)
 	}
 	q.event(obs.EvEnqStart, 0)
-	n := &node[T]{v: v}
+	n := q.getNode()
+	n.v = v
+	n.next.Store(nil)
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -64,20 +107,29 @@ func (q *Queue[T]) Enqueue(v T) {
 			}
 		}
 		tail := q.tail.Load()
+		if g != nil {
+			g.Protect(tail.stamp.Load())
+		}
 		next := tail.next.Load()
 		if tail != q.tail.Load() {
+			// Doubles as the announce-and-verify re-load: once it
+			// passes, tail is pinned against reuse.
 			continue
 		}
 		if next != nil {
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
+		n.stamp.Store(tail.stamp.Load() + 1)
 		if r := q.rec; r != nil {
 			r.Inc(obs.CASAttempts)
 		}
 		q.event(obs.EvCASAttempt, 0)
 		if tail.next.CompareAndSwap(nil, n) {
 			q.tail.CompareAndSwap(tail, n)
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			q.event(obs.EvEnqEnd, 1)
 			return
 		}
@@ -89,9 +141,15 @@ func (q *Queue[T]) Enqueue(v T) {
 }
 
 // Dequeue removes the oldest element.
+//
+//lf:hotpath
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	q.event(obs.EvDeqStart, 0)
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
 	for first := true; ; first = false {
 		if !first {
 			if r := q.rec; r != nil {
@@ -99,12 +157,20 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			}
 		}
 		head := q.head.Load()
+		if g != nil {
+			g.Protect(head.stamp.Load())
+		}
 		tail := q.tail.Load()
 		next := head.next.Load()
 		if head != q.head.Load() {
+			// Announce-and-verify re-load; past here head (and next,
+			// whose stamp exceeds head's) are pinned against reuse.
 			continue
 		}
 		if next == nil {
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqEmpty)
 			}
@@ -121,6 +187,14 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 		q.event(obs.EvCASAttempt, 0)
 		if q.head.CompareAndSwap(head, next) {
+			if q.pool != nil {
+				stamp := head.stamp.Load()
+				q.epoch.Release(g)
+				g = nil
+				q.pool.Retire(stamp, head)
+			} else if g != nil {
+				q.epoch.Release(g)
+			}
 			if r := q.rec; r != nil {
 				r.Inc(obs.DeqOps)
 			}

@@ -6,7 +6,8 @@ import "repro/internal/obs"
 type Option func(*options)
 
 type options struct {
-	rec obs.Recorder
+	rec    obs.Recorder
+	pooled bool
 }
 
 // WithRecorder attaches a telemetry recorder (see repro/internal/obs): the
@@ -15,4 +16,13 @@ type options struct {
 // nil check per event site.
 func WithRecorder(r obs.Recorder) Option {
 	return func(o *options) { o.rec = obs.Normalize(r) }
+}
+
+// WithNodePool enables pooled-node mode: nodes recycle through a
+// reclaim-backed freelist (per-P via sync.Pool) with epoch-deferred
+// reuse, so steady-state enqueue/dequeue allocate nothing and the queue
+// stops leaning on the garbage collector under sustained load. The
+// trade is one guard acquire/announce per operation.
+func WithNodePool() Option {
+	return func(o *options) { o.pooled = true }
 }

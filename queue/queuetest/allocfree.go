@@ -1,0 +1,94 @@
+package queuetest
+
+// This file is the dynamic half of the repository's zero-alloc hot-path
+// invariant: internal/lint's hotpath+allocfree analyzers prove statically
+// that no allocation construct sits on an //lf:hotpath-reachable path,
+// and CheckAllocFree proves at runtime that a pooled-mode queue's steady
+// state performs zero heap allocations — single operations and batches
+// alike. CI runs the gate registry-wide with GOGC=off (the alloc-gates
+// job), so a queue that quietly starts leaning on the allocator fails
+// the build, not just a benchmark.
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// allocWarmup is the number of steady-state operations driven before
+// measuring: enough to prime every layer of the pooling machinery —
+// per-P sync.Pool chains, the reclaim retired list's link records, and
+// the amortized Collect cadence (one scan per 64 retires) — so the
+// measured window exercises reuse, not first-touch growth.
+const allocWarmup = 4096
+
+// allocRuns is the number of measured rounds per AllocsPerRun gate.
+const allocRuns = 200
+
+// CheckAllocFree gates the steady state of a pooled-mode queue at zero
+// heap allocations per operation. It drives one producer and one
+// consumer view (the single-threaded steady state: every enqueue's node
+// is retired by the matching dequeue and recycled), warms the pools up,
+// then measures enqueue/dequeue pairs and EnqueueBatch/DequeueBatch
+// rounds with testing.AllocsPerRun. GC is disabled for the duration so a
+// collection pause cannot clear the sync.Pool freelists mid-measurement;
+// under the race detector the check skips itself (instrumentation
+// allocates).
+//
+// The factory must build the queue in pooled mode (registry
+// Config.Pooled, or the implementation's WithNodePool option); a GC-mode
+// queue allocates one node per enqueue by design and fails this gate.
+func CheckAllocFree(t *testing.T, f BatchFactory) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("race-detector instrumentation distorts allocation accounting")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	prod, cons := f(1)
+	p, c := prod(0), cons(0)
+
+	for i := 0; i < allocWarmup; i++ {
+		p.Enqueue(uint64(i))
+		if _, ok := c.Dequeue(); !ok {
+			t.Fatalf("warmup dequeue %d reported empty after an enqueue", i)
+		}
+	}
+	const k = 8
+	vs := make([]uint64, k)
+	dst := make([]uint64, k)
+	for i := 0; i < allocWarmup/k; i++ {
+		for j := range vs {
+			vs[j] = uint64(i*k + j)
+		}
+		p.EnqueueBatch(vs)
+		for got := 0; got < k; {
+			n := c.DequeueBatch(dst[got:])
+			if n == 0 {
+				t.Fatalf("warmup batch round %d ran dry at %d of %d", i, got, k)
+			}
+			got += n
+		}
+	}
+
+	if avg := testing.AllocsPerRun(allocRuns, func() {
+		p.Enqueue(7)
+		if _, ok := c.Dequeue(); !ok {
+			t.Fatal("steady-state dequeue reported empty after an enqueue")
+		}
+	}); avg != 0 {
+		t.Errorf("enqueue/dequeue pair allocates %.2f objects per op in steady state, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(allocRuns, func() {
+		p.EnqueueBatch(vs)
+		for got := 0; got < k; {
+			n := c.DequeueBatch(dst[got:])
+			if n == 0 {
+				t.Fatalf("steady-state batch ran dry at %d of %d", got, k)
+			}
+			got += n
+		}
+	}); avg != 0 {
+		t.Errorf("EnqueueBatch/DequeueBatch round (k=%d) allocates %.2f objects per round in steady state, want 0", k, avg)
+	}
+}

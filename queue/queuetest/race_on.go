@@ -1,0 +1,8 @@
+//go:build race
+
+package queuetest
+
+// RaceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation distorts allocation accounting; the
+// allocation gates skip themselves under it.
+const RaceEnabled = true

@@ -22,22 +22,42 @@ const DelayedCASDelay = 270 * time.Nanosecond
 
 func init() {
 	Register("MS-Queue", func(cfg Config) Instance {
-		return Batched(queue.AsBatch(msq.New[uint64](msq.WithRecorder(cfg.Recorder))))
+		opts := []msq.Option{msq.WithRecorder(cfg.Recorder)}
+		if cfg.Pooled {
+			opts = append(opts, msq.WithNodePool())
+		}
+		return Batched(queue.AsBatch(msq.New[uint64](opts...)))
 	})
 	Register("BQ-Original", func(cfg Config) Instance {
-		return Batched(queue.AsBatch(baskets.New[uint64](baskets.WithRecorder(cfg.Recorder))))
+		opts := []baskets.Option{baskets.WithRecorder(cfg.Recorder)}
+		if cfg.Pooled {
+			opts = append(opts, baskets.WithNodePool())
+		}
+		return Batched(queue.AsBatch(baskets.New[uint64](opts...)))
 	})
 	// faaq and sbq implement the batch surface natively: one FAA claims a
 	// whole enqueue batch on faaq, one linking CAS appends a private chain
 	// on sbq, so AsBatch is an identity upgrade for them.
 	Register("FAA-Queue", func(cfg Config) Instance {
-		return Batched(queue.AsBatch(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder))))
+		opts := []faaq.Option{faaq.WithRecorder(cfg.Recorder)}
+		if cfg.Pooled {
+			opts = append(opts, faaq.WithNodePool())
+		}
+		return Batched(queue.AsBatch(faaq.New[uint64](opts...)))
 	})
 	Register("LCRQ", func(cfg Config) Instance {
-		return Batched(queue.AsBatch(lcrq.New[uint64](lcrq.WithRecorder(cfg.Recorder))))
+		opts := []lcrq.Option{lcrq.WithRecorder(cfg.Recorder)}
+		if cfg.Pooled {
+			opts = append(opts, lcrq.WithNodePool())
+		}
+		return Batched(queue.AsBatch(lcrq.New[uint64](opts...)))
 	})
 	Register("CC-Queue", func(cfg Config) Instance {
-		return Batched(queue.AsBatch(ccq.New[uint64](ccq.WithRecorder(cfg.Recorder))))
+		opts := []ccq.Option{ccq.WithRecorder(cfg.Recorder)}
+		if cfg.Pooled {
+			opts = append(opts, ccq.WithNodePool())
+		}
+		return Batched(queue.AsBatch(ccq.New[uint64](opts...)))
 	})
 	Register("SBQ-CAS", sbqEntry(func(int, Config) sbq.Option {
 		return sbq.WithAppendDelay(0)
@@ -71,7 +91,7 @@ func init() {
 		Build: func(cfg Config) Instance {
 			opts := append(shardedOptions(cfg),
 				sharded.WithShardBuilder[uint64](func(_, perShard int) sharded.Shard[uint64] {
-					inst := sbqEntry()(Config{Producers: perShard, Recorder: cfg.Recorder})
+					inst := sbqEntry()(Config{Producers: perShard, Recorder: cfg.Recorder, Pooled: cfg.Pooled})
 					return sharded.Shard[uint64]{
 						Producer: inst.ProducerView,
 						Consumer: inst.ConsumerView,
@@ -95,11 +115,23 @@ func shardedOptions(cfg Config) []sharded.Option[uint64] {
 	if producers < 1 {
 		producers = 1
 	}
-	return []sharded.Option[uint64]{
+	opts := []sharded.Option[uint64]{
 		sharded.WithShards[uint64](shards),
 		sharded.WithProducers[uint64](producers),
 		sharded.WithRecorder[uint64](cfg.Recorder),
 	}
+	if cfg.Pooled {
+		// The default shard builder constructs GC-mode faaq shards; pooled
+		// builds swap in WithNodePool shards wired to the same recorder.
+		// Entries with their own WithShardBuilder (Sharded-SBQ) append it
+		// after these options, overriding this builder.
+		opts = append(opts, sharded.WithShardBuilder[uint64](func(int, int) sharded.Shard[uint64] {
+			q := queue.AsBatch(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder), faaq.WithNodePool()))
+			shared := func(int) queue.BatchQueue[uint64] { return q }
+			return sharded.Shard[uint64]{Producer: shared, Consumer: shared}
+		}))
+	}
+	return opts
 }
 
 // sbqEntry builds an SBQ instance: producer views are lazily-issued handles
@@ -114,6 +146,9 @@ func sbqEntry(extra ...func(producers int, cfg Config) sbq.Option) Builder {
 		opts := []sbq.Option{
 			sbq.WithEnqueuers(producers),
 			sbq.WithRecorder(cfg.Recorder),
+		}
+		if cfg.Pooled {
+			opts = append(opts, sbq.WithNodePool())
 		}
 		for _, e := range extra {
 			opts = append(opts, e(producers, cfg))

@@ -47,6 +47,12 @@ type Config struct {
 	// Recorder, when non-nil, is threaded into the queue's telemetry hooks
 	// (see repro/internal/obs).
 	Recorder obs.Recorder
+	// Pooled selects pooled-node mode (each implementation's WithNodePool
+	// option): nodes recycle through reclaim-backed freelists with
+	// epoch-deferred reuse instead of leaning on the garbage collector,
+	// and steady-state operations allocate nothing — the configuration
+	// queuetest's CheckAllocFree gates enforce registry-wide.
+	Pooled bool
 }
 
 // Ordering is the dequeue-order contract a registry entry guarantees.

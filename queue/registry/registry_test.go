@@ -78,6 +78,89 @@ func TestBatchConformance(t *testing.T) {
 	}
 }
 
+// TestAllocFree gates every entry's pooled-node mode at zero steady-state
+// heap allocations, single and batch operations alike — the dynamic half
+// of the zero-alloc hot-path invariant (the static half is lfcheck's
+// hotpath+allocfree analyzers). CI's alloc-gates job runs this test with
+// GOGC=off; under -race it skips itself.
+func TestAllocFree(t *testing.T) {
+	for _, name := range registry.Names() {
+		e, ok := registry.LookupEntry(name)
+		if !ok {
+			t.Fatalf("LookupEntry(%q) failed after Names listed it", name)
+		}
+		// Shards pinned to 2 so the sharded entries gate the multi-shard
+		// routing path, not a degenerate single-shard build.
+		f := queuetest.FromRegistryConfig(e.Build, registry.Config{Pooled: true, Shards: 2})
+		t.Run(name, func(t *testing.T) {
+			queuetest.CheckAllocFree(t, f)
+		})
+	}
+}
+
+// TestPooledConformance re-runs the conformance checks over every entry
+// in pooled-node mode: node recycling under epoch guards must preserve
+// exactly-once delivery and the entry's ordering contract, not just
+// allocation counts.
+func TestPooledConformance(t *testing.T) {
+	for _, name := range registry.Names() {
+		e, ok := registry.LookupEntry(name)
+		if !ok {
+			t.Fatalf("LookupEntry(%q) failed after Names listed it", name)
+		}
+		cfg := registry.Config{Pooled: true, Shards: 3}
+		f := queuetest.FromRegistryConfig(e.Build, cfg)
+		single := queuetest.FromRegistryConfig(e.Build, cfg)
+		t.Run(name, func(t *testing.T) {
+			asFactory := func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+				p, c := single(producers)
+				return func(i int) queue.Queue[uint64] { return p(i) },
+					func(i int) queue.Queue[uint64] { return c(i) }
+			}
+			queuetest.CheckSequential(t, asFactory)
+			per := 500
+			if testing.Short() {
+				per = 100
+			}
+			switch e.Ordering {
+			case registry.TotalFIFO:
+				queuetest.CheckConcurrent(t, asFactory, 4, 4, per)
+			case registry.PerProducerFIFO:
+				relaxed := func(producers int) (func(int) queue.Queue[uint64], func(int) queue.Queue[uint64]) {
+					p, c := f(producers)
+					return func(i int) queue.Queue[uint64] { return p(i) },
+						func(i int) queue.Queue[uint64] { return c(i) }
+				}
+				queuetest.CheckConcurrentRelaxed(t, relaxed, 4, 4, per)
+			default:
+				t.Fatalf("entry %q has unknown ordering %v", name, e.Ordering)
+			}
+			queuetest.CheckBatchSequential(t, f)
+			queuetest.CheckBatchConcurrent(t, f, 4, 4, 8, per)
+		})
+	}
+}
+
+// TestPooledStress runs the stress shapes over every entry in pooled-node
+// mode. Under -race (the CI test job) this is the suite that shakes out
+// missing happens-before edges in the retire/advance interplay of the
+// reclaim-backed pools.
+func TestPooledStress(t *testing.T) {
+	for _, name := range registry.Names() {
+		e, ok := registry.LookupEntry(name)
+		if !ok {
+			t.Fatalf("LookupEntry(%q) failed after Names listed it", name)
+		}
+		f := queuetest.FromRegistry(func(cfg registry.Config) registry.Instance {
+			cfg.Pooled = true
+			return e.Build(cfg)
+		})
+		t.Run(name, func(t *testing.T) {
+			queuetest.StressShapes(t, f)
+		})
+	}
+}
+
 // TestStress runs the queuetest stress variant — exactly-once delivery
 // under churn, no history recording — over every registry entry at
 // GOMAXPROCS 1, 2, and NumCPU. Its value multiplies under -race (the CI

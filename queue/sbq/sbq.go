@@ -15,7 +15,10 @@
 // Threads interact with the queue through handles: each producer goroutine
 // needs its own Handle (carrying its basket cell index and its reusable
 // node); consumers may share one or use handles too. Memory reclamation is
-// delegated to Go's garbage collector; the paper's epoch scheme is
+// delegated to Go's garbage collector by default; WithNodePool switches to
+// pooled-node mode, where nodes (and their baskets, re-armed via
+// basket.Resettable) recycle through a reclaim.Pool under epoch guards —
+// the native analogue of the paper's epoch scheme, which is otherwise
 // reproduced on the simulator where memory is manual.
 //
 // Queues are built with functional options:
@@ -34,13 +37,22 @@ import (
 	"repro/basket"
 	"repro/internal/machine/policy"
 	"repro/internal/obs"
+	"repro/reclaim"
 )
 
 // node is a queue node: a basket plus a link and a position index.
 type node[T any] struct {
 	basket basket.Basket[T]
 	next   atomic.Pointer[node[T]]
-	index  uint64
+	// index is the node's position in the list (predecessor's plus one);
+	// it doubles as the pooled-mode reclamation stamp. Atomic because a
+	// stale reader may race a pooled node's re-stamping (see reclaim's
+	// protocol note).
+	index atomic.Uint64
+	// retired arbitrates the head- and tail-side passes that may
+	// concurrently discover the node is behind both pointers; only the
+	// CAS winner retires it.
+	retired atomic.Bool
 }
 
 // appendFn attempts CAS(next, nil, n) and reports success. PlainCAS and
@@ -66,6 +78,15 @@ type Queue[T any] struct {
 	ev obs.EventRecorder
 
 	producers atomic.Int64 // handles issued
+
+	// epoch/pool are non-nil in pooled-node mode (WithNodePool). A node
+	// is retired by whichever of the head and tail pointers passes it
+	// last (both passes consult the other pointer's position; the
+	// retired flag arbitrates the race where they tie), so neither
+	// pointer ever dangles at a retired node and the announce-and-verify
+	// protocol on head/tail snapshots is sound.
+	epoch *reclaim.Epoch
+	pool  *reclaim.Pool[node[T]]
 }
 
 // New returns a queue configured by opts. With no options it sizes itself
@@ -104,6 +125,7 @@ func New[T any](opts ...Option) *Queue[T] {
 			x ^= x >> 27
 			return x % n
 		}
+		//lf:hotpath invoked by every tryAppend
 		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
 			d := pol.Decide(policy.Abort{}, randN)
 			if d.Delay > 0 {
@@ -116,14 +138,27 @@ func New[T any](opts ...Option) *Queue[T] {
 		// iteration count (see spin.go for why the loop never reads the
 		// clock).
 		iters := spinItersFor(o.appendDelay)
+		//lf:hotpath invoked by every tryAppend
 		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
 			spinIters(iters)
 			return next.CompareAndSwap(nil, n)
 		}
 	} else {
+		//lf:hotpath invoked by every tryAppend
 		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
 			return next.CompareAndSwap(nil, n)
 		}
+	}
+	if o.pooled {
+		if _, ok := q.newBasket().(basket.Resettable); !ok {
+			panic("sbq: WithNodePool requires a basket implementing basket.Resettable")
+		}
+		q.epoch = reclaim.NewEpoch()
+		q.pool = reclaim.NewPool(q.epoch, func() *node[T] { return &node[T]{basket: q.newBasket()} }, func(n *node[T]) {
+			n.next.Store(nil)
+			n.retired.Store(false)
+			n.basket.(basket.Resettable).Reset()
+		})
 	}
 	sentinel := &node[T]{basket: q.newBasket()}
 	// The sentinel's basket must read as exhausted.
@@ -135,6 +170,73 @@ func New[T any](opts ...Option) *Queue[T] {
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
 	return q
+}
+
+// getNode returns a fresh or recycled node with an open, empty basket.
+func (q *Queue[T]) getNode() *node[T] {
+	if p := q.pool; p != nil {
+		return p.Get()
+	}
+	//lint:ignore allocfree GC mode allocates one node (and basket) per appended node by design; WithNodePool is the zero-alloc configuration the gates enforce
+	return &node[T]{basket: q.newBasket()}
+}
+
+// protect pins src's current node against pooled reuse (announce-and-
+// verify; sound because neither list pointer ever dangles at a retired
+// node) and returns it. With a nil guard it is a plain load.
+func (q *Queue[T]) protect(src *atomic.Pointer[node[T]], g *reclaim.Guard) *node[T] {
+	n := src.Load()
+	if g == nil {
+		return n
+	}
+	for {
+		g.Protect(n.index.Load())
+		again := src.Load()
+		if again == n {
+			return n
+		}
+		n = again
+	}
+}
+
+// passedIndex reads ptr's current position with the verify re-load, so
+// the result is a sound lower bound even if the loaded node is freed and
+// re-stamped between the two loads (an ABA re-install can only make the
+// read conservative, never inflated).
+func (q *Queue[T]) passedIndex(ptr *atomic.Pointer[node[T]]) uint64 {
+	for {
+		n := ptr.Load()
+		idx := n.index.Load()
+		if ptr.Load() == n {
+			return idx
+		}
+	}
+}
+
+// maybeRetire retires n — which the caller's pointer CAS just passed —
+// if the other pointer has passed it too (its position exceeds n's).
+func (q *Queue[T]) maybeRetire(n *node[T], otherIdx uint64) {
+	if idx := n.index.Load(); idx < otherIdx && n.retired.CompareAndSwap(false, true) {
+		q.pool.Retire(idx, n)
+	}
+}
+
+// retireRange runs maybeRetire over [from, to) after the caller's CAS
+// moved ptr from from to to; the caller's guard still pins the range.
+func (q *Queue[T]) retireRange(ptr *atomic.Pointer[node[T]], from, to *node[T]) {
+	if q.pool == nil {
+		return
+	}
+	other := &q.head
+	if ptr == &q.head {
+		other = &q.tail
+	}
+	limit := q.passedIndex(other)
+	for s := from; s != to; {
+		next := s.next.Load()
+		q.maybeRetire(s, limit)
+		s = next
+	}
 }
 
 // NewDelayedCAS returns a queue whose try_append delays before its CAS,
@@ -212,19 +314,22 @@ func (q *Queue[T]) tryAppend(tail, n *node[T], lane int32) appendStatus {
 	return appendFailure
 }
 
-// advanceNode is Algorithm 6: advance *ptr to at least n. Retried CASes
-// are charged to r so the §3 accounting covers pointer catch-up, not just
-// appends.
-func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T], r obs.Recorder) {
+// advance is Algorithm 6: advance *ptr to at least n. Retried CASes are
+// charged to the recorder so the §3 accounting covers pointer catch-up,
+// not just appends. In pooled mode the winning CAS owns retirement of
+// the nodes it jumped over (those the other pointer has also passed).
+func (q *Queue[T]) advance(ptr *atomic.Pointer[node[T]], n *node[T]) {
+	r := q.rec
 	for {
 		old := ptr.Load()
-		if old.index >= n.index {
+		if old.index.Load() >= n.index.Load() {
 			return
 		}
 		if r != nil {
 			r.Inc(obs.CASAttempts)
 		}
 		if ptr.CompareAndSwap(old, n) {
+			q.retireRange(ptr, old, n)
 			return
 		}
 		if r != nil {
@@ -236,6 +341,8 @@ func advanceNode[T any](ptr *atomic.Pointer[node[T]], n *node[T], r obs.Recorder
 // Enqueue is Algorithm 3: append a fresh node carrying the element in this
 // handle's basket cell, or — profiting from the failed CAS — drop the
 // element into the basket of the node that won.
+//
+//lf:hotpath
 func (h *Handle[T]) Enqueue(v T) {
 	q := h.q
 	if r := q.rec; r != nil {
@@ -243,10 +350,14 @@ func (h *Handle[T]) Enqueue(v T) {
 	}
 	lane := int32(h.id)
 	q.event(obs.EvEnqStart, lane, 0)
-	t := q.tail.Load()
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
+	t := q.protect(&q.tail, g)
 	n := h.reserved
 	if n == nil {
-		n = &node[T]{basket: q.newBasket()}
+		n = q.getNode()
 	} else {
 		n.basket.ResetOwn(h.id) // undo the previous insertion (§5.2.2)
 	}
@@ -257,17 +368,26 @@ func (h *Handle[T]) Enqueue(v T) {
 				r.Inc(obs.EnqRetries)
 			}
 		}
-		n.index = t.index + 1
+		n.index.Store(t.index.Load() + 1)
 		switch q.tryAppend(t, n, lane) {
 		case appendSuccess:
-			q.tail.CompareAndSwap(t, n)
+			if q.tail.CompareAndSwap(t, n) && q.pool != nil {
+				// We passed t; retire it if the head has too.
+				q.maybeRetire(t, q.passedIndex(&q.head))
+			}
 			h.reserved = nil
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			q.event(obs.EvEnqEnd, lane, 1)
 			return
 		case appendFailure:
 			t = t.next.Load()
 			if t.basket.Insert(h.id, v) {
 				h.reserved = n // keep the unappended node for reuse
+				if g != nil {
+					q.epoch.Release(g)
+				}
 				q.event(obs.EvEnqEnd, lane, 1)
 				return
 			}
@@ -281,7 +401,7 @@ func (h *Handle[T]) Enqueue(v T) {
 			}
 			t = nx
 		}
-		advanceNode(&q.tail, t, q.rec)
+		q.advance(&q.tail, t)
 	}
 }
 
@@ -299,6 +419,8 @@ func (h *Handle[T]) Enqueue(v T) {
 // Unlike a failed single Enqueue, a failed chain CAS does not drop into
 // the winner's basket (a basket holds at most one element per inserter
 // id); it re-finds the tail and retries the whole chain.
+//
+//lf:hotpath
 func (h *Handle[T]) EnqueueBatch(vs []T) {
 	k := len(vs)
 	if k == 0 {
@@ -315,34 +437,48 @@ func (h *Handle[T]) EnqueueBatch(vs []T) {
 	}
 	lane := int32(h.id)
 	q.event(obs.EvEnqStart, lane, uint64(k))
-	nodes := make([]*node[T], k)
-	for i, v := range vs {
+	// Build the private chain directly through the nodes' next links —
+	// no scratch slice, so the batch path stays allocation-free in
+	// pooled mode.
+	var first, last *node[T]
+	for _, v := range vs {
 		n := h.reserved
 		if n != nil {
 			h.reserved = nil
 			n.basket.ResetOwn(h.id) // undo the previous insertion (§5.2.2)
 			n.next.Store(nil)
 		} else {
-			n = &node[T]{basket: q.newBasket()}
+			n = q.getNode()
 		}
 		n.basket.Insert(h.id, v)
-		nodes[i] = n
+		if first == nil {
+			first = n
+		} else {
+			last.next.Store(n)
+		}
+		last = n
 	}
-	for i := 0; i < k-1; i++ {
-		nodes[i].next.Store(nodes[i+1])
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
 	}
-	t := q.tail.Load()
+	t := q.protect(&q.tail, g)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if r := q.rec; r != nil {
 				r.Inc(obs.EnqRetries)
 			}
 		}
-		for i, n := range nodes {
-			n.index = t.index + 1 + uint64(i)
+		idx := t.index.Load()
+		for n := first; n != nil; n = n.next.Load() {
+			idx++
+			n.index.Store(idx)
 		}
-		if q.tryAppend(t, nodes[0], lane) == appendSuccess {
-			advanceNode(&q.tail, nodes[k-1], q.rec)
+		if q.tryAppend(t, first, lane) == appendSuccess {
+			q.advance(&q.tail, last)
+			if g != nil {
+				q.epoch.Release(g)
+			}
 			q.event(obs.EvEnqEnd, lane, uint64(k))
 			return
 		}
@@ -355,23 +491,33 @@ func (h *Handle[T]) EnqueueBatch(vs []T) {
 			}
 			t = nx
 		}
-		advanceNode(&q.tail, t, q.rec)
+		q.advance(&q.tail, t)
 	}
 }
 
 // Dequeue is Algorithm 5: find the first node with a non-exhausted basket
 // and extract from it.
+//
+//lf:hotpath
 func (h *Handle[T]) Dequeue() (T, bool) { return h.q.Dequeue() }
 
 // DequeueBatch fills a prefix of dst; see Queue.DequeueBatch.
+//
+//lf:hotpath
 func (h *Handle[T]) DequeueBatch(dst []T) int { return h.q.DequeueBatch(dst) }
 
 // Dequeue removes and returns the oldest element. Unlike Enqueue it needs
 // no per-thread state and may be called on the queue directly.
+//
+//lf:hotpath
 func (q *Queue[T]) Dequeue() (T, bool) {
 	var zero T
 	q.event(obs.EvDeqStart, obs.LaneDefault, 0)
-	h := q.head.Load()
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
+	h := q.protect(&q.head, g)
 	var v T
 	var ok bool
 	rounds := 0
@@ -389,7 +535,10 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			break
 		}
 	}
-	advanceNode(&q.head, h, q.rec)
+	q.advance(&q.head, h)
+	if g != nil {
+		q.epoch.Release(g)
+	}
 	if r := q.rec; r != nil {
 		if ok {
 			r.Inc(obs.DeqOps)
@@ -413,6 +562,8 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 // work: the node walk resumes in place between extractions and the head
 // pointer is caught up ONCE per batch (one advanceNode CAS loop instead
 // of one per element). Returns 0 when the queue appeared empty.
+//
+//lf:hotpath
 func (q *Queue[T]) DequeueBatch(dst []T) int {
 	if len(dst) == 0 {
 		return 0
@@ -421,7 +572,11 @@ func (q *Queue[T]) DequeueBatch(dst []T) int {
 	if r := q.rec; r != nil {
 		r.Inc(obs.DeqBatches)
 	}
-	h := q.head.Load()
+	var g *reclaim.Guard
+	if q.epoch != nil {
+		g = q.epoch.Acquire()
+	}
+	h := q.protect(&q.head, g)
 	got := 0
 	rounds := 0
 	for got < len(dst) {
@@ -441,7 +596,10 @@ func (q *Queue[T]) DequeueBatch(dst []T) int {
 		}
 	}
 drained:
-	advanceNode(&q.head, h, q.rec)
+	q.advance(&q.head, h)
+	if g != nil {
+		q.epoch.Release(g)
+	}
 	if r := q.rec; r != nil {
 		if got > 0 {
 			r.Add(obs.DeqOps, uint64(got))

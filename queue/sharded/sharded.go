@@ -108,16 +108,22 @@ type view[T any] struct {
 }
 
 // Enqueue appends v to the home shard.
+//
+//lf:hotpath
 func (v *view[T]) Enqueue(x T) { v.enq.Enqueue(x) }
 
 // EnqueueBatch appends vs to the home shard as one sub-queue batch: the
 // whole batch stays on one shard, so intra-batch FIFO order is exactly
 // the shard's FIFO order.
+//
+//lf:hotpath
 func (v *view[T]) EnqueueBatch(vs []T) { v.enq.EnqueueBatch(vs) }
 
 // Dequeue drains the home shard, stealing from the other shards
 // round-robin when it is dry. ok=false means every shard appeared empty
 // during the scan.
+//
+//lf:hotpath
 func (v *view[T]) Dequeue() (T, bool) {
 	if x, ok := v.cons[v.home].Dequeue(); ok {
 		return x, true
@@ -139,6 +145,8 @@ func (v *view[T]) Dequeue() (T, bool) {
 // scan shard by shard until dst is full or every shard has been tried.
 // Elements stolen from one shard land in dst contiguously, so each
 // producer's elements stay in order within the batch.
+//
+//lf:hotpath
 func (v *view[T]) DequeueBatch(dst []T) int {
 	if len(dst) == 0 {
 		return 0

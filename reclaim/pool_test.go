@@ -1,0 +1,87 @@
+package reclaim
+
+import "testing"
+
+type item struct {
+	stamp uint64
+	v     int
+}
+
+func TestPoolRecyclesWhenUnprotected(t *testing.T) {
+	e := NewEpoch()
+	p := NewPool(e, func() *item { return &item{} }, func(it *item) { it.v = -1 })
+
+	a := p.Get()
+	a.stamp, a.v = e.NextStamp(), 1
+	p.Retire(a.stamp, a)
+	if freed := p.Collect(); freed != 1 {
+		t.Fatalf("Collect freed %d, want 1 (nothing protected)", freed)
+	}
+	if got := p.Get(); got != a {
+		t.Fatalf("Get returned a fresh item, want the recycled one")
+	} else if got.v != -1 {
+		t.Fatalf("recycled item not reset: v=%d, want -1", got.v)
+	}
+	if p.Freed.Load() != 1 {
+		t.Fatalf("Freed=%d, want 1", p.Freed.Load())
+	}
+}
+
+func TestPoolDefersWhileProtected(t *testing.T) {
+	e := NewEpoch()
+	p := NewPool(e, func() *item { return &item{} }, nil)
+
+	it := p.Get()
+	it.stamp = e.NextStamp()
+	g := e.Acquire()
+	g.Protect(it.stamp) // an in-flight reader announced this stamp
+	p.Retire(it.stamp, it)
+	if freed := p.Collect(); freed != 0 {
+		t.Fatalf("Collect freed %d under an active announcement, want 0", freed)
+	}
+	// A later announcement does not resurrect protection for older stamps.
+	e.Release(g)
+	g2 := e.Acquire()
+	g2.Protect(e.NextStamp())
+	if freed := p.Collect(); freed != 1 {
+		t.Fatalf("Collect freed %d after release, want 1", freed)
+	}
+	e.Release(g2)
+}
+
+func TestEpochGuardReuseAndMinStamp(t *testing.T) {
+	e := NewEpoch()
+	if min := e.MinStamp(); min != NoStamp {
+		t.Fatalf("MinStamp with no guards = %d, want NoStamp", min)
+	}
+	g := e.Acquire()
+	g.Protect(7)
+	h := e.Acquire()
+	h.Protect(3)
+	if min := e.MinStamp(); min != 3 {
+		t.Fatalf("MinStamp = %d, want 3", min)
+	}
+	e.Release(h)
+	if min := e.MinStamp(); min != 7 {
+		t.Fatalf("MinStamp after release = %d, want 7", min)
+	}
+	e.Release(g)
+	// Released guards recycle through the freelist.
+	if again := e.Acquire(); again != g && again != h {
+		t.Fatalf("Acquire after release returned a fresh guard, want a recycled one")
+	}
+}
+
+func TestPoolAmortizedCollect(t *testing.T) {
+	e := NewEpoch()
+	p := NewPool(e, func() *item { return &item{} }, nil)
+	// collectEvery retires trigger a collection without an explicit call.
+	for i := 0; i < collectEvery; i++ {
+		it := p.Get()
+		it.stamp = e.NextStamp()
+		p.Retire(it.stamp, it)
+	}
+	if p.Freed.Load() == 0 {
+		t.Fatalf("no automatic collection after %d retires", collectEvery)
+	}
+}
