@@ -1,0 +1,156 @@
+// Command sbqd is the job-queue daemon: repro/service behind an HTTP
+// front-end, with a chaos mode for CI and soak testing.
+//
+// Serve mode (default) runs until SIGINT/SIGTERM, then drains gracefully:
+//
+//	sbqd -addr :8080 -queue Sharded-FAA -lease-ttl 30s -snapshot /var/lib/sbqd/checkpoint.json
+//
+// Chaos mode runs the in-process fault-injection harness instead of
+// serving, prints the report, and exits nonzero on any invariant
+// violation:
+//
+//	sbqd -chaos -profile short -trace-out trace.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/queue/registry"
+	"repro/service"
+	"repro/service/chaos"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sbqd", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "HTTP listen address (serve mode)")
+		queueName   = fs.String("queue", service.DefaultQueue, "registry queue entry backing each tenant")
+		shards      = fs.Int("shards", 0, "shard count (0 = the entry's default)")
+		lanes       = fs.Int("lanes", 0, "producer lanes per tenant (0 = default)")
+		retryBudget = fs.Int("retry-budget", 0, "delivery attempts before dead-lettering (0 = default)")
+		maxInFlight = fs.Int64("max-inflight", 0, "per-tenant depth quota (0 = default, negative = unlimited)")
+		snapshot    = fs.String("snapshot", "", "checkpoint path for graceful shutdown + restore")
+		seed        = fs.Uint64("seed", 0, "backoff jitter seed (0 = default)")
+
+		chaosMode = fs.Bool("chaos", false, "run the chaos harness instead of serving")
+		profile   = fs.String("profile", "short", "chaos profile: short or standard")
+		traceOut  = fs.String("trace-out", "", "chaos: write a Chrome trace here")
+		swapTo    = fs.String("swap-to", "", "chaos: override the mid-run swap target entry (\"none\" disables)")
+	)
+	timings := cliflag.ServiceTimings(fs, cliflag.Timings{
+		LeaseTTL:     30 * time.Second,
+		DrainTimeout: 10 * time.Second,
+	})
+	fs.Parse(os.Args[1:])
+
+	if _, ok := registry.LookupEntry(*queueName); !ok {
+		fmt.Fprintf(os.Stderr, "sbqd: unknown queue %q (have %v)\n", *queueName, registry.Names())
+		os.Exit(2)
+	}
+
+	if *chaosMode {
+		os.Exit(runChaos(*profile, *queueName, *swapTo, *traceOut, *seed, timings))
+	}
+	os.Exit(serve(*addr, service.Config{
+		Queue:        *queueName,
+		Shards:       *shards,
+		Lanes:        *lanes,
+		LeaseTTL:     timings.LeaseTTL,
+		ScanInterval: timings.ScanInterval,
+		RetryBudget:  *retryBudget,
+		MaxInFlight:  *maxInFlight,
+		SnapshotPath: *snapshot,
+		Seed:         *seed,
+	}, timings.DrainTimeout))
+}
+
+func serve(addr string, cfg service.Config, drainTimeout time.Duration) int {
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbqd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sbqd: serving on %s (queue=%s lease-ttl=%s)\n",
+		addr, cfg.Queue, cfg.LeaseTTL)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "sbqd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "sbqd: draining...")
+
+	// Drain the service first (workers keep settling over HTTP while it
+	// drains), then close the listener.
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sbqd: drain: %v (unsettled work checkpointed)\n", err)
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	_ = srv.Shutdown(hctx)
+	fmt.Fprintln(os.Stderr, "sbqd: stopped")
+	return 0
+}
+
+func runChaos(profileName, queueName, swapTo, traceOut string, seed uint64, t *cliflag.Timings) int {
+	var p chaos.Profile
+	switch profileName {
+	case "short":
+		p = chaos.ShortProfile()
+	case "standard":
+		p = chaos.StandardProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "sbqd: unknown chaos profile %q (have short, standard)\n", profileName)
+		return 2
+	}
+	p.Queue = queueName
+	p.TraceOut = traceOut
+	if seed != 0 {
+		p.Seed = seed
+	}
+	switch swapTo {
+	case "":
+	case "none":
+		p.SwapTo = ""
+	default:
+		p.SwapTo = swapTo
+	}
+	// Flag defaults are serve-shaped (30s TTL, 10s drain); values moved
+	// off the default override the profile's own timings.
+	if t.LeaseTTL != 30*time.Second {
+		p.LeaseTTL = t.LeaseTTL
+	}
+	if t.DrainTimeout != 10*time.Second {
+		p.DrainTimeout = t.DrainTimeout
+	}
+
+	rep, err := chaos.Run(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbqd: chaos: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep)
+	if !rep.Ok() {
+		return 1
+	}
+	return 0
+}

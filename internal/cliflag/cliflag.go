@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/machine"
 )
@@ -237,4 +238,72 @@ func Faults(fs *flag.FlagSet) *FaultPlan {
 	f := &FaultPlan{}
 	fs.Var(f, "faults", FaultUsage)
 	return f
+}
+
+// DurationList is a flag.Value accepting a comma-separated list of
+// positive Go durations ("50ms,200ms,1s") — sweep axes like the chaos
+// harness's lease-TTL sweep. An unset flag leaves Durations nil; commands
+// interpret that as their own default.
+type DurationList struct {
+	Durations []time.Duration
+}
+
+// String implements flag.Value.
+func (l *DurationList) String() string {
+	if l == nil || len(l.Durations) == 0 {
+		return ""
+	}
+	parts := make([]string, len(l.Durations))
+	for i, d := range l.Durations {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value. Like ThreadList, a repeated flag replaces the
+// list rather than appending.
+func (l *DurationList) Set(s string) error {
+	var ds []time.Duration
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		d, err := time.ParseDuration(f)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad duration %q (want a positive Go duration like 50ms)", f)
+		}
+		ds = append(ds, d)
+	}
+	l.Durations = ds
+	return nil
+}
+
+// Durations registers a DurationList flag with the given name on fs and
+// returns it.
+func Durations(fs *flag.FlagSet, name, usage string) *DurationList {
+	l := &DurationList{}
+	fs.Var(l, name, usage)
+	return l
+}
+
+// Timings is the trio of service timing knobs shared by cmd/sbqd and the
+// chaos harness: how long a lease lives, how often the deadline scanner
+// runs, and how long a graceful shutdown may drain.
+type Timings struct {
+	LeaseTTL     time.Duration
+	ScanInterval time.Duration // 0 lets the service derive it from the TTL
+	DrainTimeout time.Duration
+}
+
+// ServiceTimings registers the shared -lease-ttl, -scan-interval, and
+// -drain-timeout duration flags on fs with the given defaults and returns
+// the bound struct. Both sbqd's serve mode and its chaos mode parse these
+// through here, so the two surfaces cannot drift.
+func ServiceTimings(fs *flag.FlagSet, def Timings) *Timings {
+	t := &Timings{}
+	fs.DurationVar(&t.LeaseTTL, "lease-ttl", def.LeaseTTL,
+		"lease time-to-live; unacked jobs are redelivered after this long")
+	fs.DurationVar(&t.ScanInterval, "scan-interval", def.ScanInterval,
+		"deadline-scanner period (0 derives it from the lease TTL)")
+	fs.DurationVar(&t.DrainTimeout, "drain-timeout", def.DrainTimeout,
+		"graceful-shutdown drain budget before in-flight leases are force-expired")
+	return t
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/machine"
 )
@@ -130,5 +131,98 @@ func TestRegistration(t *testing.T) {
 	}
 	if err := fs.Parse([]string{"-threads", "4,no"}); err == nil {
 		t.Fatal("bad -threads accepted")
+	}
+}
+
+func TestDurationListSet(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []time.Duration
+		wantErr bool
+	}{
+		{"50ms", []time.Duration{50 * time.Millisecond}, false},
+		{"50ms,1s, 2m ", []time.Duration{50 * time.Millisecond, time.Second, 2 * time.Minute}, false},
+		{"", nil, true},
+		{"abc", nil, true},
+		{"0s", nil, true},     // zero is not a sweep point
+		{"-1s", nil, true},    // negative durations rejected
+		{"1s,,2s", nil, true}, // empty field rejected
+		{"10", nil, true},     // bare numbers are not durations
+	}
+	for _, tc := range cases {
+		var l DurationList
+		err := l.Set(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Set(%q) = nil error, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Set(%q) = %v", tc.in, err)
+			continue
+		}
+		if len(l.Durations) != len(tc.want) {
+			t.Errorf("Set(%q) = %v, want %v", tc.in, l.Durations, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if l.Durations[i] != tc.want[i] {
+				t.Errorf("Set(%q)[%d] = %v, want %v", tc.in, i, l.Durations[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestDurationListReplacesOnRepeat(t *testing.T) {
+	var l DurationList
+	if err := l.Set("1s,2s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("3s"); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Durations) != 1 || l.Durations[0] != 3*time.Second {
+		t.Fatalf("repeated Set did not replace: %v", l.Durations)
+	}
+}
+
+func TestDurationListString(t *testing.T) {
+	var l DurationList
+	if s := l.String(); s != "" {
+		t.Fatalf("empty list String() = %q, want \"\"", s)
+	}
+	if err := l.Set("50ms,1s"); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.String(); s != "50ms,1s" {
+		t.Fatalf("String() = %q, want \"50ms,1s\"", s)
+	}
+}
+
+func TestServiceTimings(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	tm := ServiceTimings(fs, Timings{
+		LeaseTTL: 30 * time.Second, DrainTimeout: 10 * time.Second,
+	})
+	if err := fs.Parse([]string{"-lease-ttl", "250ms", "-scan-interval", "50ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.LeaseTTL != 250*time.Millisecond {
+		t.Fatalf("LeaseTTL = %v", tm.LeaseTTL)
+	}
+	if tm.ScanInterval != 50*time.Millisecond {
+		t.Fatalf("ScanInterval = %v", tm.ScanInterval)
+	}
+	if tm.DrainTimeout != 10*time.Second {
+		t.Fatalf("DrainTimeout = %v (default must survive)", tm.DrainTimeout)
+	}
+	// Malformed durations fail at parse time with the flag name in the
+	// message, like every other cliflag value.
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	ServiceTimings(fs2, Timings{})
+	if err := fs2.Parse([]string{"-lease-ttl", "nonsense"}); err == nil {
+		t.Fatal("parse of -lease-ttl nonsense succeeded")
 	}
 }

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// TestRunOptionComposition is the smoke test for Run's option composition
+// across tracks: one Options value carrying a fault plan is handed to both
+// a simulated workload and the native ShardedThroughput workload.
+//
+//   - On the simulated track Options.Faults must reach every machine the
+//     workload builds: the seeded plan below injects spurious aborts, so
+//     the machine-level fault counters must come back nonzero.
+//   - ShardedThroughput runs real goroutines against the native registry
+//     queues — there is no simulated machine to inject faults into, so the
+//     plan must compose harmlessly: same Options value, well-formed
+//     throughput output, nothing to panic on.
+func TestRunOptionComposition(t *testing.T) {
+	o := Options{
+		OpsPerThread: 60,
+		Reps:         1,
+		ThreadCounts: []int{2},
+		Faults: machine.FaultPlan{
+			SpuriousAbortProb: 0.5,
+			Seed:              7,
+		},
+	}
+
+	// Simulated side: the fault plan must be live.
+	tel := Run(Telemetry{Variants: []Variant{SBQHTM}}, o)
+	if len(tel.Telemetry) != 1 {
+		t.Fatalf("Telemetry returned %d snapshots, want 1", len(tel.Telemetry))
+	}
+	injected := tel.Telemetry[0].Machine.Counter(obs.FaultsInjected)
+	if injected == 0 {
+		t.Fatalf("Options.Faults did not reach the simulated machine: faults_injected = 0\nmachine snapshot:\n%s",
+			tel.Telemetry[0].Machine.String())
+	}
+
+	// Native side: the same Options must produce a well-formed grid —
+	// every (impl, batch, threads) cell present, positive latency and
+	// throughput, series named after the impl.
+	w := ShardedThroughput{
+		Impls:      []string{"FAA-Queue", "Sharded-FAA"},
+		BatchSizes: []int{0, 8},
+		Shards:     2,
+	}
+	out := Run(w, o)
+	wantCells := len(w.Impls) * len(w.BatchSizes) * len(o.ThreadCounts)
+	if len(out.Results) != wantCells {
+		t.Fatalf("ShardedThroughput returned %d results, want %d", len(out.Results), wantCells)
+	}
+	seen := map[string]bool{}
+	for _, r := range out.Results {
+		if r.NSPerOp <= 0 || r.Mops <= 0 {
+			t.Errorf("cell %s/%d threads: NSPerOp=%v Mops=%v, want positive",
+				r.Series, r.Threads, r.NSPerOp, r.Mops)
+		}
+		if r.Threads != 2 {
+			t.Errorf("cell %s: threads = %d, want 2", r.Series, r.Threads)
+		}
+		seen[r.Series] = true
+	}
+	for _, want := range []string{"FAA-Queue", "FAA-Queue/k=8", "Sharded-FAA", "Sharded-FAA/k=8"} {
+		if !seen[want] {
+			t.Errorf("missing series %q in output (have %v)", want, seen)
+		}
+	}
+}

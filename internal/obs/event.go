@@ -52,6 +52,17 @@ const (
 	// is the fault kind (machine.FaultSpurious, machine.FaultDisabled).
 	EvFaultInject
 
+	// Job-queue service lifecycle events (repro/service). Arg is the job
+	// id throughout, so a trace viewer can follow one job from submit
+	// through redeliveries to its ack or dead-lettering. They render as
+	// instants in the Chrome export.
+	EvSrvSubmit
+	EvSrvLease
+	EvSrvAck
+	EvSrvNack
+	EvSrvExpire
+	EvSrvDLQ
+
 	// NumEventKinds bounds the enum; it is not an event kind.
 	NumEventKinds
 )
@@ -72,6 +83,12 @@ var eventNames = [NumEventKinds]string{
 	EvCohGetS:     "coh_gets",
 	EvCohGetM:     "coh_getm",
 	EvFaultInject: "fault_inject",
+	EvSrvSubmit:   "srv_submit",
+	EvSrvLease:    "srv_lease",
+	EvSrvAck:      "srv_ack",
+	EvSrvNack:     "srv_nack",
+	EvSrvExpire:   "srv_expire",
+	EvSrvDLQ:      "srv_dlq",
 }
 
 // String returns the event kind's snake_case name.

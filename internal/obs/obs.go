@@ -99,6 +99,31 @@ const (
 	DeqBatches
 	DeqSteals
 
+	// DeqStealMisses counts full steal sweeps that found every shard
+	// empty — the consumer-backoff trigger in repro/queue/sharded: after
+	// enough consecutive misses a consumer spins (calibrated, no clock
+	// reads) before its next round-robin sweep instead of thrashing the
+	// shard heads.
+	DeqStealMisses
+
+	// Job-queue service counters (repro/service). SrvSubmits counts
+	// accepted submissions; SrvLeases counts jobs handed to workers
+	// (deliveries — SrvLeases/SrvSubmits > 1 means redelivery happened);
+	// SrvRedeliveries counts deliveries beyond a job's first; SrvAcks and
+	// SrvNacks count worker completions and explicit rejections;
+	// SrvExpired counts leases the deadline scanner reclaimed; SrvDLQ
+	// counts jobs routed to a dead-letter queue after exhausting their
+	// retry budget; SrvRejects counts submissions refused by the
+	// backpressure quota or the drain fence.
+	SrvSubmits
+	SrvLeases
+	SrvRedeliveries
+	SrvAcks
+	SrvNacks
+	SrvExpired
+	SrvDLQ
+	SrvRejects
+
 	// NumCounters bounds the Counter enum; it is not a counter.
 	NumCounters
 )
@@ -140,6 +165,15 @@ var counterNames = [NumCounters]string{
 	EnqBatches:         "enq_batches",
 	DeqBatches:         "deq_batches",
 	DeqSteals:          "deq_steals",
+	DeqStealMisses:     "deq_steal_misses",
+	SrvSubmits:         "srv_submits",
+	SrvLeases:          "srv_leases",
+	SrvRedeliveries:    "srv_redeliveries",
+	SrvAcks:            "srv_acks",
+	SrvNacks:           "srv_nacks",
+	SrvExpired:         "srv_expired",
+	SrvDLQ:             "srv_dlq",
+	SrvRejects:         "srv_rejects",
 }
 
 // String returns the counter's snake_case name.
@@ -159,13 +193,22 @@ const (
 	EnqLatency Series = iota
 	DeqLatency
 
+	// Service delivery latencies (repro/service): LeaseLatency is
+	// submit-to-first-delivery, AckLatency is submit-to-successful-ack.
+	// These are the tail-latency series the chaos harness reports p99/p999
+	// from.
+	LeaseLatency
+	AckLatency
+
 	// NumSeries bounds the Series enum; it is not a series.
 	NumSeries
 )
 
 var seriesNames = [NumSeries]string{
-	EnqLatency: "enq_ns",
-	DeqLatency: "deq_ns",
+	EnqLatency:   "enq_ns",
+	DeqLatency:   "deq_ns",
+	LeaseLatency: "lease_ns",
+	AckLatency:   "ack_ns",
 }
 
 // String returns the series' snake_case name.

@@ -66,11 +66,29 @@ func (s Snapshot) FormatQueue() string {
 			s.Counters[BasketInserts], s.Counters[BasketInsertFails],
 			s.Counters[BasketExtracts], s.Counters[BasketExtractFails])
 	}
-	if s.Counters[EnqBatches]+s.Counters[DeqBatches]+s.Counters[DeqSteals] > 0 {
-		fmt.Fprintf(&b, "\nbatch: enq=%d deq=%d steals=%d",
-			s.Counters[EnqBatches], s.Counters[DeqBatches], s.Counters[DeqSteals])
+	if s.Counters[EnqBatches]+s.Counters[DeqBatches]+s.Counters[DeqSteals]+
+		s.Counters[DeqStealMisses] > 0 {
+		fmt.Fprintf(&b, "\nbatch: enq=%d deq=%d steals=%d steal-misses=%d",
+			s.Counters[EnqBatches], s.Counters[DeqBatches], s.Counters[DeqSteals],
+			s.Counters[DeqStealMisses])
 	}
 	return b.String()
+}
+
+// FormatService renders the job-queue service counters (repro/service), or
+// "" when none were recorded.
+func (s Snapshot) FormatService() string {
+	var total uint64
+	for c := SrvSubmits; c <= SrvRejects; c++ {
+		total += s.Counters[c]
+	}
+	if total == 0 {
+		return ""
+	}
+	return fmt.Sprintf("service: submits=%d leases=%d redeliveries=%d acks=%d nacks=%d expired=%d dlq=%d rejects=%d",
+		s.Counters[SrvSubmits], s.Counters[SrvLeases], s.Counters[SrvRedeliveries],
+		s.Counters[SrvAcks], s.Counters[SrvNacks], s.Counters[SrvExpired],
+		s.Counters[SrvDLQ], s.Counters[SrvRejects])
 }
 
 // FormatHTM renders the HTM abort-code breakdown, or "" when no
@@ -129,7 +147,7 @@ func (s Snapshot) FormatLatency() string {
 // String renders every non-empty section of the snapshot.
 func (s Snapshot) String() string {
 	var sections []string
-	for _, sec := range []string{s.FormatQueue(), s.FormatLatency(), s.FormatHTM(), s.FormatCoherence()} {
+	for _, sec := range []string{s.FormatQueue(), s.FormatService(), s.FormatLatency(), s.FormatHTM(), s.FormatCoherence()} {
 		if sec != "" {
 			sections = append(sections, sec)
 		}

@@ -1,0 +1,80 @@
+// Package spin provides clock-free calibrated busy-waiting for the native
+// queues and the sharded front-end's consumer backoff.
+//
+// Sub-microsecond waits cannot go through time.Sleep (it cannot resolve
+// them) or a time.Now polling loop (a clock read costs tens of
+// nanoseconds, comparable to the whole wait). Instead the package
+// calibrates a pure spin loop against the monotonic clock once per
+// process, then waits by iteration count: the hot path performs no clock
+// reads at all. repro/queue/sbq's delayed-CAS try_append introduced the
+// technique; this package hoists it so repro/queue/sharded (steal backoff)
+// and any future caller share one calibration.
+package spin
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sink defeats dead-code elimination of the spin loop. It is shared by
+// every spinning goroutine, so the accesses are atomic; the loop body
+// itself touches only locals.
+var sink atomic.Uint64
+
+// Iters runs n dependent iterations. noinline keeps the loop's cost
+// stable between the calibration probe and real waits.
+//
+//go:noinline
+func Iters(n uint64) {
+	s := sink.Load()
+	for i := uint64(0); i < n; i++ {
+		s += i ^ (s >> 1)
+	}
+	sink.Store(s)
+}
+
+var cal struct {
+	once  sync.Once
+	perNS float64 // spin iterations per nanosecond
+}
+
+// PerNS returns the calibrated spin-iterations-per-nanosecond rate,
+// measuring Iters against the monotonic clock on first use. It takes the
+// fastest of several probes: preemption or a frequency ramp can only make
+// a probe slower, never faster, so the minimum is the closest estimate of
+// the loop's steady-state rate.
+func PerNS() float64 {
+	cal.once.Do(func() {
+		const probe = 1 << 17
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 5; trial++ {
+			start := time.Now()
+			Iters(probe)
+			if el := time.Since(start); el > 0 && el < best {
+				best = el
+			}
+		}
+		cal.perNS = float64(probe) / float64(best.Nanoseconds())
+	})
+	return cal.perNS
+}
+
+// For busy-waits approximately d using calibrated iterations; zero and
+// negative durations return immediately. The wait itself reads no clocks.
+func For(d time.Duration) {
+	Iters(ItersFor(d))
+}
+
+// ItersFor converts a duration to calibrated loop iterations (at least 1
+// for any positive duration).
+func ItersFor(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	n := float64(d.Nanoseconds()) * PerNS()
+	if n < 1 {
+		return 1
+	}
+	return uint64(n)
+}

@@ -1,0 +1,42 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerNSPositive(t *testing.T) {
+	if r := PerNS(); r <= 0 {
+		t.Fatalf("PerNS() = %v, want > 0", r)
+	}
+	// Calibration is cached: a second call must agree exactly.
+	if a, b := PerNS(), PerNS(); a != b {
+		t.Fatalf("PerNS not cached: %v != %v", a, b)
+	}
+}
+
+func TestItersFor(t *testing.T) {
+	if n := ItersFor(0); n != 0 {
+		t.Fatalf("ItersFor(0) = %d, want 0", n)
+	}
+	if n := ItersFor(-time.Second); n != 0 {
+		t.Fatalf("ItersFor(-1s) = %d, want 0", n)
+	}
+	if n := ItersFor(time.Nanosecond); n < 1 {
+		t.Fatalf("ItersFor(1ns) = %d, want >= 1", n)
+	}
+	if a, b := ItersFor(time.Microsecond), ItersFor(10*time.Microsecond); b < a {
+		t.Fatalf("ItersFor not monotone: 1us=%d 10us=%d", a, b)
+	}
+}
+
+func TestForReturns(t *testing.T) {
+	// Just prove For terminates promptly for a small wait.
+	done := make(chan struct{})
+	go func() { For(5 * time.Microsecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("For(5us) did not return within 1s")
+	}
+}

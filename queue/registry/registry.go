@@ -55,6 +55,26 @@ type Config struct {
 	Pooled bool
 }
 
+// Validate reports whether the configuration is buildable. Zero values are
+// always valid — they select the documented defaults (one producer, the
+// entry's shard default, unknown batch size) — but negative counts used to
+// fall through to unhelpful panics deep inside the constructors (e.g.
+// repro/queue/sharded's "shard count must be positive"), far from the
+// caller that produced them. Build rejects such configs up front with this
+// error instead.
+func (cfg Config) Validate() error {
+	if cfg.Producers < 0 {
+		return fmt.Errorf("registry: Producers must be >= 0 (0 selects the default of one), got %d", cfg.Producers)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("registry: Shards must be >= 0 (0 selects the entry's default), got %d", cfg.Shards)
+	}
+	if cfg.BatchHint < 0 {
+		return fmt.Errorf("registry: BatchHint must be >= 0 (0 means unknown), got %d", cfg.BatchHint)
+	}
+	return nil
+}
+
 // Ordering is the dequeue-order contract a registry entry guarantees.
 type Ordering int
 
@@ -176,8 +196,12 @@ func Lookup(name string) (Builder, bool) {
 }
 
 // Build constructs the named queue, erroring on unknown names (with the
-// known names in the message, since the caller is usually a CLI flag).
+// known names in the message, since the caller is usually a CLI flag) and
+// on invalid configurations (see Config.Validate).
 func Build(name string, cfg Config) (Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return Instance{}, err
+	}
 	b, ok := Lookup(name)
 	if !ok {
 		return Instance{}, fmt.Errorf("registry: unknown queue %q (have %v)", name, Names())

@@ -1,6 +1,7 @@
 package registry_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -338,4 +339,53 @@ func (q sliceQueue) Dequeue() (uint64, bool) {
 	v := (*q.vs)[0]
 	*q.vs = (*q.vs)[1:]
 	return v, true
+}
+
+// TestConfigValidate is the table for Config.Validate and its enforcement
+// in Build: zero values are documented defaults and must stay valid, while
+// negative counts must produce a named-field error instead of a panic deep
+// inside a constructor.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     registry.Config
+		wantErr string // substring; "" means valid
+	}{
+		{"zero value is the default config", registry.Config{}, ""},
+		{"explicit positives", registry.Config{Producers: 4, Shards: 2, BatchHint: 8}, ""},
+		{"zero shards selects the entry default", registry.Config{Producers: 1, Shards: 0}, ""},
+		{"zero batch hint means unknown", registry.Config{BatchHint: 0}, ""},
+		{"negative producers", registry.Config{Producers: -1}, "Producers"},
+		{"negative shards", registry.Config{Shards: -3}, "Shards"},
+		{"negative batch hint", registry.Config{BatchHint: -8}, "BatchHint"},
+		{"first bad field wins", registry.Config{Producers: -1, Shards: -1}, "Producers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+			// Build must reject the same config without reaching the
+			// builder (which might panic), for every registered entry.
+			if _, berr := registry.Build("FAA-Queue", tc.cfg); berr == nil ||
+				!strings.Contains(berr.Error(), tc.wantErr) {
+				t.Fatalf("Build() = %v, want error mentioning %q", berr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBuildSharded negative shard counts used to panic inside
+// sharded.buildOptions; they must now surface as Build errors.
+func TestBuildShardedNegativeShards(t *testing.T) {
+	if _, err := registry.Build("Sharded-FAA", registry.Config{Producers: 2, Shards: -1}); err == nil {
+		t.Fatal("Build(Sharded-FAA, Shards: -1) succeeded, want error")
+	}
 }

@@ -1,59 +1,23 @@
 package sbq
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/spin"
 )
 
-// The delayed-CAS try_append needs sub-microsecond busy-waits. time.Sleep
-// cannot resolve them and polling time.Now/time.Since in the wait loop
-// spends more time reading the clock than waiting (a clock read costs tens
-// of nanoseconds — the paper's whole delay is ~270ns). Instead the package
-// calibrates a pure spin loop against the monotonic clock once, then waits
-// by iteration count.
+// The delayed-CAS try_append needs sub-microsecond busy-waits with no
+// clock reads on the hot path. The calibrated spin loop that provides
+// them was hoisted to repro/internal/spin (the sharded front-end's
+// consumer backoff shares it); this file keeps sbq's thin adapters over
+// it, including the cycle-denominated conversion retry policies use.
 
-// spinSink defeats dead-code elimination of the spin loop. It is shared
-// by every spinning goroutine, so the accesses are atomic; the loop body
-// itself touches only locals.
-var spinSink atomic.Uint64
+// spinIters runs n dependent calibrated-loop iterations.
+func spinIters(n uint64) { spin.Iters(n) }
 
-// spinIters runs n dependent iterations. noinline keeps the loop's cost
-// stable between the calibration probe and real waits.
-//
-//go:noinline
-func spinIters(n uint64) {
-	s := spinSink.Load()
-	for i := uint64(0); i < n; i++ {
-		s += i ^ (s >> 1)
-	}
-	spinSink.Store(s)
-}
-
-var spinCal struct {
-	once  sync.Once
-	perNS float64 // spin iterations per nanosecond
-}
-
-// calibrateSpin measures spinIters against the monotonic clock. It takes
-// the fastest of several probes: preemption or a frequency ramp can only
-// make a probe slower, never faster, so the minimum is the closest estimate
-// of the loop's steady-state rate.
-func calibrateSpin() float64 {
-	spinCal.once.Do(func() {
-		const probe = 1 << 17
-		best := time.Duration(1<<63 - 1)
-		for trial := 0; trial < 5; trial++ {
-			start := time.Now()
-			spinIters(probe)
-			if el := time.Since(start); el > 0 && el < best {
-				best = el
-			}
-		}
-		spinCal.perNS = float64(probe) / float64(best.Nanoseconds())
-	})
-	return spinCal.perNS
-}
+// calibrateSpin returns the calibrated spin-iterations-per-nanosecond
+// rate (measured once per process; see repro/internal/spin).
+func calibrateSpin() float64 { return spin.PerNS() }
 
 // cyclesPerNS is the simulated track's clock convention (2.5 GHz). Retry
 // policies denominate delays in simulated cycles; the native track converts
@@ -68,17 +32,8 @@ func spinForCycles(cycles uint64, itersPerCycle float64) {
 	if n < 1 {
 		n = 1
 	}
-	spinIters(uint64(n))
+	spin.Iters(uint64(n))
 }
 
 // spinItersFor converts a duration to calibrated loop iterations.
-func spinItersFor(d time.Duration) uint64 {
-	if d <= 0 {
-		return 0
-	}
-	n := float64(d.Nanoseconds()) * calibrateSpin()
-	if n < 1 {
-		return 1
-	}
-	return uint64(n)
-}
+func spinItersFor(d time.Duration) uint64 { return spin.ItersFor(d) }

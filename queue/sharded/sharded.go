@@ -31,10 +31,18 @@
 // e.g. an SBQ handle, so it must not be shared); Consumer(i) prefers
 // shard i % N and steals from the others round-robin when its home
 // shard runs dry. Both views implement queue.BatchQueue.
+//
+// Consumers that keep finding every shard empty back off between sweeps
+// (calibrated spin, no clock reads — see the stealBackoff constants), so
+// large consumer counts polling a drained queue stop thrashing the shard
+// head lines; obs.DeqStealMisses counts the empty sweeps.
 package sharded
 
 import (
+	"sync/atomic"
+
 	"repro/internal/obs"
+	"repro/internal/spin"
 	"repro/queue"
 )
 
@@ -99,12 +107,71 @@ func (q *Queue[T]) consViews(i int) []queue.BatchQueue[T] {
 	return cons
 }
 
+// Steal-backoff tuning. A consumer whose last stealBackoffAfter full
+// sweeps (home shard plus every steal target) all came back empty spins a
+// calibrated, clock-free window before its next sweep; the window doubles
+// per additional miss up to stealBackoffCap iterations (a few microseconds
+// on current hardware). Without this, high consumer counts on a drained
+// queue thrash every shard's head line in lockstep — the same
+// contention-collapse shape the paper measures on the single contended
+// word, reproduced across N of them.
+const (
+	stealBackoffAfter = 2
+	stealBackoffBase  = 1 << 6
+	stealBackoffCap   = 1 << 12
+)
+
 // view is one goroutine's handle on the front-end.
 type view[T any] struct {
 	q    *Queue[T]
 	home int
 	enq  queue.BatchQueue[T]   // home-shard enqueue target
 	cons []queue.BatchQueue[T] // per-shard dequeue views, indexed by shard
+	// misses counts consecutive full sweeps that found every shard empty.
+	// Views are documented as single-goroutine, but registry consumer
+	// views may be shared, so the counter is atomic; the clamped races are
+	// harmless (at worst a slightly longer or shorter backoff window).
+	misses atomic.Uint32
+}
+
+// stealPause backs off before a steal sweep once stealBackoffAfter
+// consecutive sweeps came back empty: pure calibrated spin, no clock
+// reads (see repro/internal/spin).
+//
+//lf:hotpath
+func (v *view[T]) stealPause() {
+	m := v.misses.Load()
+	if m < stealBackoffAfter {
+		return
+	}
+	shift := m - stealBackoffAfter
+	w := uint64(stealBackoffBase) << shift
+	if shift > 6 || w > stealBackoffCap {
+		w = stealBackoffCap
+	}
+	spin.Iters(w)
+}
+
+// miss records one empty full sweep.
+//
+//lf:hotpath
+func (v *view[T]) miss() {
+	if v.misses.Load() < 32 { // clamp: the window is capped anyway
+		v.misses.Add(1)
+	}
+	if r := v.q.rec; r != nil {
+		r.Inc(obs.DeqStealMisses)
+	}
+}
+
+// hit resets the backoff after a successful dequeue. The load-then-store
+// keeps the common non-backoff path write-free.
+//
+//lf:hotpath
+func (v *view[T]) hit() {
+	if v.misses.Load() != 0 {
+		v.misses.Store(0)
+	}
 }
 
 // Enqueue appends v to the home shard.
@@ -126,17 +193,21 @@ func (v *view[T]) EnqueueBatch(vs []T) { v.enq.EnqueueBatch(vs) }
 //lf:hotpath
 func (v *view[T]) Dequeue() (T, bool) {
 	if x, ok := v.cons[v.home].Dequeue(); ok {
+		v.hit()
 		return x, true
 	}
+	v.stealPause()
 	n := len(v.cons)
 	for d := 1; d < n; d++ {
 		if x, ok := v.cons[(v.home+d)%n].Dequeue(); ok {
 			if r := v.q.rec; r != nil {
 				r.Inc(obs.DeqSteals)
 			}
+			v.hit()
 			return x, true
 		}
 	}
+	v.miss()
 	var zero T
 	return zero, false
 }
@@ -152,6 +223,9 @@ func (v *view[T]) DequeueBatch(dst []T) int {
 		return 0
 	}
 	got := v.cons[v.home].DequeueBatch(dst)
+	if got == 0 {
+		v.stealPause()
+	}
 	n := len(v.cons)
 	for d := 1; d < n && got < len(dst); d++ {
 		stolen := v.cons[(v.home+d)%n].DequeueBatch(dst[got:])
@@ -161,6 +235,11 @@ func (v *view[T]) DequeueBatch(dst []T) int {
 				r.Add(obs.DeqSteals, uint64(stolen))
 			}
 		}
+	}
+	if got == 0 {
+		v.miss()
+	} else {
+		v.hit()
 	}
 	return got
 }

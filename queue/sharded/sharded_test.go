@@ -306,3 +306,60 @@ func (q *sliceQueue) Dequeue() (uint64, bool) {
 	q.vs = q.vs[1:]
 	return v, true
 }
+
+// TestStealBackoffMisses drives a consumer against a drained queue: every
+// full sweep must count one deq_steal_miss, the view must keep returning
+// not-ok promptly (the backoff is bounded), and a successful dequeue must
+// reset the miss streak so steady-state consumption pays no backoff.
+func TestStealBackoffMisses(t *testing.T) {
+	rec := obs.New()
+	q := newQ(4, 4, rec)
+	c := q.Consumer(0)
+
+	const sweeps = 10
+	for i := 0; i < sweeps; i++ {
+		if _, ok := c.Dequeue(); ok {
+			t.Fatal("empty queue returned an element")
+		}
+	}
+	if got := rec.Snapshot().Counter(obs.DeqStealMisses); got != sweeps {
+		t.Fatalf("deq_steal_misses = %d, want %d", got, sweeps)
+	}
+
+	// A hit resets the streak: the next miss streak starts from scratch.
+	q.Producer(0).Enqueue(42)
+	if v, ok := c.Dequeue(); !ok || v != 42 {
+		t.Fatalf("dequeue after refill: got %d,%v", v, ok)
+	}
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("queue should be empty again")
+	}
+	if got := rec.Snapshot().Counter(obs.DeqStealMisses); got != sweeps+1 {
+		t.Fatalf("deq_steal_misses after hit = %d, want %d", got, sweeps+1)
+	}
+}
+
+// TestStealBackoffBatch mirrors TestStealBackoffMisses on the batch
+// surface: empty DequeueBatch sweeps count misses, non-empty ones reset.
+func TestStealBackoffBatch(t *testing.T) {
+	rec := obs.New()
+	q := newQ(2, 2, rec)
+	c := q.Consumer(0)
+	dst := make([]uint64, 8)
+
+	for i := 0; i < 5; i++ {
+		if n := c.DequeueBatch(dst); n != 0 {
+			t.Fatalf("empty queue returned %d elements", n)
+		}
+	}
+	if got := rec.Snapshot().Counter(obs.DeqStealMisses); got != 5 {
+		t.Fatalf("deq_steal_misses = %d, want 5", got)
+	}
+	q.Producer(0).EnqueueBatch([]uint64{1, 2, 3})
+	if n := c.DequeueBatch(dst); n != 3 {
+		t.Fatalf("DequeueBatch = %d, want 3", n)
+	}
+	if got := rec.Snapshot().Counter(obs.DeqStealMisses); got != 5 {
+		t.Fatalf("deq_steal_misses grew on a successful batch: %d", got)
+	}
+}

@@ -70,6 +70,7 @@ func (q *pooledMSQ) enqueue(v uint64) bool {
 		n.stamp.Store(t.stamp.Load() + 1)
 		next := t.next.Load()
 		if next != nil {
+			//lint:ignore casloop test-harness MSQ; helping swing a lagging tail, failure implies another's progress
 			q.tail.CompareAndSwap(t, next)
 			continue
 		}
@@ -90,6 +91,7 @@ func (q *pooledMSQ) dequeue() (uint64, bool, bool) {
 			return 0, false, false
 		}
 		if t := q.tail.Load(); h == t {
+			//lint:ignore casloop test-harness MSQ; helping swing a lagging tail, failure implies another's progress
 			q.tail.CompareAndSwap(t, next)
 			continue
 		}
@@ -133,6 +135,7 @@ func (s *clockStack) push(v uint64) {
 	for {
 		top := s.top.Load()
 		n.next.Store(top)
+		//lint:ignore casloop test-harness Treiber push; the stress test wants raw contention, not pacing
 		if s.top.CompareAndSwap(top, n) {
 			return
 		}
@@ -151,6 +154,7 @@ func (s *clockStack) pop() (uint64, bool, bool) {
 		poisoned := top.pooled.Load() // must be false while protected
 		next := top.next.Load()
 		v := top.v
+		//lint:ignore casloop test-harness Treiber pop; the stress test wants raw contention, not pacing
 		if s.top.CompareAndSwap(top, next) {
 			// Stamp at retire time, strictly after unlinking: every
 			// guard that can still reach top announced before now, so

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"math"
+	"time"
+)
+
+// arrivals generates one client's open-loop inter-submit gaps: an
+// exponential base process (so arrivals are Poisson per client and the
+// aggregate over thousands of clients is genuinely bursty at short
+// timescales), modulated two ways:
+//
+//   - diurnal: a sinusoid over the run — load swells mid-run to about
+//     (1+diurnalAmp)× the mean rate and sags at the edges, the compressed
+//     shape of a day of traffic;
+//   - bursts: every burstEvery-th arrival starts a back-to-back train of
+//     burstLen submits with zero gap, the retry-storm / thundering-herd
+//     shape that backpressure exists for.
+//
+// The stream is deterministic per seed (xorshift64*), so a failing chaos
+// run replays exactly.
+type arrivals struct {
+	rng        uint64
+	mean       time.Duration
+	start      time.Time
+	period     time.Duration
+	burstEvery int
+	burstLen   int
+
+	n     int // arrivals generated
+	burst int // remaining zero-gap arrivals in the current burst
+}
+
+const diurnalAmp = 0.75
+
+func newArrivals(seed uint64, mean, runLength time.Duration, burstEvery, burstLen int, start time.Time) *arrivals {
+	if seed == 0 {
+		seed = 1
+	}
+	return &arrivals{
+		rng:        seed,
+		mean:       mean,
+		start:      start,
+		period:     runLength,
+		burstEvery: burstEvery,
+		burstLen:   burstLen,
+	}
+}
+
+func (a *arrivals) next64() uint64 {
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	return a.rng * 0x2545F4914F6CDD1D
+}
+
+// uniform returns a float in (0, 1].
+func (a *arrivals) uniform() float64 {
+	return (float64(a.next64()>>11) + 1) / float64(1<<53)
+}
+
+// gap returns the wait before this client's next submit at wall time now.
+func (a *arrivals) gap(now time.Time) time.Duration {
+	a.n++
+	if a.burst > 0 {
+		a.burst--
+		return 0
+	}
+	if a.burstEvery > 0 && a.n%a.burstEvery == 0 {
+		a.burst = a.burstLen
+		return 0
+	}
+	// Exponential with mean a.mean, then slowed/sped by the diurnal rate.
+	g := -math.Log(a.uniform()) * float64(a.mean)
+	if a.period > 0 {
+		t := now.Sub(a.start)
+		rate := 1 + diurnalAmp*math.Sin(2*math.Pi*float64(t)/float64(a.period))
+		if rate < 0.25 {
+			rate = 0.25
+		}
+		g /= rate
+	}
+	return time.Duration(g)
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLedgerAspects drives the checker with canned histories.
+func TestLedgerAspects(t *testing.T) {
+	l := newLedger()
+	// 1: clean life. 2: lost. 3: dup ack. 4: phantom. 5: dead (ok).
+	l.Submitted(1)
+	l.Delivered(1)
+	l.Acked(1)
+	l.Submitted(2)
+	l.Delivered(2)
+	l.Submitted(3)
+	l.Delivered(3)
+	l.Acked(3)
+	l.Acked(3)
+	l.Delivered(4)
+	l.Submitted(5)
+	l.Delivered(5)
+	l.Dead(5)
+
+	vs := l.Check()
+	want := map[uint64]ViolationKind{2: VLost, 3: VDupAck, 4: VPhantom}
+	if len(vs) != len(want) {
+		t.Fatalf("Check returned %d violations (%v), want %d", len(vs), vs, len(want))
+	}
+	for _, v := range vs {
+		if want[v.JobID] != v.Kind {
+			t.Errorf("job %d flagged %s, want %s", v.JobID, v.Kind, want[v.JobID])
+		}
+	}
+	sub, del, ack, dead := l.Counts()
+	if sub != 4 || del != 5 || ack != 3 || dead != 1 {
+		t.Fatalf("Counts = %d/%d/%d/%d, want 4/5/3/1", sub, del, ack, dead)
+	}
+}
+
+// TestArrivalsDeterministic checks the gap stream replays per seed and
+// honors bursts.
+func TestArrivalsDeterministic(t *testing.T) {
+	start := time.Now()
+	mk := func() *arrivals {
+		return newArrivals(42, time.Millisecond, time.Second, 5, 3, start)
+	}
+	a, b := mk(), mk()
+	zeros := 0
+	for i := 0; i < 200; i++ {
+		now := start.Add(time.Duration(i) * time.Millisecond)
+		ga, gb := a.gap(now), b.gap(now)
+		if ga != gb {
+			t.Fatalf("gap %d diverged: %v vs %v", i, ga, gb)
+		}
+		if ga < 0 {
+			t.Fatalf("gap %d negative: %v", i, ga)
+		}
+		if ga == 0 {
+			zeros++
+		}
+	}
+	// Every 5th arrival opens a 3-long burst: a solid fraction of gaps
+	// must be the zero burst gaps.
+	if zeros < 100 {
+		t.Fatalf("only %d/200 zero gaps; bursts not firing", zeros)
+	}
+}
+
+// TestRunSmallProfile is the in-tree smoke: a scaled-down profile with
+// every scenario enabled must uphold every invariant. CI's service-smoke
+// job runs the full short profile through cmd/sbqd -chaos.
+func TestRunSmallProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	p := ShortProfile()
+	p.Name = "test-small"
+	p.Duration = 250 * time.Millisecond
+	p.Clients = 200
+	p.Workers = 8
+	p.TraceOut = filepath.Join(t.TempDir(), "trace.json")
+
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Ok() {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+	if rep.Submitted == 0 {
+		t.Fatal("no jobs submitted; profile generated no load")
+	}
+	if rep.Delivered < rep.Submitted-rep.Dead {
+		t.Fatalf("delivered %d < submitted-dead %d", rep.Delivered, rep.Submitted-rep.Dead)
+	}
+	if rep.Acked+rep.Dead != rep.Submitted {
+		t.Fatalf("acked(%d) + dead(%d) != submitted(%d)", rep.Acked, rep.Dead, rep.Submitted)
+	}
+	if !rep.Restarted || rep.Swapped == 0 {
+		t.Fatalf("scenarios did not fire: restarted=%v swapped=%d", rep.Restarted, rep.Swapped)
+	}
+	if rep.TracePath == "" {
+		t.Fatal("trace was not written")
+	}
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The ledger is the chaos harness's invariant checker, in the same
+// aspect-oriented style as repro/internal/linearize: rather than one
+// opaque pass/fail, each violated aspect of the delivery contract is
+// reported separately, so a failure says which guarantee broke.
+//
+// Aspects, over the full run (including forced expiries, worker crashes,
+// backend swaps, and service restarts):
+//
+//	VLost    — an accepted job ended the run neither acked nor
+//	           dead-lettered (at-least-once delivery broke)
+//	VDupAck  — a job was successfully acked more than once
+//	           (exactly-once settlement broke)
+//	VPhantom — a delivery carried a job id no client submitted
+//	VBothWays — a job was both acked and dead-lettered
+//	VDrain   — the final drain did not finish inside its deadline
+type ViolationKind uint8
+
+const (
+	VLost ViolationKind = iota
+	VDupAck
+	VPhantom
+	VBothWays
+	VDrain
+)
+
+// String returns the aspect's short name.
+func (k ViolationKind) String() string {
+	switch k {
+	case VLost:
+		return "lost"
+	case VDupAck:
+		return "dup-ack"
+	case VPhantom:
+		return "phantom"
+	case VBothWays:
+		return "acked-and-dead"
+	case VDrain:
+		return "drain-timeout"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+	}
+}
+
+// Violation is one broken aspect, anchored to a job where applicable.
+type Violation struct {
+	Kind   ViolationKind
+	JobID  uint64 // 0 for run-level violations (VDrain)
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.JobID == 0 {
+		return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("%s: job %d: %s", v.Kind, v.JobID, v.Detail)
+}
+
+// ledger tracks every job's observed lifecycle. All methods are safe for
+// concurrent use; Check is called once, after the run quiesces.
+type ledger struct {
+	mu   sync.Mutex
+	jobs map[uint64]*jobRec
+}
+
+type jobRec struct {
+	submitted  bool
+	deliveries uint32
+	acks       uint32
+	dead       bool
+}
+
+func newLedger() *ledger {
+	return &ledger{jobs: map[uint64]*jobRec{}}
+}
+
+func (l *ledger) rec(id uint64) *jobRec {
+	r := l.jobs[id]
+	if r == nil {
+		r = &jobRec{}
+		l.jobs[id] = r
+	}
+	return r
+}
+
+// Submitted records an accepted Submit (rejected submits are not expected
+// to be delivered and stay out of the ledger).
+func (l *ledger) Submitted(id uint64) {
+	l.mu.Lock()
+	l.rec(id).submitted = true
+	l.mu.Unlock()
+}
+
+// Delivered records one lease of id.
+func (l *ledger) Delivered(id uint64) {
+	l.mu.Lock()
+	l.rec(id).deliveries++
+	l.mu.Unlock()
+}
+
+// Acked records one successful Ack of id (failed settles are not acks).
+func (l *ledger) Acked(id uint64) {
+	l.mu.Lock()
+	l.rec(id).acks++
+	l.mu.Unlock()
+}
+
+// Dead records id ending in a dead-letter queue.
+func (l *ledger) Dead(id uint64) {
+	l.mu.Lock()
+	l.rec(id).dead = true
+	l.mu.Unlock()
+}
+
+// Check audits every job against the aspects and returns the violations,
+// lowest job id first.
+func (l *ledger) Check() []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Violation
+	ids := make([]uint64, 0, len(l.jobs))
+	for id := range l.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := l.jobs[id]
+		switch {
+		case !r.submitted:
+			out = append(out, Violation{Kind: VPhantom, JobID: id,
+				Detail: fmt.Sprintf("delivered %d times but never submitted", r.deliveries)})
+			continue
+		case r.acks > 1:
+			out = append(out, Violation{Kind: VDupAck, JobID: id,
+				Detail: fmt.Sprintf("acked %d times", r.acks)})
+		case r.acks == 1 && r.dead:
+			out = append(out, Violation{Kind: VBothWays, JobID: id,
+				Detail: "both acked and dead-lettered"})
+		case r.acks == 0 && !r.dead:
+			out = append(out, Violation{Kind: VLost, JobID: id,
+				Detail: fmt.Sprintf("accepted, delivered %d times, never settled", r.deliveries)})
+		}
+	}
+	return out
+}
+
+// Counts returns (submitted, delivered, acked, dead) totals.
+func (l *ledger) Counts() (submitted, delivered, acked, dead uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.jobs {
+		if r.submitted {
+			submitted++
+		}
+		delivered += uint64(r.deliveries)
+		acked += uint64(r.acks)
+		if r.dead {
+			dead++
+		}
+	}
+	return
+}

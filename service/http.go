@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns sbqd's HTTP surface (go 1.22 method+path patterns):
+//
+//	POST /v1/submit   {"tenant": "t", "payload": ...}        → 200 Job
+//	POST /v1/lease    {"tenant": "t"}                        → 200 Lease | 204 empty
+//	POST /v1/ack      {"token": N}                           → 200
+//	POST /v1/nack     {"token": N}                           → 200
+//	GET  /v1/stats                                           → 200 StatsSnapshot
+//	GET  /v1/dlq?tenant=t                                    → 200 [Job]
+//	GET  /healthz                                            → 200 serving | 503 otherwise
+//
+// Error mapping: over-quota Submit → 429 with Retry-After; draining →
+// 503 with Retry-After; stopped → 503; unknown/settled token → 409;
+// malformed request → 400.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/ack", s.handleSettle(s.Ack))
+	mux.HandleFunc("POST /v1/nack", s.handleSettle(s.Nack))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/dlq", s.handleDLQ)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+type submitRequest struct {
+	Tenant  string          `json:"tenant"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+type leaseRequest struct {
+	Tenant string `json:"tenant"`
+}
+
+type settleRequest struct {
+	Token uint64 `json:"token"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // best effort: headers are out, the client is gone on error
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeServiceError maps service sentinel errors to status codes shared by
+// every mutating endpoint.
+func writeServiceError(w http.ResponseWriter, err error, retryAfter time.Duration) bool {
+	var bp *BackpressureError
+	switch {
+	case errors.As(err, &bp):
+		w.Header().Set("Retry-After", strconv.Itoa(int(bp.RetryAfter.Seconds()+1)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds()+1)))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrNoSuchLease):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		return false
+	}
+	return true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, errors.New("tenant is required"))
+		return
+	}
+	job, err := s.Submit(req.Tenant, req.Payload)
+	if writeServiceError(w, err, s.cfg.LeaseTTL) {
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, errors.New("tenant is required"))
+		return
+	}
+	lease, ok, err := s.Lease(req.Tenant)
+	if writeServiceError(w, err, s.cfg.LeaseTTL) {
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (s *Service) handleSettle(settle func(uint64) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req settleRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Token == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("token is required"))
+			return
+		}
+		if writeServiceError(w, settle(req.Token), s.cfg.LeaseTTL) {
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleDLQ(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		writeError(w, http.StatusBadRequest, errors.New("tenant query parameter is required"))
+		return
+	}
+	jobs := s.DeadLetters(tenant)
+	if jobs == nil {
+		jobs = []Job{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.state.Load() == srvServing {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, ErrDraining)
+}

@@ -1,0 +1,147 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/service"
+)
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := mustService(t, service.Config{MaxInFlight: 2, Backoff: immediateRetry(5)})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Submit.
+	resp := postJSON(t, srv.URL+"/v1/submit", `{"tenant":"acme","payload":{"k":1}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d, want 200", resp.StatusCode)
+	}
+	job := decode[service.Job](t, resp)
+	if job.ID == 0 || job.Tenant != "acme" {
+		t.Fatalf("submit returned %+v", job)
+	}
+
+	// Lease delivers it.
+	resp = postJSON(t, srv.URL+"/v1/lease", `{"tenant":"acme"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease status = %d, want 200", resp.StatusCode)
+	}
+	lease := decode[service.Lease](t, resp)
+	if lease.ID != job.ID || lease.Token == 0 {
+		t.Fatalf("lease returned %+v, want job %d", lease, job.ID)
+	}
+
+	// Empty queue leases 204.
+	resp = postJSON(t, srv.URL+"/v1/lease", `{"tenant":"acme"}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty lease status = %d, want 204", resp.StatusCode)
+	}
+
+	// Ack once 200, twice 409.
+	ack := fmt.Sprintf(`{"token":%d}`, lease.Token)
+	if resp = postJSON(t, srv.URL+"/v1/ack", ack); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ack status = %d, want 200", resp.StatusCode)
+	}
+	if resp = postJSON(t, srv.URL+"/v1/ack", ack); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double-ack status = %d, want 409", resp.StatusCode)
+	}
+
+	// Backpressure: fill the quota, then expect 429 + Retry-After.
+	for i := 0; i < 2; i++ {
+		if resp = postJSON(t, srv.URL+"/v1/submit", `{"tenant":"acme"}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d status = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	resp = postJSON(t, srv.URL+"/v1/submit", `{"tenant":"acme"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+
+	// Malformed bodies and missing fields are 400s.
+	for _, bad := range []struct{ path, body string }{
+		{"/v1/submit", `{not json`},
+		{"/v1/submit", `{"payload":1}`},
+		{"/v1/lease", `{}`},
+		{"/v1/ack", `{}`},
+	} {
+		if resp = postJSON(t, srv.URL+bad.path, bad.body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s %q status = %d, want 400", bad.path, bad.body, resp.StatusCode)
+		}
+	}
+
+	// Stats reflect the traffic.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status=%v err=%v", resp.StatusCode, err)
+	}
+	st := decode[service.StatsSnapshot](t, resp)
+	resp.Body.Close()
+	if st.Submits != 3 || st.Acks != 1 || st.Rejects != 1 || st.State != "serving" {
+		t.Fatalf("stats = %+v, want submits=3 acks=1 rejects=1 serving", st)
+	}
+
+	// DLQ endpoint: empty list for a live tenant, 400 without the param.
+	resp, _ = http.Get(srv.URL + "/v1/dlq?tenant=acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dlq status = %d, want 200", resp.StatusCode)
+	}
+	if dead := decode[[]service.Job](t, resp); len(dead) != 0 {
+		t.Fatalf("dlq = %+v, want empty", dead)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(srv.URL + "/v1/dlq")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dlq without tenant status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Health flips with shutdown; fenced endpoints go 503.
+	resp, _ = http.Get(srv.URL + "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp, _ = http.Get(srv.URL + "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, srv.URL+"/v1/submit", `{"tenant":"acme"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job is the externally visible description of a submitted job.
+type Job struct {
+	ID      uint64          `json:"id"`
+	Tenant  string          `json:"tenant"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Attempts counts deliveries, including the one in flight when the
+	// job is leased: a freshly submitted job has 0, the first lease makes
+	// it 1, and a job dead-letters once the retry policy refuses attempt
+	// Attempts+1.
+	Attempts    int       `json:"attempts"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// Lease is one delivery of a job to a worker: the job plus the monotonic
+// token the worker must present to Ack or Nack it, and the deadline after
+// which the scanner reclaims the lease and redelivers the job.
+type Lease struct {
+	Job
+	Token    uint64    `json:"token"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// Service errors. BackpressureError is a type (it carries the retry hint);
+// the rest are sentinels callers match with errors.Is.
+var (
+	// ErrDraining is returned by Submit and Lease once graceful shutdown
+	// has fenced new work.
+	ErrDraining = errors.New("service: draining, not accepting new work")
+	// ErrStopped is returned once shutdown has completed.
+	ErrStopped = errors.New("service: stopped")
+	// ErrNoSuchLease is returned by Ack and Nack for a token that is
+	// unknown, already settled, or reclaimed by the deadline scanner —
+	// the exactly-once-ack guarantee is exactly this error firing on
+	// every settlement attempt after the first.
+	ErrNoSuchLease = errors.New("service: unknown, expired, or already-settled lease token")
+)
+
+// BackpressureError is returned by Submit when a tenant's in-flight depth
+// (queued + delayed + leased jobs) has reached its quota. HTTP maps it to
+// 429 with a Retry-After header.
+type BackpressureError struct {
+	Tenant     string
+	Depth      int64
+	Quota      int64
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("service: tenant %q over quota (%d in flight, quota %d); retry after %s",
+		e.Tenant, e.Depth, e.Quota, e.RetryAfter)
+}
+
+// jobState is the lifecycle of one job. A job id is in its tenant's queue
+// iff the state is jsQueued; in the delay heap iff jsDelayed; in the lease
+// table iff jsLeased. jsDone jobs are removed from the tenant entirely,
+// jsDead jobs move to the tenant's dead-letter list.
+type jobState uint8
+
+const (
+	jsQueued jobState = iota
+	jsLeased
+	jsDelayed
+	jsDone
+	jsDead
+)
+
+// job is the internal record. mu guards the mutable lifecycle fields;
+// identity fields (id, tenant, payload, submitted) are immutable after
+// construction. Lock ordering: job.mu is a leaf — never acquire any other
+// service lock while holding it.
+type job struct {
+	id        uint64
+	tenant    *tenant
+	payload   json.RawMessage
+	submitted time.Time
+
+	mu        sync.Mutex
+	state     jobState
+	attempts  int
+	token     uint64    // current lease token when jsLeased
+	deadline  time.Time // lease deadline when jsLeased
+	notBefore time.Time // redelivery pacing when jsDelayed
+	delivered bool      // first delivery observed (lease-latency series)
+}
+
+// external renders the job in its public shape. Callers must hold j.mu or
+// otherwise have the job quiescent.
+func (j *job) external() Job {
+	return Job{
+		ID:          j.id,
+		Tenant:      j.tenant.name,
+		Payload:     j.payload,
+		Attempts:    j.attempts,
+		SubmittedAt: j.submitted,
+	}
+}

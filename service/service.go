@@ -1,0 +1,555 @@
+// Package service implements sbqd's core: a fault-tolerant, multi-tenant
+// job-queue service built on the repository's native queues.
+//
+// Each tenant owns one queue built through repro/queue/registry (default
+// entry "Sharded-FAA"); the queue carries job ids, and the service layers
+// the durability machinery around it:
+//
+//   - Lease-based at-least-once delivery. Lease hands a worker a job plus
+//     a monotonic token; the worker settles with Ack or Nack. A deadline
+//     scanner reclaims leases whose TTL expired and redelivers the job, so
+//     a worker crash loses nothing. Settlement consumes the token
+//     atomically, so every job is acked at most once (the second settle
+//     gets ErrNoSuchLease).
+//   - Retry budget and dead-lettering. Redelivery pacing and the DLQ
+//     decision reuse repro/internal/machine/policy: the same
+//     policy.AbortBudget template the simulated machines use to bound the
+//     HTM fast path bounds a job's delivery attempts — Decision.Fallback
+//     routes the job to the tenant's dead-letter queue, Decision.Delay
+//     (in abstract cycles, scaled by Config.BackoffUnit) paces the next
+//     attempt. The service's fallback path is the DLQ, with exactly the
+//     paper's discipline: bounded optimism, then a guaranteed slow path.
+//   - Backpressure. A tenant's in-flight depth (queued + delayed +
+//     leased) is bounded by Config.MaxInFlight; Submit over quota returns
+//     *BackpressureError, which the HTTP layer maps to 429 + Retry-After.
+//   - Graceful shutdown. Shutdown fences Submit/Lease (ErrDraining),
+//     waits for in-flight leases to settle (force-expiring stragglers at
+//     the context deadline), then checkpoints every unsettled job to
+//     Config.SnapshotPath as JSON; New restores the checkpoint, so a
+//     restart redelivers instead of losing.
+//
+// Telemetry flows through repro/internal/obs (SrvSubmits..SrvRejects
+// counters, LeaseLatency/AckLatency series) and, when the configured
+// recorder is a flight recorder, per-job timeline events
+// (EvSrvSubmit..EvSrvDLQ).
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encoding/json"
+
+	"repro/internal/machine/policy"
+	"repro/internal/obs"
+	"repro/queue/registry"
+)
+
+// DefaultQueue is the registry entry tenants are built on when Config.Queue
+// is empty.
+const DefaultQueue = "Sharded-FAA"
+
+// Config parameterizes a Service. The zero value is fully usable: every
+// field documents its default.
+type Config struct {
+	// Queue is the registry entry backing each tenant ("" = DefaultQueue).
+	Queue string
+	// Shards is passed through to registry.Config.Shards (0 = the entry's
+	// default).
+	Shards int
+	// Lanes is the number of producer lanes per tenant — concurrent
+	// Submits spread across lanes round-robin, each lane owning one
+	// registry producer view behind a mutex (HTTP handlers run on
+	// arbitrary goroutines; producer views are single-goroutine). 0 = 4.
+	Lanes int
+	// LeaseTTL is how long a lease lives before the scanner reclaims it
+	// (0 = 30s).
+	LeaseTTL time.Duration
+	// ScanInterval is the deadline-scanner period (0 = LeaseTTL/4,
+	// clamped to [1ms, 1s]).
+	ScanInterval time.Duration
+	// RetryBudget is the delivery budget before a job dead-letters when
+	// Backoff is nil (0 = 5). Ignored when Backoff is set.
+	RetryBudget int
+	// Backoff decides, after each failed delivery, whether to dead-letter
+	// (Decision.Fallback) and how long to delay redelivery
+	// (Decision.Delay cycles × BackoffUnit). Nil selects
+	// policy.AbortBudget{Budget: RetryBudget, Inner:
+	// policy.ExponentialBackoff{Base: 4, Max: 256}}.
+	Backoff policy.RetryPolicy
+	// BackoffUnit scales Decision.Delay cycles to wall time (0 = 1ms).
+	BackoffUnit time.Duration
+	// MaxInFlight bounds each tenant's unsettled depth (0 = 1<<16;
+	// negative = unlimited).
+	MaxInFlight int64
+	// SnapshotPath, when non-empty, is where Shutdown checkpoints
+	// unsettled jobs and where New looks for a checkpoint to restore.
+	SnapshotPath string
+	// Recorder receives telemetry (nil = a private obs.Stats, readable
+	// through Stats).
+	Recorder obs.Recorder
+	// Now is the clock (nil = time.Now). Tests and the chaos harness
+	// inject it to force expiries deterministically.
+	Now func() time.Time
+	// Seed seeds backoff jitter (0 = 1).
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Queue == "" {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 4
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = cfg.LeaseTTL / 4
+		if cfg.ScanInterval < time.Millisecond {
+			cfg.ScanInterval = time.Millisecond
+		}
+		if cfg.ScanInterval > time.Second {
+			cfg.ScanInterval = time.Second
+		}
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 5
+	}
+	if cfg.Backoff == nil {
+		cfg.Backoff = policy.AbortBudget{
+			Budget: cfg.RetryBudget,
+			Inner:  policy.ExponentialBackoff{Base: 4, Max: 256},
+		}
+	}
+	if cfg.BackoffUnit <= 0 {
+		cfg.BackoffUnit = time.Millisecond
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 1 << 16
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Service lifecycle states.
+const (
+	srvServing int32 = iota
+	srvDraining
+	srvStopped
+)
+
+// Service is the job-queue daemon core. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	rec   obs.Recorder
+	ev    obs.EventRecorder
+	stats *obs.Stats // rec when the recorder is counter-readable, else nil
+	now   func() time.Time
+	rng   lockedRNG
+
+	state atomic.Int32   // srvServing → srvDraining → srvStopped
+	opWG  sync.WaitGroup // in-flight Submit/Lease calls (shutdown fence)
+
+	nextID    atomic.Uint64
+	nextToken atomic.Uint64
+	inFlight  atomic.Int64 // outstanding lease tokens, settled post-state
+
+	tmu     sync.Mutex
+	tenants map[string]*tenant
+
+	// lmu guards the lease table and both timer heaps. Lock ordering:
+	// lmu and job.mu are never held together; tenant.jmu is never held
+	// with either.
+	lmu       sync.Mutex
+	leases    map[uint64]*job
+	deadlines tokenHeap
+	delayed   jobHeap
+
+	scanStop chan struct{}
+	scanDone chan struct{}
+}
+
+// New builds a Service, restores Config.SnapshotPath if a checkpoint is
+// present, and starts the deadline scanner.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := registry.LookupEntry(cfg.Queue); !ok {
+		return nil, fmt.Errorf("service: unknown queue %q (have %v)", cfg.Queue, registry.Names())
+	}
+	s := &Service{
+		cfg:      cfg,
+		now:      cfg.Now,
+		tenants:  map[string]*tenant{},
+		leases:   map[uint64]*job{},
+		scanStop: make(chan struct{}),
+		scanDone: make(chan struct{}),
+	}
+	s.rng.s = cfg.Seed
+	if cfg.Recorder == nil {
+		s.stats = obs.New()
+		s.rec = s.stats
+	} else {
+		s.rec = obs.Normalize(cfg.Recorder)
+		if st, ok := s.rec.(*obs.Stats); ok {
+			s.stats = st
+		}
+		s.ev = obs.Events(s.rec)
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.restore(cfg.SnapshotPath); err != nil {
+			return nil, err
+		}
+	}
+	go s.scanLoop()
+	return s, nil
+}
+
+// lockedRNG is an xorshift64* stream behind a mutex — backoff jitter is
+// far off the hot path.
+type lockedRNG struct {
+	mu sync.Mutex
+	s  uint64
+}
+
+func (r *lockedRNG) randN(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	v := r.s * 0x2545F4914F6CDD1D
+	r.mu.Unlock()
+	return v % n
+}
+
+// begin is the shutdown fence for Submit and Lease: it registers the call
+// with opWG before checking the state, so Shutdown's state-flip +
+// opWG.Wait() pair cannot miss an in-flight call.
+func (s *Service) begin() error {
+	s.opWG.Add(1)
+	switch s.state.Load() {
+	case srvServing:
+		return nil
+	case srvDraining:
+		s.opWG.Done()
+		return ErrDraining
+	default:
+		s.opWG.Done()
+		return ErrStopped
+	}
+}
+
+// tenantFor returns (creating if asked) the named tenant.
+func (s *Service) tenantFor(name string, create bool) (*tenant, error) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	t, err := s.newTenant(name, s.cfg.Queue)
+	if err != nil {
+		return nil, err
+	}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// Submit accepts a job for tenant, subject to the tenant's depth quota.
+func (s *Service) Submit(tenantName string, payload json.RawMessage) (Job, error) {
+	if err := s.begin(); err != nil {
+		return Job{}, err
+	}
+	defer s.opWG.Done()
+	t, err := s.tenantFor(tenantName, true)
+	if err != nil {
+		return Job{}, err
+	}
+	if q := s.cfg.MaxInFlight; q > 0 {
+		if d := t.depth.Add(1); d > q {
+			t.depth.Add(-1)
+			if s.rec != nil {
+				s.rec.Inc(obs.SrvRejects)
+			}
+			return Job{}, &BackpressureError{
+				Tenant: tenantName, Depth: d - 1, Quota: q,
+				RetryAfter: s.cfg.LeaseTTL,
+			}
+		}
+	} else {
+		t.depth.Add(1)
+	}
+	j := &job{
+		id:        s.nextID.Add(1),
+		tenant:    t,
+		payload:   payload,
+		submitted: s.now(),
+		state:     jsQueued,
+	}
+	out := j.external() // before publishing: a lease may mutate j at once
+	t.jmu.Lock()
+	t.jobs[j.id] = j
+	t.jmu.Unlock()
+	t.enqueue(j.id)
+	if s.rec != nil {
+		s.rec.Inc(obs.SrvSubmits)
+	}
+	if s.ev != nil {
+		s.ev.Event(obs.EvSrvSubmit, obs.LaneDefault, j.id)
+	}
+	return out, nil
+}
+
+// Lease hands the caller one job from tenant, or ok=false when the tenant's
+// queue is empty. The returned lease must be settled with Ack or Nack
+// before its deadline or the scanner reclaims and redelivers it.
+func (s *Service) Lease(tenantName string) (Lease, bool, error) {
+	if err := s.begin(); err != nil {
+		return Lease{}, false, err
+	}
+	defer s.opWG.Done()
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil || t == nil {
+		return Lease{}, false, err
+	}
+	for {
+		id, ok := t.dequeue()
+		if !ok {
+			return Lease{}, false, nil
+		}
+		t.jmu.Lock()
+		j := t.jobs[id]
+		t.jmu.Unlock()
+		if j == nil {
+			// The id outlived its job record (possible only after a
+			// restore raced a duplicate checkpoint entry); skip it.
+			continue
+		}
+		return s.lease(j), true, nil
+	}
+}
+
+// lease transitions j to jsLeased under a fresh token and publishes the
+// token in the lease table.
+func (s *Service) lease(j *job) Lease {
+	token := s.nextToken.Add(1)
+	now := s.now()
+	deadline := now.Add(s.cfg.LeaseTTL)
+
+	j.mu.Lock()
+	j.state = jsLeased
+	j.attempts++
+	j.token = token
+	j.deadline = deadline
+	first := !j.delivered
+	j.delivered = true
+	attempts := j.attempts
+	out := Lease{Job: j.external(), Token: token, Deadline: deadline}
+	j.mu.Unlock()
+
+	s.inFlight.Add(1)
+	s.lmu.Lock()
+	s.leases[token] = j
+	s.deadlines.push(tokenAt{at: deadline, token: token})
+	s.lmu.Unlock()
+
+	if s.rec != nil {
+		s.rec.Inc(obs.SrvLeases)
+		if attempts > 1 {
+			s.rec.Inc(obs.SrvRedeliveries)
+		}
+		if first {
+			s.rec.Observe(obs.LeaseLatency, uint64(now.Sub(j.submitted).Nanoseconds()))
+		}
+	}
+	if s.ev != nil {
+		s.ev.Event(obs.EvSrvLease, obs.LaneDefault, j.id)
+	}
+	return out
+}
+
+// takeLease atomically consumes token: exactly one caller (Ack, Nack, or
+// the scanner) wins it. The winner owns the job's next transition and must
+// decrement inFlight when that transition is complete.
+func (s *Service) takeLease(token uint64) *job {
+	s.lmu.Lock()
+	j := s.leases[token]
+	if j != nil {
+		delete(s.leases, token)
+	}
+	s.lmu.Unlock()
+	return j
+}
+
+// Ack settles a lease successfully: the job is done and will never be
+// redelivered. A second Ack (or an Ack after expiry) gets ErrNoSuchLease.
+func (s *Service) Ack(token uint64) error {
+	if s.state.Load() == srvStopped {
+		return ErrStopped
+	}
+	j := s.takeLease(token)
+	if j == nil {
+		return ErrNoSuchLease
+	}
+	now := s.now()
+	j.mu.Lock()
+	j.state = jsDone
+	j.mu.Unlock()
+	t := j.tenant
+	t.jmu.Lock()
+	delete(t.jobs, j.id)
+	t.jmu.Unlock()
+	t.depth.Add(-1)
+	if s.rec != nil {
+		s.rec.Inc(obs.SrvAcks)
+		s.rec.Observe(obs.AckLatency, uint64(now.Sub(j.submitted).Nanoseconds()))
+	}
+	if s.ev != nil {
+		s.ev.Event(obs.EvSrvAck, obs.LaneDefault, j.id)
+	}
+	s.inFlight.Add(-1) // last: drain may proceed only once the job settled
+	return nil
+}
+
+// Nack settles a lease unsuccessfully: the retry policy decides whether
+// the job is redelivered (possibly delayed) or dead-lettered.
+func (s *Service) Nack(token uint64) error {
+	if s.state.Load() == srvStopped {
+		return ErrStopped
+	}
+	j := s.takeLease(token)
+	if j == nil {
+		return ErrNoSuchLease
+	}
+	if s.rec != nil {
+		s.rec.Inc(obs.SrvNacks)
+	}
+	if s.ev != nil {
+		s.ev.Event(obs.EvSrvNack, obs.LaneDefault, j.id)
+	}
+	s.redeliver(j, s.now())
+	return nil
+}
+
+// redeliver routes a failed delivery (nack or expiry). The caller must
+// have consumed the job's lease token via takeLease; redeliver finishes
+// the transition and decrements inFlight.
+func (s *Service) redeliver(j *job, now time.Time) {
+	j.mu.Lock()
+	attempts := j.attempts
+	j.mu.Unlock()
+
+	dec := s.cfg.Backoff.Decide(policy.Abort{Attempt: attempts}, s.rng.randN)
+	if dec.Fallback {
+		s.deadLetter(j)
+		s.inFlight.Add(-1)
+		return
+	}
+	delay := time.Duration(dec.Delay) * s.cfg.BackoffUnit
+	if delay <= 0 {
+		j.mu.Lock()
+		j.state = jsQueued
+		j.mu.Unlock()
+		j.tenant.enqueue(j.id)
+		s.inFlight.Add(-1)
+		return
+	}
+	nb := now.Add(delay)
+	j.mu.Lock()
+	j.state = jsDelayed
+	j.notBefore = nb
+	j.mu.Unlock()
+	s.lmu.Lock()
+	s.delayed.push(jobAt{at: nb, j: j})
+	s.lmu.Unlock()
+	s.inFlight.Add(-1)
+}
+
+// deadLetter moves j to its tenant's dead-letter queue.
+func (s *Service) deadLetter(j *job) {
+	j.mu.Lock()
+	j.state = jsDead
+	j.mu.Unlock()
+	t := j.tenant
+	t.jmu.Lock()
+	delete(t.jobs, j.id)
+	t.dead = append(t.dead, j)
+	t.jmu.Unlock()
+	t.depth.Add(-1)
+	if s.rec != nil {
+		s.rec.Inc(obs.SrvDLQ)
+	}
+	if s.ev != nil {
+		s.ev.Event(obs.EvSrvDLQ, obs.LaneDefault, j.id)
+	}
+}
+
+// ScanOnce runs one deadline-scanner pass against the given clock reading:
+// leases whose deadline passed are reclaimed and redelivered, delayed jobs
+// whose pacing window passed are requeued. It returns the number of leases
+// reclaimed. The chaos harness calls it directly (with a future now) to
+// force expiry; the background scanner calls it every ScanInterval.
+func (s *Service) ScanOnce(now time.Time) int {
+	var expired []*job
+	var release []*job
+	s.lmu.Lock()
+	for s.deadlines.len() > 0 && !s.deadlines.min().at.After(now) {
+		e := s.deadlines.pop()
+		j := s.leases[e.token]
+		if j == nil {
+			continue // settled before expiry; stale heap entry
+		}
+		delete(s.leases, e.token)
+		expired = append(expired, j)
+	}
+	for s.delayed.len() > 0 && !s.delayed.min().at.After(now) {
+		release = append(release, s.delayed.pop().j)
+	}
+	s.lmu.Unlock()
+
+	for _, j := range expired {
+		if s.rec != nil {
+			s.rec.Inc(obs.SrvExpired)
+		}
+		if s.ev != nil {
+			s.ev.Event(obs.EvSrvExpire, obs.LaneDefault, j.id)
+		}
+		s.redeliver(j, now)
+	}
+	for _, j := range release {
+		j.mu.Lock()
+		j.state = jsQueued
+		j.mu.Unlock()
+		j.tenant.enqueue(j.id)
+	}
+	return len(expired)
+}
+
+// scanLoop is the background deadline scanner.
+func (s *Service) scanLoop() {
+	defer close(s.scanDone)
+	tick := time.NewTicker(s.cfg.ScanInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.scanStop:
+			return
+		case <-tick.C:
+			s.ScanOnce(s.now())
+		}
+	}
+}

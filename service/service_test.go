@@ -1,0 +1,369 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine/policy"
+	"repro/service"
+)
+
+// fakeClock is a mutex-guarded manual clock for Config.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// immediateRetry is a budget-only policy: requeue with no delay until the
+// budget, then dead-letter. Tests use it to drive DLQ paths without
+// waiting out backoff windows.
+func immediateRetry(budget int) policy.RetryPolicy {
+	return policy.AbortBudget{Budget: budget, Inner: policy.ExponentialBackoff{}}
+}
+
+func mustService(t *testing.T, cfg service.Config) *service.Service {
+	t.Helper()
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSubmitLeaseAckRoundtrip(t *testing.T) {
+	s := mustService(t, service.Config{})
+	var tokens []uint64
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit("acme", json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if j.ID == 0 || j.Tenant != "acme" {
+			t.Fatalf("Submit %d returned %+v", i, j)
+		}
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		l, ok, err := s.Lease("acme")
+		if err != nil || !ok {
+			t.Fatalf("Lease %d: ok=%v err=%v", i, ok, err)
+		}
+		if l.Attempts != 1 {
+			t.Fatalf("lease %d: attempts = %d, want 1", i, l.Attempts)
+		}
+		if seen[l.ID] {
+			t.Fatalf("job %d delivered twice", l.ID)
+		}
+		seen[l.ID] = true
+		tokens = append(tokens, l.Token)
+	}
+	if _, ok, err := s.Lease("acme"); ok || err != nil {
+		t.Fatalf("Lease on empty queue: ok=%v err=%v", ok, err)
+	}
+	for _, tok := range tokens {
+		if err := s.Ack(tok); err != nil {
+			t.Fatalf("Ack(%d): %v", tok, err)
+		}
+	}
+	// Exactly-once ack: every second settlement fails.
+	for _, tok := range tokens {
+		if err := s.Ack(tok); !errors.Is(err, service.ErrNoSuchLease) {
+			t.Fatalf("double Ack(%d) = %v, want ErrNoSuchLease", tok, err)
+		}
+		if err := s.Nack(tok); !errors.Is(err, service.ErrNoSuchLease) {
+			t.Fatalf("Nack after Ack(%d) = %v, want ErrNoSuchLease", tok, err)
+		}
+	}
+	st := s.Stats()
+	if st.Submits != 3 || st.Leases != 3 || st.Acks != 3 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want submits=leases=acks=3, in_flight=0", st)
+	}
+}
+
+func TestLeaseExpiryRedelivery(t *testing.T) {
+	clk := newFakeClock()
+	s := mustService(t, service.Config{
+		LeaseTTL: time.Minute,
+		Backoff:  immediateRetry(10),
+		Now:      clk.Now,
+	})
+	if _, err := s.Submit("acme", json.RawMessage(`"job"`)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	l1, ok, _ := s.Lease("acme")
+	if !ok {
+		t.Fatal("first lease came back empty")
+	}
+	// Before the TTL nothing is reclaimed.
+	clk.Advance(30 * time.Second)
+	if n := s.ScanOnce(clk.Now()); n != 0 {
+		t.Fatalf("ScanOnce before expiry reclaimed %d leases", n)
+	}
+	// Past the TTL the scanner reclaims and requeues.
+	clk.Advance(31 * time.Second)
+	if n := s.ScanOnce(clk.Now()); n != 1 {
+		t.Fatalf("ScanOnce after expiry reclaimed %d leases, want 1", n)
+	}
+	l2, ok, _ := s.Lease("acme")
+	if !ok {
+		t.Fatal("job was not redelivered after expiry")
+	}
+	if l2.ID != l1.ID || l2.Attempts != 2 {
+		t.Fatalf("redelivery = id %d attempts %d, want id %d attempts 2", l2.ID, l2.Attempts, l1.ID)
+	}
+	// The expired token is dead; the new one settles the job.
+	if err := s.Ack(l1.Token); !errors.Is(err, service.ErrNoSuchLease) {
+		t.Fatalf("Ack(expired token) = %v, want ErrNoSuchLease", err)
+	}
+	if err := s.Ack(l2.Token); err != nil {
+		t.Fatalf("Ack(fresh token): %v", err)
+	}
+	st := s.Stats()
+	if st.Expired != 1 || st.Redeliveries != 1 {
+		t.Fatalf("stats = %+v, want expired=1 redeliveries=1", st)
+	}
+}
+
+func TestNackDeadLettersAfterBudget(t *testing.T) {
+	const budget = 3
+	s := mustService(t, service.Config{Backoff: immediateRetry(budget)})
+	j, err := s.Submit("acme", json.RawMessage(`"poison"`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for attempt := 1; ; attempt++ {
+		l, ok, err := s.Lease("acme")
+		if err != nil {
+			t.Fatalf("Lease: %v", err)
+		}
+		if !ok {
+			break // dead-lettered, no longer delivered
+		}
+		if l.Attempts != attempt {
+			t.Fatalf("attempt %d delivered with Attempts=%d", attempt, l.Attempts)
+		}
+		if attempt > budget {
+			t.Fatalf("job delivered %d times, budget is %d", attempt, budget)
+		}
+		if err := s.Nack(l.Token); err != nil {
+			t.Fatalf("Nack attempt %d: %v", attempt, err)
+		}
+	}
+	dead := s.DeadLetters("acme")
+	if len(dead) != 1 || dead[0].ID != j.ID || dead[0].Attempts != budget {
+		t.Fatalf("dead letters = %+v, want job %d with %d attempts", dead, j.ID, budget)
+	}
+	st := s.Stats()
+	if st.DLQ != 1 || st.Nacks != uint64(budget) || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want dlq=1 nacks=%d in_flight=0", st, budget)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Dead != 1 || st.Tenants[0].Depth != 0 {
+		t.Fatalf("tenant stats = %+v, want dead=1 depth=0", st.Tenants)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	s := mustService(t, service.Config{MaxInFlight: 2, Backoff: immediateRetry(5)})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("acme", nil); err != nil {
+			t.Fatalf("Submit %d under quota: %v", i, err)
+		}
+	}
+	_, err := s.Submit("acme", nil)
+	var bp *service.BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("Submit over quota = %v, want *BackpressureError", err)
+	}
+	if bp.Quota != 2 || bp.RetryAfter <= 0 {
+		t.Fatalf("backpressure error = %+v", bp)
+	}
+	// Tenants are isolated: another tenant still has room.
+	if _, err := s.Submit("other", nil); err != nil {
+		t.Fatalf("Submit to second tenant: %v", err)
+	}
+	// Settling a job frees quota.
+	l, ok, _ := s.Lease("acme")
+	if !ok {
+		t.Fatal("lease under backpressure came back empty")
+	}
+	if err := s.Ack(l.Token); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if _, err := s.Submit("acme", nil); err != nil {
+		t.Fatalf("Submit after ack freed quota: %v", err)
+	}
+	if st := s.Stats(); st.Rejects != 1 {
+		t.Fatalf("stats rejects = %d, want 1", st.Rejects)
+	}
+}
+
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sbqd.json")
+	cfg := service.Config{SnapshotPath: path, Backoff: immediateRetry(10)}
+
+	s1 := mustService(t, cfg)
+	payloads := map[uint64]string{}
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf(`{"i":%d}`, i)
+		j, err := s1.Submit("acme", json.RawMessage(p))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		payloads[j.ID] = p
+	}
+	j5, err := s1.Submit("beta", json.RawMessage(`"b"`))
+	if err != nil {
+		t.Fatalf("Submit beta: %v", err)
+	}
+	payloads[j5.ID] = `"b"`
+
+	// Leave one lease unsettled so shutdown has to force-expire it.
+	if _, ok, _ := s1.Lease("acme"); !ok {
+		t.Fatal("lease came back empty")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s1.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with a hung lease = %v, want DeadlineExceeded", err)
+	}
+	if _, err := s1.Submit("acme", nil); !errors.Is(err, service.ErrStopped) {
+		t.Fatalf("Submit after shutdown = %v, want ErrStopped", err)
+	}
+
+	// Restart: every unsettled job must come back, ids and payloads intact.
+	s2 := mustService(t, cfg)
+	got := map[uint64]string{}
+	for _, tenant := range []string{"acme", "beta"} {
+		for {
+			l, ok, err := s2.Lease(tenant)
+			if err != nil {
+				t.Fatalf("Lease after restore: %v", err)
+			}
+			if !ok {
+				break
+			}
+			if _, dup := got[l.ID]; dup {
+				t.Fatalf("job %d delivered twice after restore", l.ID)
+			}
+			got[l.ID] = string(l.Payload)
+			if err := s2.Ack(l.Token); err != nil {
+				t.Fatalf("Ack after restore: %v", err)
+			}
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("restored %d jobs, want %d (got %v)", len(got), len(payloads), got)
+	}
+	for id, p := range payloads {
+		if got[id] != p {
+			t.Fatalf("job %d payload = %q, want %q", id, got[id], p)
+		}
+	}
+	// Fresh ids continue past the restored namespace.
+	j, err := s2.Submit("acme", nil)
+	if err != nil {
+		t.Fatalf("Submit after restore: %v", err)
+	}
+	if j.ID <= j5.ID {
+		t.Fatalf("post-restore id %d not beyond pre-restart ids (max %d)", j.ID, j5.ID)
+	}
+}
+
+func TestSwapBackendLosesNothing(t *testing.T) {
+	s := mustService(t, service.Config{Queue: "Sharded-FAA", Shards: 2})
+	const n = 32
+	want := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		j, err := s.Submit("acme", nil)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		want[j.ID] = true
+	}
+	if err := s.SwapBackend("acme", "Sharded-SBQ"); err != nil {
+		t.Fatalf("SwapBackend: %v", err)
+	}
+	if got := s.Backend("acme"); got != "Sharded-SBQ" {
+		t.Fatalf("Backend = %q after swap, want Sharded-SBQ", got)
+	}
+	for i := 0; i < n; i++ {
+		l, ok, err := s.Lease("acme")
+		if err != nil || !ok {
+			t.Fatalf("Lease %d after swap: ok=%v err=%v", i, ok, err)
+		}
+		if !want[l.ID] {
+			t.Fatalf("unknown or duplicate job %d after swap", l.ID)
+		}
+		delete(want, l.ID)
+		if err := s.Ack(l.Token); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d jobs lost across the swap: %v", len(want), want)
+	}
+	if err := s.SwapBackend("acme", "no-such-queue"); err == nil {
+		t.Fatal("SwapBackend to an unknown entry succeeded")
+	}
+	if err := s.SwapBackend("ghost", "Sharded-FAA"); err == nil {
+		t.Fatal("SwapBackend on an unknown tenant succeeded")
+	}
+}
+
+func TestGracefulShutdownDrainsCleanly(t *testing.T) {
+	s := mustService(t, service.Config{})
+	if _, err := s.Submit("acme", nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	l, ok, _ := s.Lease("acme")
+	if !ok {
+		t.Fatal("lease came back empty")
+	}
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		done <- s.Ack(l.Token)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with a settling worker = %v, want clean drain", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Ack during drain: %v", err)
+	}
+	if err := s.Shutdown(ctx); !errors.Is(err, service.ErrAlreadyDraining) {
+		t.Fatalf("second Shutdown = %v, want ErrAlreadyDraining", err)
+	}
+	if _, _, err := s.Lease("acme"); !errors.Is(err, service.ErrStopped) {
+		t.Fatalf("Lease after shutdown = %v, want ErrStopped", err)
+	}
+}
+
+func TestNewRejectsUnknownQueue(t *testing.T) {
+	if _, err := service.New(service.Config{Queue: "no-such-queue"}); err == nil {
+		t.Fatal("New with an unknown queue entry succeeded")
+	}
+}

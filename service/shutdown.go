@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrAlreadyDraining is returned by Shutdown when another Shutdown is
+// already in progress (or has completed).
+var ErrAlreadyDraining = errors.New("service: shutdown already in progress")
+
+// Shutdown drains the service gracefully:
+//
+//  1. Fence: Submit and Lease start returning ErrDraining (in-flight
+//     calls are waited out first, so the fence is exact).
+//  2. Drain: wait for every outstanding lease to settle, running scanner
+//     passes so naturally-expiring leases are reclaimed meanwhile. If ctx
+//     expires first, force-expire the stragglers (their jobs go back to
+//     queued/delayed/dead by the usual redelivery rules — nothing is
+//     lost, the work just outlives this process).
+//  3. Stop: Ack/Nack start returning ErrStopped, then every unsettled
+//     job is checkpointed to Config.SnapshotPath (when set) so the next
+//     New redelivers it.
+//
+// Shutdown returns nil on a clean drain and ctx.Err() when it had to
+// force-expire; the checkpoint is written either way.
+func (s *Service) Shutdown(ctx context.Context) error {
+	if !s.state.CompareAndSwap(srvServing, srvDraining) {
+		return ErrAlreadyDraining
+	}
+	s.opWG.Wait() // no Submit/Lease in flight past this point
+
+	close(s.scanStop)
+	<-s.scanDone
+
+	drainErr := s.drainLeases(ctx)
+
+	s.state.Store(srvStopped)
+	if s.cfg.SnapshotPath != "" {
+		if err := s.checkpoint(s.cfg.SnapshotPath); err != nil {
+			return err
+		}
+	}
+	return drainErr
+}
+
+// drainLeases waits for inFlight to reach zero, reclaiming
+// naturally-expiring leases itself (the background scanner is stopped).
+// At the ctx deadline it force-expires everything still outstanding.
+func (s *Service) drainLeases(ctx context.Context) error {
+	poll := s.cfg.ScanInterval / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	for s.inFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			// Force-expire: reclaim every outstanding lease regardless of
+			// deadline, then wait for the redeliver transitions (which run
+			// synchronously in ScanOnce) to settle inFlight to zero.
+			s.ScanOnce(s.now().Add(1000 * time.Hour))
+			for s.inFlight.Load() > 0 {
+				time.Sleep(time.Millisecond)
+			}
+			return ctx.Err()
+		case <-time.After(poll):
+			s.ScanOnce(s.now())
+		}
+	}
+	return nil
+}
+
+// TenantStats is one tenant's depth breakdown.
+type TenantStats struct {
+	Tenant  string `json:"tenant"`
+	Queue   string `json:"queue"` // current backend entry name
+	Depth   int64  `json:"depth"` // queued + delayed + leased
+	Queued  int    `json:"queued"`
+	Leased  int    `json:"leased"`
+	Delayed int    `json:"delayed"`
+	Dead    int    `json:"dead"`
+}
+
+// StatsSnapshot is the service-wide view GET /v1/stats renders.
+type StatsSnapshot struct {
+	State    string `json:"state"`
+	InFlight int64  `json:"in_flight"` // outstanding lease tokens
+
+	Submits      uint64 `json:"submits"`
+	Leases       uint64 `json:"leases"`
+	Redeliveries uint64 `json:"redeliveries"`
+	Acks         uint64 `json:"acks"`
+	Nacks        uint64 `json:"nacks"`
+	Expired      uint64 `json:"expired"`
+	DLQ          uint64 `json:"dlq"`
+	Rejects      uint64 `json:"rejects"`
+
+	// Latency quantiles in nanoseconds, from the obs series: lease =
+	// submit→first delivery, ack = submit→ack. Zero when the recorder is
+	// not counter-readable or nothing was recorded.
+	LeaseP50  float64 `json:"lease_p50_ns"`
+	LeaseP99  float64 `json:"lease_p99_ns"`
+	LeaseP999 float64 `json:"lease_p999_ns"`
+	AckP50    float64 `json:"ack_p50_ns"`
+	AckP99    float64 `json:"ack_p99_ns"`
+	AckP999   float64 `json:"ack_p999_ns"`
+
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// Stats snapshots the service. Counter and quantile fields are populated
+// only when the service owns (or was given) an *obs.Stats recorder.
+func (s *Service) Stats() StatsSnapshot {
+	out := StatsSnapshot{InFlight: s.inFlight.Load()}
+	switch s.state.Load() {
+	case srvServing:
+		out.State = "serving"
+	case srvDraining:
+		out.State = "draining"
+	default:
+		out.State = "stopped"
+	}
+	if s.stats != nil {
+		snap := s.stats.Snapshot()
+		out.Submits = snap.Counter(obs.SrvSubmits)
+		out.Leases = snap.Counter(obs.SrvLeases)
+		out.Redeliveries = snap.Counter(obs.SrvRedeliveries)
+		out.Acks = snap.Counter(obs.SrvAcks)
+		out.Nacks = snap.Counter(obs.SrvNacks)
+		out.Expired = snap.Counter(obs.SrvExpired)
+		out.DLQ = snap.Counter(obs.SrvDLQ)
+		out.Rejects = snap.Counter(obs.SrvRejects)
+		lease := snap.Series[obs.LeaseLatency]
+		ack := snap.Series[obs.AckLatency]
+		out.LeaseP50, out.LeaseP99, out.LeaseP999 =
+			lease.Quantile(0.50), lease.Quantile(0.99), lease.Quantile(0.999)
+		out.AckP50, out.AckP99, out.AckP999 =
+			ack.Quantile(0.50), ack.Quantile(0.99), ack.Quantile(0.999)
+	}
+
+	s.tmu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tmu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	for _, t := range tenants {
+		ts := TenantStats{Tenant: t.name, Queue: t.be.Load().queueName, Depth: t.depth.Load()}
+		t.jmu.Lock()
+		for _, j := range t.jobs {
+			j.mu.Lock()
+			st := j.state
+			j.mu.Unlock()
+			switch st {
+			case jsQueued:
+				ts.Queued++
+			case jsLeased:
+				ts.Leased++
+			case jsDelayed:
+				ts.Delayed++
+			}
+		}
+		ts.Dead = len(t.dead)
+		t.jmu.Unlock()
+		out.Tenants = append(out.Tenants, ts)
+	}
+	return out
+}
+
+// DeadLetters returns tenantName's dead-letter queue, oldest first.
+func (s *Service) DeadLetters(tenantName string) []Job {
+	t, _ := s.tenantFor(tenantName, false)
+	if t == nil {
+		return nil
+	}
+	t.jmu.Lock()
+	defer t.jmu.Unlock()
+	out := make([]Job, len(t.dead))
+	for i, j := range t.dead {
+		out[i] = j.external()
+	}
+	return out
+}

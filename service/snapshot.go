@@ -1,0 +1,212 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// snapshotVersion guards the checkpoint format. Bump on incompatible
+// changes; restore rejects unknown versions loudly instead of silently
+// dropping jobs.
+const snapshotVersion = 1
+
+// snapshot is the on-disk checkpoint: every unsettled job, per tenant, in
+// redelivery order.
+type snapshot struct {
+	Version int       `json:"version"`
+	Taken   time.Time `json:"taken"`
+	NextID  uint64    `json:"next_id"`
+	// NextToken persists so lease tokens stay monotonic across restarts:
+	// a worker holding a pre-restart token must get ErrNoSuchLease from
+	// the restarted service, never a collision with a fresh token (which
+	// would ack someone else's job).
+	NextToken uint64       `json:"next_token"`
+	Tenants   []snapTenant `json:"tenants"`
+}
+
+type snapTenant struct {
+	Name string    `json:"name"`
+	Jobs []snapJob `json:"jobs"` // pending jobs, queue order first
+	Dead []snapJob `json:"dead,omitempty"`
+}
+
+type snapJob struct {
+	ID          uint64          `json:"id"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+	Attempts    int             `json:"attempts"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	// NotBefore, when set and still in the future at restore time, puts
+	// the job back in the delay heap instead of the queue.
+	NotBefore time.Time `json:"not_before,omitempty"`
+}
+
+// checkpoint writes every unsettled job to path (tmp + rename, so a crash
+// mid-write leaves the previous checkpoint intact). Caller guarantees
+// quiescence: state is srvStopped, opWG drained, scanner stopped,
+// inFlight zero.
+func (s *Service) checkpoint(path string) error {
+	snap := snapshot{
+		Version:   snapshotVersion,
+		Taken:     s.now(),
+		NextID:    s.nextID.Load(),
+		NextToken: s.nextToken.Load(),
+	}
+
+	s.tmu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tmu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	for _, t := range tenants {
+		st := snapTenant{Name: t.name}
+
+		// Queue order first: drain the backend (quiescent, so two empty
+		// sweeps mean empty) and emit jobs in dequeue order.
+		be := t.be.Load()
+		inQueue := map[uint64]bool{}
+		empty := 0
+		for empty < 2 {
+			id, ok := be.cons.Dequeue()
+			if !ok {
+				empty++
+				continue
+			}
+			empty = 0
+			t.jmu.Lock()
+			j := t.jobs[id]
+			t.jmu.Unlock()
+			if j == nil || inQueue[id] {
+				continue
+			}
+			inQueue[id] = true
+			st.Jobs = append(st.Jobs, snapJobOf(j))
+		}
+
+		// Then everything else in the job table — delayed jobs, plus any
+		// job a crashy interleaving left unreachable from the queue —
+		// sorted by id for determinism.
+		t.jmu.Lock()
+		var rest []*job
+		for id, j := range t.jobs {
+			if !inQueue[id] {
+				rest = append(rest, j)
+			}
+		}
+		dead := make([]*job, len(t.dead))
+		copy(dead, t.dead)
+		t.jmu.Unlock()
+		sort.Slice(rest, func(i, k int) bool { return rest[i].id < rest[k].id })
+		for _, j := range rest {
+			st.Jobs = append(st.Jobs, snapJobOf(j))
+		}
+		for _, j := range dead {
+			st.Dead = append(st.Dead, snapJobOf(j))
+		}
+		if len(st.Jobs) > 0 || len(st.Dead) > 0 {
+			snap.Tenants = append(snap.Tenants, st)
+		}
+	}
+
+	// Compact on purpose: MarshalIndent would reformat RawMessage
+	// payloads, breaking byte-for-byte payload round-trips.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("service: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func snapJobOf(j *job) snapJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sj := snapJob{
+		ID:          j.id,
+		Payload:     j.payload,
+		Attempts:    j.attempts,
+		SubmittedAt: j.submitted,
+	}
+	if j.state == jsDelayed {
+		sj.NotBefore = j.notBefore
+	}
+	return sj
+}
+
+// restore loads a checkpoint written by a previous process's Shutdown.
+// A missing file is not an error (fresh start); a malformed or
+// wrong-version file is, loudly — silently dropping persisted jobs would
+// defeat the point. Called from New before the scanner starts.
+func (s *Service) restore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: reading checkpoint: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("service: decoding checkpoint %s: %w", path, err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("service: checkpoint %s has version %d, want %d", path, snap.Version, snapshotVersion)
+	}
+	s.nextID.Store(snap.NextID)
+	s.nextToken.Store(snap.NextToken)
+	now := s.now()
+	for _, st := range snap.Tenants {
+		t, err := s.newTenant(st.Name, s.cfg.Queue)
+		if err != nil {
+			return err
+		}
+		s.tenants[st.Name] = t
+		for _, sj := range st.Jobs {
+			j := &job{
+				id:        sj.ID,
+				tenant:    t,
+				payload:   sj.Payload,
+				submitted: sj.SubmittedAt,
+				attempts:  sj.Attempts,
+				delivered: sj.Attempts > 0,
+			}
+			t.jobs[j.id] = j
+			t.depth.Add(1)
+			if sj.NotBefore.After(now) {
+				j.state = jsDelayed
+				j.notBefore = sj.NotBefore
+				s.delayed.push(jobAt{at: sj.NotBefore, j: j}) // pre-scanner: no lock needed, but cheap
+			} else {
+				j.state = jsQueued
+				t.enqueue(j.id)
+			}
+		}
+		for _, sj := range st.Dead {
+			t.dead = append(t.dead, &job{
+				id:        sj.ID,
+				tenant:    t,
+				payload:   sj.Payload,
+				submitted: sj.SubmittedAt,
+				attempts:  sj.Attempts,
+				state:     jsDead,
+				delivered: sj.Attempts > 0,
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/queue"
+	"repro/queue/registry"
+)
+
+// tenant is one isolated job namespace: its own registry-built queue, job
+// table, dead-letter list, and depth quota accounting.
+type tenant struct {
+	name string
+	svc  *Service
+
+	// be is the current backend; SwapBackend replaces it atomically and
+	// migrates stranded elements (see swap).
+	be atomic.Pointer[backend]
+	// next picks the producer lane round-robin.
+	next atomic.Uint32
+
+	depth atomic.Int64 // queued + delayed + leased (quota accounting)
+
+	jmu  sync.Mutex
+	jobs map[uint64]*job // live (non-dead, non-done) jobs by id
+	dead []*job          // dead-letter queue, oldest first
+}
+
+// backend is one built queue instance as the tenant drives it: producer
+// lanes for Submit (each a single-goroutine registry view behind a mutex)
+// and a shared consumer view for Lease.
+type backend struct {
+	queueName string
+	lanes     []*lane
+	cons      queue.BatchQueue[uint64]
+}
+
+// lane serializes one registry producer view. HTTP handlers run on
+// arbitrary goroutines; the registry documents producer views as
+// single-goroutine, so each lane owns its view behind a mutex and Submit
+// spreads across lanes round-robin.
+type lane struct {
+	mu sync.Mutex
+	q  queue.BatchQueue[uint64]
+}
+
+// newBackend builds queueName for this service's shape.
+func (s *Service) newBackend(queueName string) (*backend, error) {
+	inst, err := registry.Build(queueName, registry.Config{
+		Producers: s.cfg.Lanes,
+		Shards:    s.cfg.Shards,
+		Recorder:  s.rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	be := &backend{queueName: queueName, cons: inst.ConsumerView(0)}
+	be.lanes = make([]*lane, s.cfg.Lanes)
+	for i := range be.lanes {
+		be.lanes[i] = &lane{q: inst.ProducerView(i)}
+	}
+	return be, nil
+}
+
+// newTenant builds a tenant on the named registry entry. Caller holds
+// s.tmu.
+func (s *Service) newTenant(name, queueName string) (*tenant, error) {
+	be, err := s.newBackend(queueName)
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{name: name, svc: s, jobs: map[uint64]*job{}}
+	t.be.Store(be)
+	return t, nil
+}
+
+// enqueue pushes a job id through one producer lane. The pointer re-check
+// under the lane lock pairs with swap's lane barrier: an enqueue commits
+// to a backend only while that backend is still current, so the
+// post-barrier drain cannot miss it.
+func (t *tenant) enqueue(id uint64) {
+	for {
+		be := t.be.Load()
+		ln := be.lanes[int(t.next.Add(1))%len(be.lanes)]
+		ln.mu.Lock()
+		if t.be.Load() != be {
+			ln.mu.Unlock()
+			continue // swapped mid-pick; retry on the new backend
+		}
+		ln.q.Enqueue(id)
+		ln.mu.Unlock()
+		return
+	}
+}
+
+// dequeue pops one job id, or ok=false when the queue appears empty.
+func (t *tenant) dequeue() (uint64, bool) {
+	return t.be.Load().cons.Dequeue()
+}
+
+// drainInto moves every element of old into dst's first lane. It returns
+// once two consecutive sweeps of old's consumer view come back empty — by
+// then every pre-swap enqueue has been barriered out (see SwapBackend) and
+// the old queue holds nothing.
+func drainInto(old, dst *backend) {
+	empty := 0
+	for empty < 2 {
+		id, ok := old.cons.Dequeue()
+		if !ok {
+			empty++
+			continue
+		}
+		empty = 0
+		ln := dst.lanes[0]
+		ln.mu.Lock()
+		ln.q.Enqueue(id)
+		ln.mu.Unlock()
+	}
+}
+
+// SwapBackend rebuilds tenantName's queue on a different registry entry
+// mid-flight and migrates every queued element — the service-level
+// analogue of the paper's HTM-to-fallback mode switch, exercised by the
+// chaos harness (swap a tenant from Sharded-SBQ to Sharded-FAA under
+// load and require zero lost jobs).
+//
+// Protocol: publish the new backend (new Submits land there), then take
+// each old lane's mutex once as a barrier (any Submit that loaded the old
+// pointer has finished its enqueue), then drain the old consumer view
+// into the new backend until two consecutive empty sweeps. Elements
+// dequeued concurrently by Lease are deliveries, not losses.
+func (s *Service) SwapBackend(tenantName, queueName string) error {
+	if _, ok := registry.LookupEntry(queueName); !ok {
+		return fmt.Errorf("service: unknown queue %q (have %v)", queueName, registry.Names())
+	}
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		return fmt.Errorf("service: unknown tenant %q", tenantName)
+	}
+	nb, err := s.newBackend(queueName)
+	if err != nil {
+		return err
+	}
+	old := t.be.Swap(nb)
+	for _, ln := range old.lanes {
+		// Empty critical section on purpose: a barrier flushing every
+		// enqueue that committed to the old backend (see tenant.enqueue).
+		ln.mu.Lock()
+		ln.mu.Unlock() //nolint:staticcheck
+	}
+	drainInto(old, nb)
+	return nil
+}
+
+// Backend reports tenantName's current queue entry name, for tests and
+// stats.
+func (s *Service) Backend(tenantName string) string {
+	t, _ := s.tenantFor(tenantName, false)
+	if t == nil {
+		return ""
+	}
+	return t.be.Load().queueName
+}
