@@ -37,6 +37,7 @@ func main() {
 		lanes       = fs.Int("lanes", 0, "producer lanes per tenant (0 = default)")
 		retryBudget = fs.Int("retry-budget", 0, "delivery attempts before dead-lettering (0 = default)")
 		maxInFlight = fs.Int64("max-inflight", 0, "per-tenant depth quota (0 = default, negative = unlimited)")
+		maxTenants  = fs.Int("max-tenants", 0, "cap on auto-created tenants (0 = default, negative = unlimited)")
 		snapshot    = fs.String("snapshot", "", "checkpoint path for graceful shutdown + restore")
 		seed        = fs.Uint64("seed", 0, "backoff jitter seed (0 = default)")
 
@@ -67,6 +68,7 @@ func main() {
 		ScanInterval: timings.ScanInterval,
 		RetryBudget:  *retryBudget,
 		MaxInFlight:  *maxInFlight,
+		MaxTenants:   *maxTenants,
 		SnapshotPath: *snapshot,
 		Seed:         *seed,
 	}, timings.DrainTimeout))

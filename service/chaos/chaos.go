@@ -56,7 +56,7 @@ type Profile struct {
 	NackProb  float64 // worker nacks
 
 	RetryBudget      int
-	ForceExpiryEvery time.Duration // period of forced ScanOnce(now+TTL) (0 = off)
+	ForceExpiryEvery time.Duration // period of forced lease expiry (ForceExpire; 0 = off)
 	Restart          bool          // shutdown + checkpoint + restore mid-run
 
 	DrainTimeout time.Duration
@@ -382,9 +382,12 @@ func Run(p Profile) (*Report, error) {
 				case <-scenarioCtx.Done():
 					return
 				case <-tick.C:
-					// Pretend the TTL already passed for every lease now
-					// outstanding: every in-flight ack must lose its race.
-					w.get().ScanOnce(time.Now().Add(p.LeaseTTL))
+					// Expire every lease now outstanding: every in-flight
+					// ack must lose its race. ForceExpire paces the
+					// redeliveries from the real clock, so forced jobs
+					// requeue on the normal backoff schedule instead of
+					// inheriting a fabricated future NotBefore.
+					w.get().ForceExpire()
 				}
 			}
 		}()

@@ -19,9 +19,9 @@ import (
 //	GET  /v1/dlq?tenant=t                                    → 200 [Job]
 //	GET  /healthz                                            → 200 serving | 503 otherwise
 //
-// Error mapping: over-quota Submit → 429 with Retry-After; draining →
-// 503 with Retry-After; stopped → 503; unknown/settled token → 409;
-// malformed request → 400.
+// Error mapping: over-quota Submit → 429 with Retry-After; tenant cap
+// reached → 429; draining → 503 with Retry-After; stopped → 503;
+// unknown/settled token → 409; malformed request → 400.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
@@ -70,6 +70,8 @@ func writeServiceError(w http.ResponseWriter, err error, retryAfter time.Duratio
 	switch {
 	case errors.As(err, &bp):
 		w.Header().Set("Retry-After", strconv.Itoa(int(bp.RetryAfter.Seconds()+1)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrTenantLimit):
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds()+1)))

@@ -43,6 +43,9 @@ var (
 	// the exactly-once-ack guarantee is exactly this error firing on
 	// every settlement attempt after the first.
 	ErrNoSuchLease = errors.New("service: unknown, expired, or already-settled lease token")
+	// ErrTenantLimit is returned by Submit when creating the job's tenant
+	// would exceed Config.MaxTenants. HTTP maps it to 429.
+	ErrTenantLimit = errors.New("service: tenant limit reached")
 )
 
 // BackpressureError is returned by Submit when a tenant's in-flight depth

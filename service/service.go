@@ -84,6 +84,14 @@ type Config struct {
 	// MaxInFlight bounds each tenant's unsettled depth (0 = 1<<16;
 	// negative = unlimited).
 	MaxInFlight int64
+	// MaxTenants bounds how many tenants Submit may auto-create (0 = 1024;
+	// negative = unlimited). Each tenant owns a full registry-built queue,
+	// so over an open endpoint an unbounded tenant namespace is a memory-
+	// exhaustion vector; Submit for a new tenant past the cap returns
+	// ErrTenantLimit (HTTP 429). Restore counts checkpointed tenants
+	// against the cap but never refuses them — persisted work always
+	// comes back.
+	MaxTenants int
 	// SnapshotPath, when non-empty, is where Shutdown checkpoints
 	// unsettled jobs and where New looks for a checkpoint to restore.
 	SnapshotPath string
@@ -130,6 +138,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 1 << 16
+	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = 1024
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -260,6 +271,10 @@ func (s *Service) tenantFor(name string, create bool) (*tenant, error) {
 	}
 	if !create {
 		return nil, nil
+	}
+	if q := s.cfg.MaxTenants; q > 0 && len(s.tenants) >= q {
+		return nil, fmt.Errorf("service: cannot create tenant %q (%d tenants, cap %d): %w",
+			name, len(s.tenants), q, ErrTenantLimit)
 	}
 	t, err := s.newTenant(name, s.cfg.Queue)
 	if err != nil {
@@ -501,13 +516,31 @@ func (s *Service) deadLetter(j *job) {
 // ScanOnce runs one deadline-scanner pass against the given clock reading:
 // leases whose deadline passed are reclaimed and redelivered, delayed jobs
 // whose pacing window passed are requeued. It returns the number of leases
-// reclaimed. The chaos harness calls it directly (with a future now) to
-// force expiry; the background scanner calls it every ScanInterval.
+// reclaimed. The background scanner calls it every ScanInterval.
 func (s *Service) ScanOnce(now time.Time) int {
+	return s.scanOnce(now, false)
+}
+
+// ForceExpire reclaims every outstanding lease and releases every delayed
+// job regardless of deadline, as if all their timers had fired now. Unlike
+// calling ScanOnce with a fabricated future clock, redelivery pacing is
+// computed from the service's real clock, so a force-expired job's
+// NotBefore stays near now rather than inheriting the fabricated offset
+// (which a checkpoint would then persist, stranding the job in the delay
+// heap after restore). Shutdown uses it at the drain deadline; the chaos
+// harness uses it to force every in-flight ack to lose its token race.
+func (s *Service) ForceExpire() int {
+	return s.scanOnce(s.now(), true)
+}
+
+// scanOnce reclaims due timers. now is the redelivery pacing base and,
+// when force is false, also the expiry cutoff; force pops every timer
+// unconditionally.
+func (s *Service) scanOnce(now time.Time, force bool) int {
 	var expired []*job
 	var release []*job
 	s.lmu.Lock()
-	for s.deadlines.len() > 0 && !s.deadlines.min().at.After(now) {
+	for s.deadlines.len() > 0 && (force || !s.deadlines.min().at.After(now)) {
 		e := s.deadlines.pop()
 		j := s.leases[e.token]
 		if j == nil {
@@ -516,7 +549,7 @@ func (s *Service) ScanOnce(now time.Time) int {
 		delete(s.leases, e.token)
 		expired = append(expired, j)
 	}
-	for s.delayed.len() > 0 && !s.delayed.min().at.After(now) {
+	for s.delayed.len() > 0 && (force || !s.delayed.min().at.After(now)) {
 		release = append(release, s.delayed.pop().j)
 	}
 	s.lmu.Unlock()

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -291,6 +293,57 @@ func TestCheckpointRestoreRoundtrip(t *testing.T) {
 	}
 }
 
+// TestForceExpireCheckpointPacing pins the force-expire clock discipline:
+// a shutdown that hits its drain deadline force-expires outstanding leases,
+// and the redelivery pacing written to the checkpoint must be computed from
+// the service clock — not from a fabricated far-future expiry cutoff. A
+// positive-backoff job caught by the force-expire must be deliverable
+// promptly after restore, not stranded in the delay heap.
+func TestForceExpireCheckpointPacing(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "sbqd.json")
+	cfg := service.Config{
+		SnapshotPath: path,
+		Now:          clk.Now,
+		// The default policy shape: positive, bounded delays. Max 256
+		// cycles x 1ms unit = at most ~256ms of pacing.
+		Backoff:     policy.AbortBudget{Budget: 10, Inner: policy.ExponentialBackoff{Base: 4, Max: 256}},
+		BackoffUnit: time.Millisecond,
+	}
+
+	s1 := mustService(t, cfg)
+	j, err := s1.Submit("acme", json.RawMessage(`"slow"`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, ok, _ := s1.Lease("acme"); !ok {
+		t.Fatal("lease came back empty")
+	}
+	// An already-expired context: the drain force-expires immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s1.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want context.Canceled", err)
+	}
+
+	// Restore on the same clock, advanced past any legitimate backoff
+	// window (1s >> 256ms) — but ~41 days short of the 1000h future the
+	// old fake-clock force-expiry would have persisted.
+	clk.Advance(time.Second)
+	s2 := mustService(t, cfg)
+	s2.ScanOnce(clk.Now())
+	l, ok, err := s2.Lease("acme")
+	if err != nil || !ok {
+		t.Fatalf("Lease after restore: ok=%v err=%v (force-expired job stranded in the delay heap?)", ok, err)
+	}
+	if l.ID != j.ID {
+		t.Fatalf("restored job id = %d, want %d", l.ID, j.ID)
+	}
+	if err := s2.Ack(l.Token); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+}
+
 func TestSwapBackendLosesNothing(t *testing.T) {
 	s := mustService(t, service.Config{Queue: "Sharded-FAA", Shards: 2})
 	const n = 32
@@ -329,6 +382,147 @@ func TestSwapBackendLosesNothing(t *testing.T) {
 	}
 	if err := s.SwapBackend("ghost", "Sharded-FAA"); err == nil {
 		t.Fatal("SwapBackend on an unknown tenant succeeded")
+	}
+}
+
+// TestSwapBackendConcurrent races swaps against each other and against
+// submits: serialized swaps must never strand a drained id in an abandoned
+// backend, so every accepted job stays leaseable.
+func TestSwapBackendConcurrent(t *testing.T) {
+	s := mustService(t, service.Config{Queue: "Sharded-FAA", Shards: 2})
+	want := make(map[uint64]bool)
+	var wmu sync.Mutex
+
+	// Create the tenant before the racing swappers look it up.
+	j0, err := s.Submit("acme", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want[j0.ID] = true
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				j, err := s.Submit("acme", nil)
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				wmu.Lock()
+				want[j.ID] = true
+				wmu.Unlock()
+			}
+		}()
+	}
+	entries := []string{"Sharded-SBQ", "Sharded-FAA"}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := s.SwapBackend("acme", entries[(g+i)%len(entries)]); err != nil {
+					t.Errorf("SwapBackend: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for {
+		l, ok, err := s.Lease("acme")
+		if err != nil {
+			t.Fatalf("Lease: %v", err)
+		}
+		if !ok {
+			break
+		}
+		wmu.Lock()
+		if !want[l.ID] {
+			wmu.Unlock()
+			t.Fatalf("unknown or duplicate job %d", l.ID)
+		}
+		delete(want, l.ID)
+		wmu.Unlock()
+		if err := s.Ack(l.Token); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d jobs unreachable after concurrent swaps: %v", len(want), want)
+	}
+}
+
+func TestSwapBackendAfterShutdownFenced(t *testing.T) {
+	s := mustService(t, service.Config{})
+	if _, err := s.Submit("acme", nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := s.SwapBackend("acme", "Sharded-SBQ"); !errors.Is(err, service.ErrStopped) {
+		t.Fatalf("SwapBackend after shutdown = %v, want ErrStopped", err)
+	}
+}
+
+func TestTenantLimit(t *testing.T) {
+	s := mustService(t, service.Config{MaxTenants: 2})
+	for _, tn := range []string{"a", "b"} {
+		if _, err := s.Submit(tn, nil); err != nil {
+			t.Fatalf("Submit %q under the cap: %v", tn, err)
+		}
+	}
+	if _, err := s.Submit("c", nil); !errors.Is(err, service.ErrTenantLimit) {
+		t.Fatalf("Submit past the tenant cap = %v, want ErrTenantLimit", err)
+	}
+	// Existing tenants still accept work.
+	if _, err := s.Submit("a", nil); err != nil {
+		t.Fatalf("Submit to existing tenant at the cap: %v", err)
+	}
+	// A negative cap means unlimited.
+	u := mustService(t, service.Config{MaxTenants: -1})
+	for i := 0; i < 8; i++ {
+		if _, err := u.Submit(fmt.Sprintf("t%d", i), nil); err != nil {
+			t.Fatalf("Submit with unlimited tenants: %v", err)
+		}
+	}
+}
+
+// TestShutdownReportsDrainAndCheckpointErrors: when the drain times out AND
+// the checkpoint fails, both errors surface through the returned error.
+func TestShutdownReportsDrainAndCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Squat a directory on the checkpoint's temp-file path: New's restore
+	// still sees a cleanly missing snapshot, but the checkpoint's
+	// WriteFile of snap.json.tmp must fail.
+	path := filepath.Join(dir, "snap.json")
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := mustService(t, service.Config{SnapshotPath: path})
+	if _, err := s.Submit("acme", nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, ok, _ := s.Lease("acme"); !ok {
+		t.Fatal("lease came back empty")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // drain deadline already passed: force-expiry guaranteed
+	err := s.Shutdown(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want the drain's context.Canceled to survive the checkpoint failure", err)
+	}
+	if !strings.Contains(fmt.Sprint(err), "checkpoint") {
+		t.Fatalf("Shutdown = %v, want the checkpoint failure reported too", err)
 	}
 }
 

@@ -42,7 +42,10 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.state.Store(srvStopped)
 	if s.cfg.SnapshotPath != "" {
 		if err := s.checkpoint(s.cfg.SnapshotPath); err != nil {
-			return err
+			// Keep the drain outcome visible alongside the checkpoint
+			// failure: the caller needs to know both that leases were
+			// force-expired and that their jobs were not persisted.
+			return errors.Join(drainErr, err)
 		}
 	}
 	return drainErr
@@ -64,8 +67,11 @@ func (s *Service) drainLeases(ctx context.Context) error {
 		case <-ctx.Done():
 			// Force-expire: reclaim every outstanding lease regardless of
 			// deadline, then wait for the redeliver transitions (which run
-			// synchronously in ScanOnce) to settle inFlight to zero.
-			s.ScanOnce(s.now().Add(1000 * time.Hour))
+			// synchronously in ForceExpire) to settle inFlight to zero.
+			// ForceExpire paces redelivery from the real clock, so the
+			// checkpoint records NotBefore near now — not a fabricated
+			// future that would strand restored jobs in the delay heap.
+			s.ForceExpire()
 			for s.inFlight.Load() > 0 {
 				time.Sleep(time.Millisecond)
 			}

@@ -18,6 +18,11 @@ type tenant struct {
 	// be is the current backend; SwapBackend replaces it atomically and
 	// migrates stranded elements (see swap).
 	be atomic.Pointer[backend]
+	// swapMu serializes SwapBackend calls on this tenant: a swap's drain
+	// must finish publishing into its destination before another swap may
+	// replace that destination, or the drained ids would land in an
+	// abandoned backend and become unreachable by Lease.
+	swapMu sync.Mutex
 	// next picks the producer lane round-robin.
 	next atomic.Uint32
 
@@ -100,11 +105,14 @@ func (t *tenant) dequeue() (uint64, bool) {
 	return t.be.Load().cons.Dequeue()
 }
 
-// drainInto moves every element of old into dst's first lane. It returns
-// once two consecutive sweeps of old's consumer view come back empty — by
-// then every pre-swap enqueue has been barriered out (see SwapBackend) and
-// the old queue holds nothing.
-func drainInto(old, dst *backend) {
+// drainInto moves every element of old into the tenant's *current*
+// backend. It returns once two consecutive sweeps of old's consumer view
+// come back empty — by then every pre-swap enqueue has been barriered out
+// (see SwapBackend) and the old queue holds nothing. Re-enqueueing goes
+// through t.enqueue, whose pointer re-check under the lane lock guarantees
+// each id commits to a backend that is still current — never to one a
+// concurrent swap already replaced.
+func (t *tenant) drainInto(old *backend) {
 	empty := 0
 	for empty < 2 {
 		id, ok := old.cons.Dequeue()
@@ -113,10 +121,7 @@ func drainInto(old, dst *backend) {
 			continue
 		}
 		empty = 0
-		ln := dst.lanes[0]
-		ln.mu.Lock()
-		ln.q.Enqueue(id)
-		ln.mu.Unlock()
+		t.enqueue(id)
 	}
 }
 
@@ -129,9 +134,18 @@ func drainInto(old, dst *backend) {
 // Protocol: publish the new backend (new Submits land there), then take
 // each old lane's mutex once as a barrier (any Submit that loaded the old
 // pointer has finished its enqueue), then drain the old consumer view
-// into the new backend until two consecutive empty sweeps. Elements
+// into the current backend until two consecutive empty sweeps. Elements
 // dequeued concurrently by Lease are deliveries, not losses.
+//
+// Swaps on one tenant are serialized by t.swapMu, and the whole call is
+// fenced by the shutdown opWG like Submit/Lease: once Shutdown has flipped
+// the state, SwapBackend returns ErrDraining/ErrStopped instead of racing
+// the drain and checkpoint.
 func (s *Service) SwapBackend(tenantName, queueName string) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.opWG.Done()
 	if _, ok := registry.LookupEntry(queueName); !ok {
 		return fmt.Errorf("service: unknown queue %q (have %v)", queueName, registry.Names())
 	}
@@ -146,6 +160,8 @@ func (s *Service) SwapBackend(tenantName, queueName string) error {
 	if err != nil {
 		return err
 	}
+	t.swapMu.Lock()
+	defer t.swapMu.Unlock()
 	old := t.be.Swap(nb)
 	for _, ln := range old.lanes {
 		// Empty critical section on purpose: a barrier flushing every
@@ -153,7 +169,7 @@ func (s *Service) SwapBackend(tenantName, queueName string) error {
 		ln.mu.Lock()
 		ln.mu.Unlock() //nolint:staticcheck
 	}
-	drainInto(old, nb)
+	t.drainInto(old)
 	return nil
 }
 
