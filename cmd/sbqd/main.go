@@ -5,18 +5,27 @@
 //
 //	sbqd -addr :8080 -queue Sharded-FAA -lease-ttl 30s -snapshot /var/lib/sbqd/checkpoint.json
 //
+// The service surface (see service.Handler) includes GET /metrics
+// (Prometheus text 0.0.4), /healthz, and /readyz. -admin-addr binds those
+// on a second listener together with the Go diagnostics — /debug/pprof/*
+// and /debug/vars — so the operational plane can stay off the job API's
+// port. -log/-log-level/-log-every control the structured lifecycle log.
+//
 // Chaos mode runs the in-process fault-injection harness instead of
 // serving, prints the report, and exits nonzero on any invariant
-// violation:
+// violation; -metrics-addr exposes the run to live scrapers (sbqtop, the
+// CI metrics-smoke job):
 //
-//	sbqd -chaos -profile short -trace-out trace.json
+//	sbqd -chaos -profile short -trace-out trace.json -metrics-addr 127.0.0.1:9091
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +41,7 @@ func main() {
 	fs := flag.NewFlagSet("sbqd", flag.ExitOnError)
 	var (
 		addr        = fs.String("addr", ":8080", "HTTP listen address (serve mode)")
+		adminAddr   = fs.String("admin-addr", "", "separate admin listen address for /metrics, /healthz, /readyz, /debug/pprof, /debug/vars (\"\" = none)")
 		queueName   = fs.String("queue", service.DefaultQueue, "registry queue entry backing each tenant")
 		shards      = fs.Int("shards", 0, "shard count (0 = the entry's default)")
 		lanes       = fs.Int("lanes", 0, "producer lanes per tenant (0 = default)")
@@ -41,15 +51,19 @@ func main() {
 		snapshot    = fs.String("snapshot", "", "checkpoint path for graceful shutdown + restore")
 		seed        = fs.Uint64("seed", 0, "backoff jitter seed (0 = default)")
 
-		chaosMode = fs.Bool("chaos", false, "run the chaos harness instead of serving")
-		profile   = fs.String("profile", "short", "chaos profile: short or standard")
-		traceOut  = fs.String("trace-out", "", "chaos: write a Chrome trace here")
-		swapTo    = fs.String("swap-to", "", "chaos: override the mid-run swap target entry (\"none\" disables)")
+		chaosMode   = fs.Bool("chaos", false, "run the chaos harness instead of serving")
+		profile     = fs.String("profile", "short", "chaos profile: short or standard")
+		traceOut    = fs.String("trace-out", "", "chaos: write a Chrome trace here")
+		swapTo      = fs.String("swap-to", "", "chaos: override the mid-run swap target entry (\"none\" disables)")
+		restart     = fs.Bool("restart", true, "chaos: run the mid-run restart scenario (off keeps counters scrape-monotonic)")
+		duration    = fs.Duration("duration", 0, "chaos: override the profile's submit-phase length (0 = profile default)")
+		metricsAddr = fs.String("metrics-addr", "", "chaos: admin listener for live /metrics scraping (\":0\" picks a port)")
 	)
 	timings := cliflag.ServiceTimings(fs, cliflag.Timings{
 		LeaseTTL:     30 * time.Second,
 		DrainTimeout: 10 * time.Second,
 	})
+	logCfg := cliflag.LogFlags(fs, cliflag.LogConfig{Format: "text", Level: "info", Every: 100})
 	fs.Parse(os.Args[1:])
 
 	if _, ok := registry.LookupEntry(*queueName); !ok {
@@ -58,9 +72,18 @@ func main() {
 	}
 
 	if *chaosMode {
-		os.Exit(runChaos(*profile, *queueName, *swapTo, *traceOut, *seed, timings))
+		os.Exit(runChaos(chaosOpts{
+			profile: *profile, queue: *queueName, swapTo: *swapTo,
+			traceOut: *traceOut, seed: *seed, restart: *restart,
+			duration: *duration, metricsAddr: *metricsAddr,
+		}, timings))
 	}
-	os.Exit(serve(*addr, service.Config{
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbqd: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(serve(*addr, *adminAddr, service.Config{
 		Queue:        *queueName,
 		Shards:       *shards,
 		Lanes:        *lanes,
@@ -71,10 +94,32 @@ func main() {
 		MaxTenants:   *maxTenants,
 		SnapshotPath: *snapshot,
 		Seed:         *seed,
+		Logger:       logger,
+		LogEvery:     logCfg.Every,
 	}, timings.DrainTimeout))
 }
 
-func serve(addr string, cfg service.Config, drainTimeout time.Duration) int {
+// adminHandler is the operational surface served on -admin-addr: the
+// service's own health/metrics routes plus the Go runtime diagnostics.
+// The job API (POST /v1/*) deliberately stays off this mux, so the admin
+// port can be firewalled separately from the data plane.
+func adminHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	sh := svc.Handler()
+	mux.Handle("GET /metrics", sh)
+	mux.Handle("GET /healthz", sh)
+	mux.Handle("GET /readyz", sh)
+	mux.Handle("GET /v1/stats", sh)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func serve(addr, adminAddr string, cfg service.Config, drainTimeout time.Duration) int {
 	svc, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbqd: %v\n", err)
@@ -87,6 +132,16 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration) int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if adminAddr != "" {
+		admin := &http.Server{Addr: adminAddr, Handler: adminHandler(svc)}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sbqd: admin: %v\n", err)
+			}
+		}()
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "sbqd: admin plane on %s (/metrics, /debug/pprof, /debug/vars)\n", adminAddr)
+	}
 	fmt.Fprintf(os.Stderr, "sbqd: serving on %s (queue=%s lease-ttl=%s)\n",
 		addr, cfg.Queue, cfg.LeaseTTL)
 
@@ -113,28 +168,41 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration) int {
 	return 0
 }
 
-func runChaos(profileName, queueName, swapTo, traceOut string, seed uint64, t *cliflag.Timings) int {
+// chaosOpts carries the chaos-mode flag values into runChaos.
+type chaosOpts struct {
+	profile, queue, swapTo, traceOut, metricsAddr string
+	seed                                          uint64
+	restart                                       bool
+	duration                                      time.Duration
+}
+
+func runChaos(o chaosOpts, t *cliflag.Timings) int {
 	var p chaos.Profile
-	switch profileName {
+	switch o.profile {
 	case "short":
 		p = chaos.ShortProfile()
 	case "standard":
 		p = chaos.StandardProfile()
 	default:
-		fmt.Fprintf(os.Stderr, "sbqd: unknown chaos profile %q (have short, standard)\n", profileName)
+		fmt.Fprintf(os.Stderr, "sbqd: unknown chaos profile %q (have short, standard)\n", o.profile)
 		return 2
 	}
-	p.Queue = queueName
-	p.TraceOut = traceOut
-	if seed != 0 {
-		p.Seed = seed
+	p.Queue = o.queue
+	p.TraceOut = o.traceOut
+	p.Restart = o.restart
+	p.MetricsAddr = o.metricsAddr
+	if o.duration > 0 {
+		p.Duration = o.duration
 	}
-	switch swapTo {
+	if o.seed != 0 {
+		p.Seed = o.seed
+	}
+	switch o.swapTo {
 	case "":
 	case "none":
 		p.SwapTo = ""
 	default:
-		p.SwapTo = swapTo
+		p.SwapTo = o.swapTo
 	}
 	// Flag defaults are serve-shaped (30s TTL, 10s drain); values moved
 	// off the default override the profile's own timings.

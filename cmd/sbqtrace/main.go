@@ -44,6 +44,7 @@ func main() {
 	faults := cliflag.Faults(flag.CommandLine)
 	chainWindow := flag.Uint64("chain-window", 0, "chain gap threshold in trace time units (0 = default)")
 	cascadeWindow := flag.Uint64("cascade-window", 0, "cascade attribution window in trace time units (0 = default)")
+	jobsOut := flag.String("jobs-out", "", "write a job-lane Chrome trace (one swimlane per job) here")
 	flag.Parse()
 
 	if *record {
@@ -64,6 +65,23 @@ func main() {
 		fatal(err)
 	}
 	report(tr, *chainWindow, *cascadeWindow)
+	if *jobsOut != "" {
+		writeJobs(tr, *jobsOut)
+	}
+}
+
+func writeJobs(tr *trace.Trace, path string) {
+	js := trace.AnalyzeJobs(tr)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := js.WriteJobsChrome(f, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d job lanes (load in chrome://tracing or ui.perfetto.dev)\n",
+		path, js.Jobs)
 }
 
 func doRecord(workload, variant string, threads, ops int, faults machine.FaultPlan, out string, analyze bool, cw, caw uint64) {
@@ -113,6 +131,10 @@ func report(tr *trace.Trace, chainWindow, cascadeWindow uint64) {
 	fmt.Printf("trace: %d events, epoch %d, %d dropped, clock %s\n", len(tr.Events), tr.Epoch, tr.Dropped, tr.Clock)
 	if v := tr.Meta["variant"]; v != "" {
 		fmt.Printf("variant: %s  workload: %s\n", v, tr.Meta["workload"])
+	}
+	if w := trace.DroppedWarning(tr.Dropped); w != "" {
+		// Also on stderr so a redirected report still screams in the log.
+		fmt.Fprintln(os.Stderr, w)
 	}
 	fmt.Println()
 	fmt.Print(a.Format())

@@ -1,0 +1,66 @@
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogConfig is the structured-logging configuration shared by commands
+// that emit log/slog records (cmd/sbqd). Format selects the slog handler
+// ("text", "json") or disables logging entirely ("off"); Level is the
+// minimum record level; Every is the 1-in-N sampling rate the service
+// applies to high-rate job-lifecycle records (submit, lease, ack, nack,
+// expire) — rare high-signal records (dead-letter, reject, restore,
+// shutdown) are never sampled regardless.
+type LogConfig struct {
+	Format string
+	Level  string
+	Every  int
+}
+
+// LogFlags registers the shared -log, -log-level, and -log-every flags on
+// fs with the given defaults and returns the bound struct. Values are
+// validated by Logger, not at flag-parse time, so commands control how a
+// bad value is reported.
+func LogFlags(fs *flag.FlagSet, def LogConfig) *LogConfig {
+	c := &LogConfig{}
+	fs.StringVar(&c.Format, "log", def.Format,
+		"structured log format: text, json, or off")
+	fs.StringVar(&c.Level, "log-level", def.Level,
+		"minimum log level: debug, info, warn, or error")
+	fs.IntVar(&c.Every, "log-every", def.Every,
+		"sample 1 in N high-rate job records (submit/lease/ack/nack/expire); warnings are never sampled")
+	return c
+}
+
+// Logger builds the configured *slog.Logger writing to w. A "off" (or
+// empty) format returns a nil logger, which the service treats as
+// logging disabled; unknown formats or levels are errors.
+func (c *LogConfig) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch c.Level {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (have debug, info, warn, error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch c.Format {
+	case "off", "":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (have text, json, off)", c.Format)
+	}
+}

@@ -1,0 +1,52 @@
+package cliflag
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := LogFlags(fs, LogConfig{Format: "text", Level: "info", Every: 100})
+	if err := fs.Parse([]string{"-log", "json", "-log-level", "warn", "-log-every", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Format != "json" || c.Level != "warn" || c.Every != 7 {
+		t.Fatalf("parsed config = %+v", c)
+	}
+
+	var b bytes.Buffer
+	l, err := c.Logger(&b)
+	if err != nil {
+		t.Fatalf("Logger: %v", err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "k", "v")
+	line := strings.TrimSpace(b.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("level filter leaked the info record:\n%s", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("json handler emitted non-JSON %q: %v", line, err)
+	}
+	if rec["msg"] != "shown" || rec["k"] != "v" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestLogConfigOffAndErrors(t *testing.T) {
+	var b bytes.Buffer
+	if l, err := (&LogConfig{Format: "off"}).Logger(&b); err != nil || l != nil {
+		t.Fatalf("off: logger=%v err=%v, want nil/nil", l, err)
+	}
+	if _, err := (&LogConfig{Format: "xml"}).Logger(&b); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := (&LogConfig{Format: "text", Level: "loud"}).Logger(&b); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package export
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Window tracks successive snapshots of one monotonically growing source
+// (an obs.Stats scoped to a process, tenant, or shard) and yields the
+// difference between consecutive observations. It is the delta/rate engine
+// behind the exporter's derived gauges and sbqtop's refresh loop: absolute
+// counters answer "how much ever", windows answer "how fast right now",
+// which is the signal the paper's retry/fallback tuning runs on (§3, §6.1).
+//
+// A Window is not safe for concurrent use; callers serialize Advance (the
+// Collection does so under its scrape lock).
+type Window struct {
+	prev   obs.Snapshot
+	prevAt time.Time
+	primed bool
+}
+
+// Advance records snap as the newest observation and returns the delta
+// since the previous one. The first call baselines against zero, so the
+// returned delta equals the lifetime snapshot with First set. A source
+// restart (any counter or histogram count moving backwards) re-baselines
+// against zero and sets Reset, mirroring Prometheus counter-reset handling
+// rather than producing huge unsigned wraparounds.
+func (w *Window) Advance(now time.Time, snap obs.Snapshot) Delta {
+	d := Delta{Snapshot: snap, First: !w.primed}
+	if w.primed {
+		d.Elapsed = now.Sub(w.prevAt)
+		if wentBackwards(w.prev, snap) {
+			d.Reset = true
+		} else {
+			d.Snapshot = diffSnapshot(w.prev, snap)
+		}
+	}
+	w.prev, w.prevAt, w.primed = snap, now, true
+	return d
+}
+
+// Delta is the windowed difference between two snapshots of one source.
+type Delta struct {
+	// Snapshot holds the counter and histogram increments observed inside
+	// the window (the full lifetime values when First or Reset is set).
+	Snapshot obs.Snapshot
+	// Elapsed is the wall-clock width of the window (zero when First).
+	Elapsed time.Duration
+	// First marks the priming observation of a fresh Window.
+	First bool
+	// Reset marks a detected counter reset (source restarted mid-window).
+	Reset bool
+}
+
+// Rate returns counter c's per-second rate over the window, or 0 when the
+// window has no width.
+func (d Delta) Rate(c obs.Counter) float64 {
+	secs := d.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(d.Snapshot.Counters[c]) / secs
+}
+
+// Ratio returns num/den over the window, 0 on a zero denominator.
+func (d Delta) Ratio(num, den obs.Counter) float64 { return d.Snapshot.Rate(num, den) }
+
+// CASFailureRate returns the windowed fraction of CAS attempts that failed.
+func (d Delta) CASFailureRate() float64 { return d.Snapshot.CASFailureRate() }
+
+// AbortRate returns the windowed fraction of transactions that aborted.
+func (d Delta) AbortRate() float64 { return d.Snapshot.AbortRate() }
+
+// StealMissRatio returns the windowed fraction of steal activity that came
+// up empty: misses / (steals + misses), 0 when there was none.
+func (d Delta) StealMissRatio() float64 {
+	steals := d.Snapshot.Counters[obs.DeqSteals]
+	misses := d.Snapshot.Counters[obs.DeqStealMisses]
+	if steals+misses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(steals+misses)
+}
+
+func wentBackwards(prev, cur obs.Snapshot) bool {
+	for c := range cur.Counters {
+		if cur.Counters[c] < prev.Counters[c] {
+			return true
+		}
+	}
+	for s := range cur.Series {
+		if cur.Series[s].Count < prev.Series[s].Count {
+			return true
+		}
+	}
+	return false
+}
+
+func diffSnapshot(prev, cur obs.Snapshot) obs.Snapshot {
+	var d obs.Snapshot
+	for c := range cur.Counters {
+		d.Counters[c] = cur.Counters[c] - prev.Counters[c]
+	}
+	for s := range cur.Series {
+		d.Series[s] = diffHistogram(prev.Series[s], cur.Series[s])
+	}
+	return d
+}
+
+func diffHistogram(prev, cur stats.Histogram) stats.Histogram {
+	var d stats.Histogram
+	for i := range cur.Buckets {
+		// Individual buckets cannot shrink on a monotonic source; clamp
+		// defensively so a torn read never wraps around.
+		if cur.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = cur.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	d.Count = cur.Count - prev.Count
+	d.Sum = cur.Sum - prev.Sum
+	return d
+}

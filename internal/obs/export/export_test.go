@@ -1,0 +1,200 @@
+package export
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func testCollection(t *testing.T) (*Collection, *obs.Stats, *obs.Stats) {
+	t.Helper()
+	c := NewCollection()
+	base := time.Unix(1000, 0)
+	c.now = func() time.Time { base = base.Add(time.Second); return base }
+	a, b := obs.New(), obs.New()
+	c.AddSnapshot(Labels{"tenant": "alpha", "queue": "Sharded-FAA"}, a.Snapshot)
+	c.AddSnapshot(Labels{"tenant": "beta", "queue": "SBQ"}, b.Snapshot)
+	return c, a, b
+}
+
+func scrape(t *testing.T, c *Collection) *Scrape {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse of own output: %v\n%s", err, b.String())
+	}
+	return s
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	c, a, b := testCollection(t)
+	a.Add(obs.SrvSubmits, 100)
+	a.Add(obs.CASAttempts, 50)
+	a.Add(obs.CASFailures, 10)
+	b.Add(obs.SrvSubmits, 7)
+	a.Observe(obs.LeaseLatency, 0)
+	a.Observe(obs.LeaseLatency, 5)
+	a.Observe(obs.LeaseLatency, 1000)
+
+	s := scrape(t, c)
+	alpha := Labels{"tenant": "alpha", "queue": "Sharded-FAA"}
+	if v, ok := s.Value("sbq_srv_submits_total", alpha); !ok || v != 100 {
+		t.Fatalf("alpha submits = %v,%v want 100", v, ok)
+	}
+	if got := s.Sum("sbq_srv_submits_total"); got != 107 {
+		t.Fatalf("Sum(submits) = %v, want 107", got)
+	}
+	if s.Types["sbq_srv_submits_total"] != "counter" {
+		t.Fatalf("submits TYPE = %q", s.Types["sbq_srv_submits_total"])
+	}
+	if s.Types["sbq_lease_ns"] != "histogram" {
+		t.Fatalf("lease TYPE = %q", s.Types["sbq_lease_ns"])
+	}
+	if v, ok := s.Value("sbq_lease_ns_count", alpha); !ok || v != 3 {
+		t.Fatalf("lease count = %v,%v want 3", v, ok)
+	}
+	if v, ok := s.Value("sbq_lease_ns_sum", alpha); !ok || v != 1005 {
+		t.Fatalf("lease sum = %v,%v want 1005", v, ok)
+	}
+	// le="0" catches the zero observation; le="7" catches 0 and 5.
+	withLE := func(le string) Labels {
+		l := Labels{"le": le}
+		for k, v := range alpha {
+			l[k] = v
+		}
+		return l
+	}
+	if v, _ := s.Value("sbq_lease_ns_bucket", withLE("0")); v != 1 {
+		t.Fatalf("bucket le=0 = %v, want 1", v)
+	}
+	if v, _ := s.Value("sbq_lease_ns_bucket", withLE("7")); v != 2 {
+		t.Fatalf("bucket le=7 = %v, want 2", v)
+	}
+	if v, _ := s.Value("sbq_lease_ns_bucket", withLE("+Inf")); v != 3 {
+		t.Fatalf("bucket le=+Inf = %v, want 3", v)
+	}
+	// CAS failure rate gauge appears for alpha (attempts > 0) only.
+	if v, ok := s.Value(CASFailureRateName, alpha); !ok || math.Abs(v-0.2) > 1e-9 {
+		t.Fatalf("cas failure rate = %v,%v want 0.2", v, ok)
+	}
+	if _, ok := s.Value(CASFailureRateName, Labels{"tenant": "beta", "queue": "SBQ"}); ok {
+		t.Fatal("beta has a CAS rate gauge despite zero attempts")
+	}
+}
+
+func TestWriteOmitsZeroSeries(t *testing.T) {
+	c, a, _ := testCollection(t)
+	a.Inc(obs.EnqOps)
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sbq_enq_ops_total") {
+		t.Fatalf("live counter missing:\n%s", out)
+	}
+	for _, absent := range []string{"sbq_deq_ops_total", "sbq_ack_ns", "tenant=\"beta\""} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("zero-valued %s leaked into output:\n%s", absent, out)
+		}
+	}
+}
+
+func TestWriteEscapesLabels(t *testing.T) {
+	c := NewCollection()
+	st := obs.New()
+	st.Inc(obs.EnqOps)
+	c.AddSnapshot(Labels{"tenant": "a\"b\\c\nd"}, st.Snapshot)
+	s := scrape(t, c)
+	if v, ok := s.Value("sbq_enq_ops_total", Labels{"tenant": "a\"b\\c\nd"}); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %v %v", v, ok)
+	}
+}
+
+func TestHistogramBucketBoundsMatchStats(t *testing.T) {
+	// Every value must land at-or-under its emitted inclusive bound.
+	c := NewCollection()
+	st := obs.New()
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 38} {
+		st.Observe(obs.EnqLatency, v)
+	}
+	c.AddSnapshot(nil, st.Snapshot)
+	s := scrape(t, c)
+	for _, v := range []uint64{0, 1, 3, 7, 1023} {
+		le := uint64(1)<<uint(stats.BucketOf(v)) - 1
+		got, ok := s.Value("sbq_enq_ns_bucket", Labels{"le": strings.TrimSpace(formatValue(float64(le)))})
+		if !ok {
+			t.Fatalf("no bucket for le=%d", le)
+		}
+		var want float64
+		for _, x := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 38} {
+			if x <= le {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("cumulative at le=%d = %v, want %v", le, got, want)
+		}
+	}
+}
+
+func TestGauges(t *testing.T) {
+	c := NewCollection()
+	depth := 3.0
+	c.AddGauges(func() []Sample {
+		return []Sample{{Name: "sbqd_tenant_depth", Labels: Labels{"tenant": "a"}, Value: depth}}
+	})
+	s := scrape(t, c)
+	if v, ok := s.Value("sbqd_tenant_depth", Labels{"tenant": "a"}); !ok || v != 3 {
+		t.Fatalf("gauge = %v,%v", v, ok)
+	}
+	depth = 1 // gauges may go down; no monotonicity violation
+	s2 := scrape(t, c)
+	if viol := CheckMonotonic(s, s2); len(viol) != 0 {
+		t.Fatalf("gauge decrease flagged as violation: %v", viol)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	c, a, _ := testCollection(t)
+	a.Inc(obs.EnqOps)
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if got := rr.Header().Get("Content-Type"); got != ContentType {
+		t.Fatalf("content type %q", got)
+	}
+	if _, err := Parse(rr.Body); err != nil {
+		t.Fatalf("served page does not parse: %v", err)
+	}
+}
+
+func TestScrapeToScrapeMonotonic(t *testing.T) {
+	c, a, b := testCollection(t)
+	a.Add(obs.SrvSubmits, 10)
+	a.Observe(obs.AckLatency, 100)
+	first := scrape(t, c)
+
+	a.Add(obs.SrvSubmits, 5)
+	b.Inc(obs.SrvSubmits) // new label set appearing is fine
+	a.Observe(obs.AckLatency, 200)
+	second := scrape(t, c)
+	if viol := CheckMonotonic(first, second); len(viol) != 0 {
+		t.Fatalf("unexpected violations: %v", viol)
+	}
+	// Reversed order must be detected.
+	if viol := CheckMonotonic(second, first); len(viol) == 0 {
+		t.Fatal("reversed scrapes produced no violations")
+	}
+}

@@ -1,0 +1,403 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one parsed exposition page: every sample point plus the
+// declared family types. It backs the sbqtop dashboard, the chaos harness's
+// ledger cross-check, and the CI metrics-smoke validator.
+type Scrape struct {
+	Points []Sample
+	// Types maps family name → declared TYPE (counter, gauge, histogram).
+	Types map[string]string
+
+	byKey map[string]float64
+}
+
+// Parse reads a Prometheus text-exposition (0.0.4) page, validating syntax
+// strictly enough for CI: metric-name and label grammar, quoted/escaped
+// label values, float-parseable sample values, TYPE declarations preceding
+// their family's samples, no duplicate (name, labels) points, and — for
+// families declared histogram — cumulative buckets that are non-decreasing
+// in le with the +Inf bucket equal to _count.
+func Parse(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Types: make(map[string]string), byKey: make(map[string]float64)}
+	seenSample := make(map[string]bool) // family → sample already seen
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := s.parseComment(line, seenSample); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		p, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := p.Name + renderLabels(p.Labels)
+		if _, dup := s.byKey[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		s.byKey[key] = p.Value
+		s.Points = append(s.Points, p)
+		seenSample[familyOf(p.Name)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Scrape) parseComment(line string, seenSample map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := s.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if seenSample[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		s.Types[name] = typ
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var p Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return p, fmt.Errorf("missing metric name in %q", line)
+	}
+	p.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return p, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		p.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return p, fmt.Errorf("%s: want value [timestamp], got %q", p.Name, rest)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return p, fmt.Errorf("%s: bad value %q", p.Name, fields[0])
+	}
+	p.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return p, fmt.Errorf("%s: bad timestamp %q", p.Name, fields[1])
+		}
+	}
+	return p, nil
+}
+
+func parseLabels(s string) (end int, labels Labels, err error) {
+	labels = Labels{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, nil, fmt.Errorf("bad label name at %q", s[i:])
+		}
+		name := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("label %s: missing '='", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", name, s[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf strips the histogram/summary sample suffixes off a sample name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// checkHistograms validates every declared-histogram family: per label set
+// the cumulative buckets are non-decreasing in le order and the +Inf bucket
+// matches _count.
+func (s *Scrape) checkHistograms() error {
+	for fam, typ := range s.Types {
+		if typ != "histogram" {
+			continue
+		}
+		groups := make(map[string][]lePoint)
+		for _, p := range s.Points {
+			if p.Name != fam+"_bucket" {
+				continue
+			}
+			le, ok := p.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", fam)
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", fam, le)
+			}
+			key := renderLabels(withoutLE(p.Labels))
+			groups[key] = append(groups[key], lePoint{bound, p.Value, key})
+		}
+		for key, pts := range groups {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+			prev := -1.0
+			for i, pt := range pts {
+				if i > 0 && pt.cum < prev {
+					return fmt.Errorf("%s%s: cumulative bucket decreases at le=%g", fam, key, pt.le)
+				}
+				prev = pt.cum
+			}
+			last := pts[len(pts)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("%s%s: missing +Inf bucket", fam, key)
+			}
+			if cnt, ok := s.byKey[fam+"_count"+key]; ok && cnt != last.cum {
+				return fmt.Errorf("%s%s: +Inf bucket %g != _count %g", fam, key, last.cum, cnt)
+			}
+		}
+	}
+	return nil
+}
+
+type lePoint struct {
+	le  float64
+	cum float64
+	key string
+}
+
+func withoutLE(l Labels) Labels {
+	out := make(Labels, len(l))
+	for k, v := range l {
+		if k != "le" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Value returns the sample with the given name and exact label set.
+func (s *Scrape) Value(name string, labels Labels) (float64, bool) {
+	v, ok := s.byKey[name+renderLabels(labels)]
+	return v, ok
+}
+
+// Sum adds up every label set of one family (e.g. a counter summed across
+// tenants).
+func (s *Scrape) Sum(name string) float64 {
+	var total float64
+	for _, p := range s.Points {
+		if p.Name == name {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// Quantile estimates the q-th quantile of the histogram family name,
+// restricted to points whose labels include sel, by merging the matching
+// cumulative buckets and interpolating linearly inside the containing
+// bucket (the parse-side mirror of stats.Histogram.Quantile). The second
+// return is false when no matching buckets exist or they are empty.
+func (s *Scrape) Quantile(name string, sel Labels, q float64) (float64, bool) {
+	merged := make(map[float64]float64)
+	for _, p := range s.Points {
+		if p.Name != name+"_bucket" || !matches(p.Labels, sel) {
+			continue
+		}
+		le, ok := p.Labels["le"]
+		if !ok {
+			continue
+		}
+		bound, err := parseFloat(le)
+		if err != nil {
+			continue
+		}
+		merged[bound] += p.Value
+	}
+	if len(merged) == 0 {
+		return 0, false
+	}
+	pts := make([]lePoint, 0, len(merged))
+	for le, cum := range merged {
+		pts = append(pts, lePoint{le: le, cum: cum})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+	total := pts[len(pts)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	var lower float64
+	var seen float64
+	for _, pt := range pts {
+		inBucket := pt.cum - seen
+		if inBucket > 0 && pt.cum >= rank {
+			if math.IsInf(pt.le, 1) {
+				return lower, true // unbounded bucket: report its floor
+			}
+			frac := (rank - seen) / inBucket
+			return lower + frac*(pt.le-lower), true
+		}
+		seen = pt.cum
+		if !math.IsInf(pt.le, 1) {
+			lower = pt.le
+		}
+	}
+	return lower, true
+}
+
+func matches(labels, sel Labels) bool {
+	for k, v := range sel {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckMonotonic compares two scrapes of the same target taken in order and
+// returns a list of violations: any counter sample, histogram bucket,
+// _count, or _sum that decreased or disappeared between prev and cur.
+// (The writer omits zero-valued counters, so a series that has appeared can
+// only keep appearing; a vanished series means a reset.) Gauges are exempt.
+func CheckMonotonic(prev, cur *Scrape) []string {
+	var violations []string
+	for _, p := range prev.Points {
+		if !monotonicFamily(prev, p.Name) {
+			continue
+		}
+		key := p.Name + renderLabels(p.Labels)
+		c, ok := cur.byKey[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present at %g, then missing", key, p.Value))
+			continue
+		}
+		if c < p.Value {
+			violations = append(violations, fmt.Sprintf("%s: decreased %g -> %g", key, p.Value, c))
+		}
+	}
+	return violations
+}
+
+// monotonicFamily reports whether a sample name belongs to a family whose
+// values must not decrease between scrapes.
+func monotonicFamily(s *Scrape, name string) bool {
+	if typ, ok := s.Types[name]; ok {
+		return typ == "counter"
+	}
+	fam := familyOf(name)
+	if fam != name {
+		return s.Types[fam] == "histogram"
+	}
+	return false
+}

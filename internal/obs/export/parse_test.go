@@ -1,0 +1,112 @@
+package export
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) *Scrape {
+	t.Helper()
+	s, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           `9metric 1`,
+		"missing value":      `metric{a="b"}`,
+		"bad value":          `metric 1.2.3`,
+		"unquoted label":     `metric{a=b} 1`,
+		"unterminated label": `metric{a="b} 1`,
+		"bad escape":         `metric{a="\q"} 1`,
+		"duplicate label":    `metric{a="1",a="2"} 1`,
+		"duplicate sample":   "metric{a=\"b\"} 1\nmetric{a=\"b\"} 2",
+		"bad type":           `# TYPE metric stopwatch`,
+		"type after sample":  "metric 1\n# TYPE metric counter",
+		"bad timestamp":      `metric 1 soon`,
+		"missing +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1",
+		"inf != count":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\nh_sum 1",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseAcceptsValidCorpus(t *testing.T) {
+	s := mustParse(t, `
+# HELP m Total things.
+# TYPE m counter
+m{tenant="a",queue="Q"} 12
+m{tenant="b"} 3
+# TYPE g gauge
+g 1.5e3
+g{x="esc\"a\\pe\n"} -2
+# TYPE h histogram
+h_bucket{le="0"} 1
+h_bucket{le="7"} 4
+h_bucket{le="+Inf"} 6
+h_sum 120
+h_count 6
+untyped_metric 4 1700000000
+`)
+	if v, ok := s.Value("m", Labels{"tenant": "a", "queue": "Q"}); !ok || v != 12 {
+		t.Fatalf("m{a} = %v,%v", v, ok)
+	}
+	if got := s.Sum("m"); got != 15 {
+		t.Fatalf("Sum(m) = %v", got)
+	}
+	if v, ok := s.Value("g", Labels{"x": "esc\"a\\pe\n"}); !ok || v != -2 {
+		t.Fatalf("escaped gauge = %v,%v", v, ok)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	s := mustParse(t, `
+# TYPE h histogram
+h_bucket{t="a",le="10"} 0
+h_bucket{t="a",le="100"} 90
+h_bucket{t="a",le="1000"} 99
+h_bucket{t="a",le="+Inf"} 100
+h_count{t="a"} 100
+h_sum{t="a"} 9000
+`)
+	// p50 falls in the (10,100] bucket: 10 + (50/90)*90 = 60.
+	if got, ok := s.Quantile("h", Labels{"t": "a"}, 0.5); !ok || math.Abs(got-60) > 1e-9 {
+		t.Fatalf("p50 = %v,%v want 60", got, ok)
+	}
+	// p99 lands exactly at the (100,1000] bucket's edge.
+	if got, ok := s.Quantile("h", Labels{"t": "a"}, 0.99); !ok || got > 1000 || got <= 100 {
+		t.Fatalf("p99 = %v,%v want in (100,1000]", got, ok)
+	}
+	// p999 is in the unbounded bucket: floor reported.
+	if got, ok := s.Quantile("h", Labels{"t": "a"}, 0.999); !ok || got != 1000 {
+		t.Fatalf("p999 = %v,%v want 1000", got, ok)
+	}
+	if _, ok := s.Quantile("h", Labels{"t": "missing"}, 0.5); ok {
+		t.Fatal("quantile over no matching buckets reported ok")
+	}
+}
+
+func TestCheckMonotonicDetects(t *testing.T) {
+	prev := mustParse(t, "# TYPE c counter\nc{t=\"a\"} 10\nc{t=\"b\"} 5\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 30\n# TYPE g gauge\ng 9")
+	cur := mustParse(t, "# TYPE c counter\nc{t=\"a\"} 8\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 20\n# TYPE g gauge\ng 1")
+	viol := CheckMonotonic(prev, cur)
+	if len(viol) != 5 { // c{a} decreased, c{b} missing, h_bucket/_count/_sum decreased
+		t.Fatalf("violations = %v", viol)
+	}
+	for _, v := range viol {
+		if strings.HasPrefix(v, "g") {
+			t.Fatalf("gauge flagged: %v", v)
+		}
+	}
+	if viol := CheckMonotonic(prev, prev); len(viol) != 0 {
+		t.Fatalf("self-comparison violations: %v", viol)
+	}
+}

@@ -70,3 +70,56 @@ func TestSnapshotMergeAccumulates(t *testing.T) {
 		t.Fatalf("after second merge EnqOps = %d, want 20", got)
 	}
 }
+
+// TestSnapshotMergeAdditivityAcrossTenants models the export layer's
+// invariant: when every per-tenant recorder is tee'd into one global
+// recorder, the merge of the per-tenant snapshots equals the global
+// snapshot, counter for counter and bucket for bucket.
+func TestSnapshotMergeAdditivityAcrossTenants(t *testing.T) {
+	global := New()
+	tenants := []*Stats{New(), New(), New()}
+	for i, ts := range tenants {
+		rec := Tee(ts, global)
+		rec.Add(SrvSubmits, uint64(10*(i+1)))
+		rec.Inc(SrvAcks)
+		rec.Observe(LeaseLatency, uint64(1<<uint(i+4)))
+		rec.Observe(AckLatency, uint64(100*(i+1)))
+	}
+
+	var merged Snapshot
+	for _, ts := range tenants {
+		merged.Merge(ts.Snapshot())
+	}
+	if got, want := merged, global.Snapshot(); got != want {
+		t.Fatalf("merged per-tenant snapshots != global snapshot:\n got %+v\nwant %+v", got, want)
+	}
+	if merged.Counter(SrvSubmits) != 60 || merged.Counter(SrvAcks) != 3 {
+		t.Fatalf("unexpected merged counters: submits=%d acks=%d",
+			merged.Counter(SrvSubmits), merged.Counter(SrvAcks))
+	}
+}
+
+// TestSnapshotRateZeroDenominator pins the division-by-zero contract the
+// export layer's derived gauges rely on: zero denominator → rate 0, never
+// NaN/Inf, even with a nonzero numerator.
+func TestSnapshotRateZeroDenominator(t *testing.T) {
+	var s Snapshot
+	if got := s.Rate(CASFailures, CASAttempts); got != 0 {
+		t.Fatalf("Rate on empty snapshot = %v, want 0", got)
+	}
+	s.Counters[CASFailures] = 7 // numerator without denominator
+	got := s.Rate(CASFailures, CASAttempts)
+	if got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Rate with zero denominator = %v, want 0", got)
+	}
+	if got := s.CASFailureRate(); got != 0 {
+		t.Fatalf("CASFailureRate with zero attempts = %v, want 0", got)
+	}
+	if got := s.AbortRate(); got != 0 {
+		t.Fatalf("AbortRate with zero starts = %v, want 0", got)
+	}
+	s.Counters[CASAttempts] = 14
+	if got := s.CASFailureRate(); got != 0.5 {
+		t.Fatalf("CASFailureRate = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+// capturingEvents is a counters+events recorder for testing tee fan-out.
+type capturingEvents struct {
+	Stats
+	events []EventKind
+}
+
+func (c *capturingEvents) Event(k EventKind, _ int32, _ uint64) { c.events = append(c.events, k) }
+
+func TestTeeNormalizesDisabledSides(t *testing.T) {
+	st := New()
+	if got := Tee(nil, nil); got != nil {
+		t.Fatalf("Tee(nil, nil) = %v, want nil", got)
+	}
+	if got := Tee(Nop{}, (*Stats)(nil)); got != nil {
+		t.Fatalf("Tee(Nop, typed-nil) = %v, want nil", got)
+	}
+	if got := Tee(st, nil); got != Recorder(st) {
+		t.Fatalf("Tee(st, nil) = %v, want the live side unchanged", got)
+	}
+	if got := Tee(Nop{}, st); got != Recorder(st) {
+		t.Fatalf("Tee(Nop, st) = %v, want the live side unchanged", got)
+	}
+}
+
+func TestTeeFansOutCountersAndSeries(t *testing.T) {
+	a, b := New(), New()
+	rec := Tee(a, b)
+	rec.Inc(EnqOps)
+	rec.Add(CASFailures, 4)
+	rec.Observe(EnqLatency, 128)
+
+	for name, st := range map[string]*Stats{"a": a, "b": b} {
+		snap := st.Snapshot()
+		if snap.Counter(EnqOps) != 1 || snap.Counter(CASFailures) != 4 {
+			t.Fatalf("%s: counters not fanned out: %+v", name, snap.Counters)
+		}
+		if snap.Series[EnqLatency].Count != 1 {
+			t.Fatalf("%s: series not fanned out", name)
+		}
+	}
+}
+
+func TestTeeForwardsEvents(t *testing.T) {
+	ev := &capturingEvents{}
+	plain := New()
+
+	// Either side event-capable → the tee is an EventRecorder.
+	for _, rec := range []Recorder{Tee(ev, plain), Tee(plain, ev)} {
+		er := Events(rec)
+		if er == nil {
+			t.Fatal("tee with an event-capable side lost EventRecorder capability")
+		}
+		er.Event(EvSrvSubmit, LaneDefault, 1)
+	}
+	if len(ev.events) != 2 {
+		t.Fatalf("event-capable side got %d events, want 2", len(ev.events))
+	}
+	// Counters still reach both sides through the event-capable tee.
+	Tee(ev, plain).Inc(SrvSubmits)
+	if plain.Snapshot().Counter(SrvSubmits) != 1 || ev.Snapshot().Counter(SrvSubmits) != 1 {
+		t.Fatal("counters did not fan out through the event tee")
+	}
+
+	// Neither side event-capable → no event interface.
+	if er := Events(Tee(New(), New())); er != nil {
+		t.Fatalf("counters-only tee claims events: %v", er)
+	}
+}

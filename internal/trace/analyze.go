@@ -94,17 +94,22 @@ type Analysis struct {
 	Enq     OpStats
 	Deq     OpStats
 	Baskets BasketStats
+	Jobs    *JobSpanStats
+	// Dropped is the trace's ring-overwrite loss. Nonzero drops mean every
+	// figure below is reconstructed from a truncated event stream.
+	Dropped uint64
 }
 
-// Analyze reconstructs chain, cascade, latency, and basket statistics
-// from a drained trace.
+// Analyze reconstructs chain, cascade, latency, basket, and job-span
+// statistics from a drained trace.
 func Analyze(t *Trace, opt AnalyzeOptions) *Analysis {
 	opt = opt.withDefaults(t)
-	a := &Analysis{Opt: opt, Clock: t.Clock}
+	a := &Analysis{Opt: opt, Clock: t.Clock, Dropped: t.Dropped}
 	a.Chains = analyzeChains(t, opt)
 	a.Cascade = analyzeCascades(t, opt)
 	a.Enq, a.Deq = analyzeOps(t, opt)
 	a.Baskets = analyzeBaskets(t, a.Enq.Count)
+	a.Jobs = AnalyzeJobs(t)
 	return a
 }
 
@@ -377,12 +382,30 @@ func histBar(count, max int, width int) string {
 	return strings.Repeat("#", n)
 }
 
+// DroppedWarning renders the loud ring-overflow banner, or "" when the
+// trace is complete. Every front-end presenting an analysis (sbqtrace, the
+// chaos report) prints it, because silently truncated rings skew chain,
+// cascade, and span figures.
+func DroppedWarning(dropped uint64) string {
+	if dropped == 0 {
+		return ""
+	}
+	return fmt.Sprintf("WARNING: %d events were dropped (ring overwrote them before the drain).\n"+
+		"         Chains, cascades, latency splits, and job spans below are\n"+
+		"         reconstructed from a TRUNCATED stream; grow the ring\n"+
+		"         (trace.WithRingSize) for complete figures.", dropped)
+}
+
 // Format renders the analysis as the sbqtrace report.
 func (a *Analysis) Format() string {
 	var b strings.Builder
 	unit := "ns"
 	if a.Clock == "sim-ns" {
 		unit = "sim-ns"
+	}
+
+	if w := DroppedWarning(a.Dropped); w != "" {
+		fmt.Fprintf(&b, "%s\n\n", w)
 	}
 
 	fmt.Fprintf(&b, "== tripped-writer serialization chains (§3) ==\n")
@@ -450,6 +473,10 @@ func (a *Analysis) Format() string {
 	}
 	opSection("enqueue", a.Enq)
 	opSection("dequeue", a.Deq)
+
+	if a.Jobs != nil && a.Jobs.Jobs > 0 {
+		fmt.Fprintf(&b, "\n%s", a.Jobs.Format())
+	}
 
 	fmt.Fprintf(&b, "\n== basket lifecycle (§5.3) ==\n")
 	fmt.Fprintf(&b, "opened=%d closed=%d ops/basket=%.2f\n",

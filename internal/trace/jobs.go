@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// This file reconstructs per-job lifecycle spans from the service-layer
+// events (obs.EvSrv*, arg = job id): submit → lease → (nack/expiry)* →
+// ack/DLQ. Counters say a redelivery happened; spans say to which job,
+// after which failure, and how long each phase took — the service-level
+// mirror of the paper's temporal reconstructions.
+
+// jobsChromeSchema marks the job-lane Chrome export. Unlike ChromeSchema
+// it is a visualization-only format (one lane per job); ReadChrome refuses
+// it by design.
+const jobsChromeSchema = "sbqtrace/jobs/v1"
+
+// chromePIDJobs is the trace_event process grouping job lanes.
+const chromePIDJobs = 3
+
+// JobSpan is one job's reconstructed lifecycle: its EvSrv* events in time
+// order plus derived classification.
+type JobSpan struct {
+	ID     uint64
+	Events []Event
+	// Submitted reports that the span starts with EvSrvSubmit (false for
+	// jobs whose submit predates the trace window).
+	Submitted bool
+	// Leases counts deliveries; Leases-1 is the job's redelivery count.
+	Leases int
+	// Outcome is EvSrvAck or EvSrvDLQ for settled jobs, 0 for jobs still
+	// open when the trace was cut.
+	Outcome obs.EventKind
+}
+
+// settleTS returns the timestamp of the settling event, ok=false when the
+// job never settled inside the trace.
+func (s *JobSpan) settleTS() (uint64, bool) {
+	if s.Outcome == 0 || len(s.Events) == 0 {
+		return 0, false
+	}
+	return s.Events[len(s.Events)-1].TS, true
+}
+
+// JobSpanStats aggregates every reconstructed span of one trace.
+type JobSpanStats struct {
+	// Jobs counts distinct job ids with at least one EvSrv* event.
+	Jobs int
+	// Acked/Dead/Open partition settled-vs-not; Orphans counts jobs whose
+	// submit fell outside the trace window (ring overwrote it or the
+	// recorder attached late).
+	Acked, Dead, Open, Orphans int
+	// CompleteAcked counts acked jobs with the full submit→lease→ack
+	// chain inside the trace — equal to Acked on a drop-free trace.
+	CompleteAcked int
+	// Redeliveries is Σ max(Leases-1, 0), comparable to the SrvRedeliveries
+	// counter and the chaos ledger's redelivery count.
+	Redeliveries int
+	// Phase latency split (trace-clock ns): submit→first lease (time
+	// queued), final lease→settle (final processing attempt), and
+	// submit→settle (end-to-end).
+	SubmitToLease  stats.Histogram
+	LeaseToSettle  stats.Histogram
+	SubmitToSettle stats.Histogram
+	// RetryDepth is the retry-chain depth distribution: redeliveries per
+	// job (0 = first delivery stuck) over jobs with at least one lease.
+	RetryDepth map[int]int
+	MaxRetry   int
+	// DLQPaths counts dead-lettered jobs by lifecycle signature, e.g.
+	// "submit→lease→expire→lease→nack→dlq".
+	DLQPaths map[string]int
+
+	// Spans holds every span, sorted by job id.
+	Spans []JobSpan
+}
+
+// maxDLQPaths bounds the distinct path signatures kept; pathological
+// traces overflow into the "…other" key.
+const maxDLQPaths = 64
+
+// AnalyzeJobs reconstructs per-job spans from a trace's service events.
+// Traces without service events yield a zero-valued result.
+func AnalyzeJobs(t *Trace) *JobSpanStats {
+	byID := map[uint64][]Event{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case obs.EvSrvSubmit, obs.EvSrvLease, obs.EvSrvAck, obs.EvSrvNack, obs.EvSrvExpire, obs.EvSrvDLQ:
+			byID[e.Arg] = append(byID[e.Arg], e)
+		}
+	}
+	js := &JobSpanStats{RetryDepth: map[int]int{}, DLQPaths: map[string]int{}}
+	js.Jobs = len(byID)
+	js.Spans = make([]JobSpan, 0, len(byID))
+	for id, evs := range byID {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].TS != evs[j].TS {
+				return evs[i].TS < evs[j].TS
+			}
+			// Same-nanosecond events sort in lifecycle order: the recorder
+			// guarantees happens-before (submit precedes the enqueue that
+			// makes a lease possible), so a TS tie can only be clock
+			// granularity, and lifecycle order is the true order.
+			return lifecycleRank(evs[i].Kind) < lifecycleRank(evs[j].Kind)
+		})
+		span := JobSpan{ID: id, Events: evs}
+		var submitTS, firstLeaseTS, lastLeaseTS uint64
+		for _, e := range evs {
+			switch e.Kind {
+			case obs.EvSrvSubmit:
+				submitTS = e.TS
+			case obs.EvSrvLease:
+				if span.Leases == 0 {
+					firstLeaseTS = e.TS
+				}
+				lastLeaseTS = e.TS
+				span.Leases++
+			case obs.EvSrvAck:
+				span.Outcome = obs.EvSrvAck
+			case obs.EvSrvDLQ:
+				span.Outcome = obs.EvSrvDLQ
+			}
+		}
+		span.Submitted = evs[0].Kind == obs.EvSrvSubmit
+
+		if !span.Submitted {
+			js.Orphans++
+		}
+		switch span.Outcome {
+		case obs.EvSrvAck:
+			js.Acked++
+			if span.Submitted && span.Leases > 0 && evs[len(evs)-1].Kind == obs.EvSrvAck {
+				js.CompleteAcked++
+			}
+		case obs.EvSrvDLQ:
+			js.Dead++
+			js.DLQPaths[clampPath(js.DLQPaths, pathSignature(evs))]++
+		default:
+			js.Open++
+		}
+		if span.Leases > 0 {
+			depth := span.Leases - 1
+			js.Redeliveries += depth
+			js.RetryDepth[depth]++
+			if depth > js.MaxRetry {
+				js.MaxRetry = depth
+			}
+		}
+		if settle, ok := span.settleTS(); ok && span.Submitted {
+			js.SubmitToSettle.Observe(settle - submitTS)
+			if span.Leases > 0 {
+				js.SubmitToLease.Observe(firstLeaseTS - submitTS)
+				js.LeaseToSettle.Observe(settle - lastLeaseTS)
+			}
+		}
+		js.Spans = append(js.Spans, span)
+	}
+	sort.Slice(js.Spans, func(i, j int) bool { return js.Spans[i].ID < js.Spans[j].ID })
+	return js
+}
+
+func pathSignature(evs []Event) string {
+	parts := make([]string, len(evs))
+	for i, e := range evs {
+		parts[i] = strings.TrimPrefix(e.Kind.String(), "srv_")
+	}
+	return strings.Join(parts, "→")
+}
+
+func clampPath(paths map[string]int, sig string) string {
+	if _, ok := paths[sig]; ok || len(paths) < maxDLQPaths {
+		return sig
+	}
+	return "…other"
+}
+
+// Format renders the span statistics as a report section.
+func (js *JobSpanStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== job lifecycle spans (service) ==\n")
+	if js.Jobs == 0 {
+		fmt.Fprintf(&b, "no service events recorded\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "jobs=%d acked=%d (complete-chain=%d) dlq=%d open=%d orphans=%d redeliveries=%d\n",
+		js.Jobs, js.Acked, js.CompleteAcked, js.Dead, js.Open, js.Orphans, js.Redeliveries)
+	if js.SubmitToLease.Count > 0 {
+		fmt.Fprintf(&b, "  submit→first-lease: %s\n", js.SubmitToLease)
+	}
+	if js.LeaseToSettle.Count > 0 {
+		fmt.Fprintf(&b, "  final-lease→settle: %s\n", js.LeaseToSettle)
+	}
+	if js.SubmitToSettle.Count > 0 {
+		fmt.Fprintf(&b, "  submit→settle:      %s\n", js.SubmitToSettle)
+	}
+	if len(js.RetryDepth) > 0 {
+		depths := make([]int, 0, len(js.RetryDepth))
+		maxCount := 0
+		for d, c := range js.RetryDepth {
+			depths = append(depths, d)
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		sort.Ints(depths)
+		fmt.Fprintf(&b, "retry-chain depth (redeliveries per job):\n")
+		for _, d := range depths {
+			c := js.RetryDepth[d]
+			fmt.Fprintf(&b, "  depth=%-3d %6d %s\n", d, c, histBar(c, maxCount, 40))
+		}
+	}
+	if len(js.DLQPaths) > 0 {
+		type pc struct {
+			path  string
+			count int
+		}
+		paths := make([]pc, 0, len(js.DLQPaths))
+		for p, c := range js.DLQPaths {
+			paths = append(paths, pc{p, c})
+		}
+		sort.Slice(paths, func(i, j int) bool {
+			if paths[i].count != paths[j].count {
+				return paths[i].count > paths[j].count
+			}
+			return paths[i].path < paths[j].path
+		})
+		fmt.Fprintf(&b, "dead-letter paths:\n")
+		for _, p := range paths {
+			fmt.Fprintf(&b, "  %6d× %s\n", p.count, p.path)
+		}
+	}
+	return b.String()
+}
+
+// lifecycleRank orders same-timestamp events of one job by lifecycle
+// stage: a submit can never truly follow a lease of the same job, and a
+// settle can never precede the delivery it settles.
+func lifecycleRank(k obs.EventKind) int {
+	switch k {
+	case obs.EvSrvSubmit:
+		return 0
+	case obs.EvSrvLease:
+		return 1
+	case obs.EvSrvNack, obs.EvSrvExpire:
+		return 2
+	default: // ack, dlq
+		return 3
+	}
+}
+
+// jobPhaseName names the span phase a job is in after event kind k.
+func jobPhaseName(k obs.EventKind) string {
+	switch k {
+	case obs.EvSrvSubmit:
+		return "queued"
+	case obs.EvSrvLease:
+		return "leased"
+	case obs.EvSrvNack:
+		return "requeued(nack)"
+	case obs.EvSrvExpire:
+		return "requeued(expired)"
+	}
+	return k.String()
+}
+
+// WriteJobsChrome exports the reconstructed job spans as Chrome
+// trace_event JSON with one lane per job: each lifecycle phase between
+// consecutive events renders as a complete slice and the settling event as
+// an instant, so a viewer shows every job's queued/leased/retry timeline
+// stacked under one "jobs" process. This is a visualization export (schema
+// sbqtrace/jobs/v1); ReadChrome does not accept it.
+func (js *JobSpanStats) WriteJobsChrome(w io.Writer, t *Trace) error {
+	f := chromeFile{DisplayTimeUnit: "ns", OtherData: map[string]string{
+		"schema": jobsChromeSchema,
+		"clock":  t.Clock,
+	}}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePIDJobs,
+		Args: map[string]any{"name": "jobs"},
+	})
+	for _, span := range js.Spans {
+		tid := int(span.ID)
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePIDJobs, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("job %d (leases=%d)", span.ID, span.Leases)},
+		})
+		for i, e := range span.Events {
+			last := i == len(span.Events)-1
+			if last {
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: e.Kind.String(), Cat: "job", Ph: "i", S: "t",
+					TS: usOf(e.TS), PID: chromePIDJobs, TID: tid,
+					Args: map[string]any{"job": span.ID},
+				})
+				continue
+			}
+			dur := usOf(span.Events[i+1].TS - e.TS)
+			if dur == 0 {
+				dur = 0.001 // minimum visible width: 1ns
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: jobPhaseName(e.Kind), Cat: "job", Ph: "X",
+				TS: usOf(e.TS), Dur: dur, PID: chromePIDJobs, TID: tid,
+				Args: map[string]any{"job": span.ID, "event": e.Kind.String()},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func srvEvent(ts uint64, k obs.EventKind, job uint64) Event {
+	return Event{TS: ts, Kind: k, Lane: 0, Arg: job}
+}
+
+func jobsTrace() *Trace {
+	return &Trace{
+		Clock: "wall-ns",
+		Lanes: map[int32]string{0: "svc"},
+		Events: []Event{
+			// Job 1: clean submit→lease→ack.
+			srvEvent(10, obs.EvSrvSubmit, 1),
+			srvEvent(20, obs.EvSrvLease, 1),
+			srvEvent(50, obs.EvSrvAck, 1),
+			// Job 2: nack, expiry, nack → DLQ after 3 deliveries.
+			srvEvent(10, obs.EvSrvSubmit, 2),
+			srvEvent(20, obs.EvSrvLease, 2),
+			srvEvent(30, obs.EvSrvNack, 2),
+			srvEvent(40, obs.EvSrvLease, 2),
+			srvEvent(60, obs.EvSrvExpire, 2),
+			srvEvent(70, obs.EvSrvLease, 2),
+			srvEvent(80, obs.EvSrvNack, 2),
+			srvEvent(81, obs.EvSrvDLQ, 2),
+			// Job 3: leased but still open at the trace cut.
+			srvEvent(15, obs.EvSrvSubmit, 3),
+			srvEvent(25, obs.EvSrvLease, 3),
+			// Job 4: orphan — submit fell outside the window.
+			srvEvent(30, obs.EvSrvLease, 4),
+			srvEvent(90, obs.EvSrvAck, 4),
+			// Non-service noise must be ignored.
+			{TS: 5, Kind: obs.EvEnqStart, Lane: 1},
+			{TS: 6, Kind: obs.EvEnqEnd, Lane: 1, Arg: 1},
+		},
+	}
+}
+
+func TestAnalyzeJobsReconstruction(t *testing.T) {
+	js := AnalyzeJobs(jobsTrace())
+	if js.Jobs != 4 {
+		t.Fatalf("Jobs = %d, want 4", js.Jobs)
+	}
+	if js.Acked != 2 || js.Dead != 1 || js.Open != 1 || js.Orphans != 1 {
+		t.Fatalf("partition acked=%d dead=%d open=%d orphans=%d", js.Acked, js.Dead, js.Open, js.Orphans)
+	}
+	// Job 4 acked without a submit, so only job 1 has the complete chain.
+	if js.CompleteAcked != 1 {
+		t.Fatalf("CompleteAcked = %d, want 1", js.CompleteAcked)
+	}
+	// Job 2 had 3 leases → 2 redeliveries; everyone else had 1 lease.
+	if js.Redeliveries != 2 {
+		t.Fatalf("Redeliveries = %d, want 2", js.Redeliveries)
+	}
+	if js.RetryDepth[0] != 3 || js.RetryDepth[2] != 1 || js.MaxRetry != 2 {
+		t.Fatalf("RetryDepth = %v max=%d", js.RetryDepth, js.MaxRetry)
+	}
+	wantPath := "submit→lease→nack→lease→expire→lease→nack→dlq"
+	if js.DLQPaths[wantPath] != 1 {
+		t.Fatalf("DLQPaths = %v, want %q", js.DLQPaths, wantPath)
+	}
+	// Phase split: settled-and-submitted jobs are 1 (10→20→50) and
+	// 2 (10→20, last lease 70 → settle 81).
+	if js.SubmitToLease.Count != 2 || js.SubmitToLease.Sum != 20 {
+		t.Fatalf("SubmitToLease n=%d sum=%d", js.SubmitToLease.Count, js.SubmitToLease.Sum)
+	}
+	if js.LeaseToSettle.Count != 2 || js.LeaseToSettle.Sum != 30+11 {
+		t.Fatalf("LeaseToSettle n=%d sum=%d", js.LeaseToSettle.Count, js.LeaseToSettle.Sum)
+	}
+	if js.SubmitToSettle.Count != 2 || js.SubmitToSettle.Sum != 40+71 {
+		t.Fatalf("SubmitToSettle n=%d sum=%d", js.SubmitToSettle.Count, js.SubmitToSettle.Sum)
+	}
+
+	out := js.Format()
+	for _, want := range []string{"jobs=4", "complete-chain=1", "dead-letter paths", wantPath} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeJobsEmptyTrace(t *testing.T) {
+	js := AnalyzeJobs(&Trace{Clock: "sim-ns"})
+	if js.Jobs != 0 || js.Redeliveries != 0 {
+		t.Fatalf("empty trace produced spans: %+v", js)
+	}
+	if !strings.Contains(js.Format(), "no service events") {
+		t.Fatalf("empty Format: %q", js.Format())
+	}
+}
+
+func TestAnalysisSurfacesDrops(t *testing.T) {
+	tr := jobsTrace()
+	tr.Dropped = 123
+	a := Analyze(tr, AnalyzeOptions{})
+	if a.Dropped != 123 {
+		t.Fatalf("Analysis.Dropped = %d", a.Dropped)
+	}
+	out := a.Format()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "123 events were dropped") {
+		t.Fatalf("dropped warning missing:\n%s", out)
+	}
+	if !strings.Contains(out, "job lifecycle spans") {
+		t.Fatalf("job section missing from analysis:\n%s", out)
+	}
+
+	tr.Dropped = 0
+	if out := Analyze(tr, AnalyzeOptions{}).Format(); strings.Contains(out, "WARNING") {
+		t.Fatal("drop-free trace still warns")
+	}
+	if DroppedWarning(0) != "" {
+		t.Fatal("DroppedWarning(0) nonempty")
+	}
+}
+
+func TestWriteJobsChrome(t *testing.T) {
+	tr := jobsTrace()
+	js := AnalyzeJobs(tr)
+	var b strings.Builder
+	if err := js.WriteJobsChrome(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	if f.OtherData["schema"] != jobsChromeSchema {
+		t.Fatalf("schema = %q", f.OtherData["schema"])
+	}
+	lanes := map[int]bool{}
+	slices := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			lanes[e.TID] = true
+		}
+		if e.Ph == "X" {
+			slices++
+			if e.Dur <= 0 {
+				t.Fatalf("slice with nonpositive duration: %+v", e)
+			}
+		}
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("job lanes = %d, want 4", len(lanes))
+	}
+	// Job 2 alone contributes 7 phase slices; there must be plenty overall.
+	if slices < 10 {
+		t.Fatalf("phase slices = %d", slices)
+	}
+	// The visualization schema must be refused by the lossless reader.
+	if _, err := ReadChrome(strings.NewReader(b.String())); err == nil {
+		t.Fatal("ReadChrome accepted the jobs visualization export")
+	}
+}

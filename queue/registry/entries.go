@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/basket"
+	"repro/internal/obs"
 	"repro/queue"
 	"repro/queue/baskets"
 	"repro/queue/ccq"
@@ -90,8 +91,8 @@ func init() {
 		Ordering: PerProducerFIFO,
 		Build: func(cfg Config) Instance {
 			opts := append(shardedOptions(cfg),
-				sharded.WithShardBuilder[uint64](func(_, perShard int) sharded.Shard[uint64] {
-					inst := sbqEntry()(Config{Producers: perShard, Recorder: cfg.Recorder, Pooled: cfg.Pooled})
+				sharded.WithShardBuilder[uint64](func(shard, perShard int) sharded.Shard[uint64] {
+					inst := sbqEntry()(Config{Producers: perShard, Recorder: shardRec(cfg, shard), Pooled: cfg.Pooled})
 					return sharded.Shard[uint64]{
 						Producer: inst.ProducerView,
 						Consumer: inst.ConsumerView,
@@ -120,18 +121,31 @@ func shardedOptions(cfg Config) []sharded.Option[uint64] {
 		sharded.WithProducers[uint64](producers),
 		sharded.WithRecorder[uint64](cfg.Recorder),
 	}
-	if cfg.Pooled {
-		// The default shard builder constructs GC-mode faaq shards; pooled
-		// builds swap in WithNodePool shards wired to the same recorder.
-		// Entries with their own WithShardBuilder (Sharded-SBQ) append it
-		// after these options, overriding this builder.
-		opts = append(opts, sharded.WithShardBuilder[uint64](func(int, int) sharded.Shard[uint64] {
-			q := queue.AsBatch(faaq.New[uint64](faaq.WithRecorder(cfg.Recorder), faaq.WithNodePool()))
+	if cfg.Pooled || cfg.ShardRecorder != nil {
+		// The default shard builder constructs GC-mode faaq shards wired to
+		// the front-end recorder; pooled builds swap in WithNodePool shards,
+		// and per-shard recorders route each shard's telemetry through
+		// shardRec. Entries with their own WithShardBuilder (Sharded-SBQ)
+		// append it after these options, overriding this builder.
+		opts = append(opts, sharded.WithShardBuilder[uint64](func(shard, _ int) sharded.Shard[uint64] {
+			fopts := []faaq.Option{faaq.WithRecorder(shardRec(cfg, shard))}
+			if cfg.Pooled {
+				fopts = append(fopts, faaq.WithNodePool())
+			}
+			q := queue.AsBatch(faaq.New[uint64](fopts...))
 			shared := func(int) queue.BatchQueue[uint64] { return q }
 			return sharded.Shard[uint64]{Producer: shared, Consumer: shared}
 		}))
 	}
 	return opts
+}
+
+// shardRec resolves the recorder for one shard of a sharded entry.
+func shardRec(cfg Config, shard int) obs.Recorder {
+	if cfg.ShardRecorder != nil {
+		return cfg.ShardRecorder(shard)
+	}
+	return cfg.Recorder
 }
 
 // sbqEntry builds an SBQ instance: producer views are lazily-issued handles

@@ -47,6 +47,15 @@ type Config struct {
 	// Recorder, when non-nil, is threaded into the queue's telemetry hooks
 	// (see repro/internal/obs).
 	Recorder obs.Recorder
+	// ShardRecorder, when non-nil, supplies the recorder for shard i of a
+	// sharded entry, so callers can aggregate queue telemetry per shard
+	// (the /metrics exporter labels each shard's CAS-failure and retry
+	// counters with it). Returning obs.Tee(shardStats, cfg.Recorder)-style
+	// recorders gives both scopes. Unsharded entries ignore it; sharded
+	// entries fall back to Recorder when it is nil. The sharded front-end's
+	// own counters (steals, steal misses) always go to Recorder — they are
+	// a property of the front-end, not of any one shard.
+	ShardRecorder func(shard int) obs.Recorder
 	// Pooled selects pooled-node mode (each implementation's WithNodePool
 	// option): nodes recycle through reclaim-backed freelists with
 	// epoch-deferred reuse instead of leaning on the garbage collector,

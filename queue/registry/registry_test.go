@@ -389,3 +389,84 @@ func TestBuildShardedNegativeShards(t *testing.T) {
 		t.Fatal("Build(Sharded-FAA, Shards: -1) succeeded, want error")
 	}
 }
+
+// TestShardRecorder verifies per-shard telemetry routing: with a
+// ShardRecorder installed, each shard's queue counters land in that
+// shard's recorder, the per-shard sum accounts for every element, and the
+// front-end's own steal counters still go to the global Recorder.
+func TestShardRecorder(t *testing.T) {
+	for _, name := range []string{"Sharded-FAA", "Sharded-SBQ"} {
+		t.Run(name, func(t *testing.T) {
+			const shards, ops = 4, 64
+			global := obs.New()
+			perShard := make([]*obs.Stats, shards)
+			for i := range perShard {
+				perShard[i] = obs.New()
+			}
+			inst, err := registry.Build(name, registry.Config{
+				Producers: 1,
+				Shards:    shards,
+				Recorder:  global,
+				ShardRecorder: func(shard int) obs.Recorder {
+					return obs.Tee(perShard[shard], global)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, c := inst.ProducerView(0), inst.ConsumerView(0)
+			for i := uint64(0); i < ops; i++ {
+				p.Enqueue(i)
+			}
+			got := 0
+			for {
+				if _, ok := c.Dequeue(); !ok {
+					break
+				}
+				got++
+			}
+			if got != ops {
+				t.Fatalf("dequeued %d of %d", got, ops)
+			}
+			var merged obs.Snapshot
+			active := 0
+			for _, st := range perShard {
+				snap := st.Snapshot()
+				if snap.Counter(obs.EnqOps) > 0 {
+					active++
+				}
+				merged.Merge(snap)
+			}
+			if merged.Counter(obs.EnqOps) != ops || merged.Counter(obs.DeqOps) != ops {
+				t.Fatalf("per-shard sums enq=%d deq=%d, want %d",
+					merged.Counter(obs.EnqOps), merged.Counter(obs.DeqOps), ops)
+			}
+			if active == 0 {
+				t.Fatal("no shard recorded any enqueue")
+			}
+			g := global.Snapshot()
+			if g.Counter(obs.EnqOps) != ops {
+				t.Fatalf("global enq = %d, want %d (tee through ShardRecorder)", g.Counter(obs.EnqOps), ops)
+			}
+		})
+	}
+}
+
+// TestShardRecorderNilFallsBack pins the compatibility contract: without a
+// ShardRecorder, sharded entries route shard telemetry to Recorder exactly
+// as before.
+func TestShardRecorderNilFallsBack(t *testing.T) {
+	global := obs.New()
+	inst, err := registry.Build("Sharded-FAA", registry.Config{Shards: 2, Recorder: global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.ProducerView(0).Enqueue(7)
+	if _, ok := inst.ConsumerView(0).Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	snap := global.Snapshot()
+	if snap.Counter(obs.EnqOps) != 1 || snap.Counter(obs.DeqOps) != 1 {
+		t.Fatalf("global counters enq=%d deq=%d", snap.Counter(obs.EnqOps), snap.Counter(obs.DeqOps))
+	}
+}

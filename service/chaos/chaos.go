@@ -62,8 +62,19 @@ type Profile struct {
 	DrainTimeout time.Duration
 	Seed         uint64
 
-	TraceOut    string // Chrome trace path ("" = no trace)
+	TraceOut string // Chrome trace path ("" = no trace)
+	// TraceRing is the flight-recorder ring capacity in events (0 = 1<<18
+	// when TraceOut is set). Job-span reconstruction needs every EvSrv*
+	// event of the run; the default library ring (1<<14) drops under chaos
+	// load, so the harness sizes it for drop-free capture.
+	TraceRing   int
 	SnapshotDir string // checkpoint dir ("" = a fresh temp dir)
+	// MetricsAddr, when non-empty, binds an admin listener for the run
+	// serving the service's HTTP surface — GET /metrics, /healthz,
+	// /readyz, /v1/stats — so an external scraper (CI's metrics-smoke job,
+	// sbqtop) can watch the run live. ":0" picks a free port; the bound
+	// address is in Report.MetricsAddr.
+	MetricsAddr string
 }
 
 // ShortProfile is the CI shape: a few hundred milliseconds of load with
@@ -132,6 +143,9 @@ func (p Profile) withDefaults() Profile {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	if p.TraceRing <= 0 {
+		p.TraceRing = 1 << 18
+	}
 	return p
 }
 
@@ -161,6 +175,17 @@ type Report struct {
 
 	Violations []Violation
 	TracePath  string
+
+	// MetricsAddr is the bound admin address (Profile.MetricsAddr, with
+	// ":0" resolved), or "" when no listener was requested.
+	MetricsAddr string
+	// Dropped counts flight-recorder ring entries lost before the drain;
+	// nonzero means Jobs undercounts (raise Profile.TraceRing).
+	Dropped uint64
+	// Jobs is the per-job lifecycle reconstruction of the recorded trace
+	// (nil without TraceOut): complete submit→lease→ack chains, retry
+	// depth distribution, dead-letter paths.
+	Jobs *trace.JobSpanStats
 }
 
 // Ok reports whether the run upheld every invariant.
@@ -178,6 +203,13 @@ func (r *Report) String() string {
 		r.Redeliveries, r.Expired, r.Swapped, r.Restarted)
 	fmt.Fprintf(&b, "  lease ns p50/p99/p999: %.0f/%.0f/%.0f  ack: %.0f/%.0f/%.0f\n",
 		r.LeaseP50, r.LeaseP99, r.LeaseP999, r.AckP50, r.AckP99, r.AckP999)
+	if r.Jobs != nil {
+		fmt.Fprintf(&b, "  jobs: %d spans, acked=%d (complete-chain=%d), dead=%d, redeliveries=%d, max-retry=%d\n",
+			r.Jobs.Jobs, r.Jobs.Acked, r.Jobs.CompleteAcked, r.Jobs.Dead, r.Jobs.Redeliveries, r.Jobs.MaxRetry)
+	}
+	if w := trace.DroppedWarning(r.Dropped); w != "" {
+		fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(w, "\n", "\n  "))
+	}
 	if r.Ok() {
 		fmt.Fprintf(&b, "  invariants: OK")
 	} else {
@@ -225,7 +257,7 @@ func Run(p Profile) (*Report, error) {
 	var rec obs.Recorder = st
 	var col *trace.Collector
 	if p.TraceOut != "" {
-		col = trace.New(trace.WithStats(st))
+		col = trace.New(trace.WithStats(st), trace.WithRingSize(p.TraceRing))
 		col.SetMeta("workload", "chaos-"+p.Name)
 		rec = col
 	}
@@ -267,6 +299,15 @@ func Run(p Profile) (*Report, error) {
 
 	led := newLedger()
 	rep := &Report{Profile: p.Name, Restarted: false}
+
+	if p.MetricsAddr != "" {
+		addr, stop, err := startAdmin(p.MetricsAddr, w)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		rep.MetricsAddr = addr
+	}
 	var rejected, crashes, slowHolds, failedSettles atomic.Uint64
 	var drainMode atomic.Bool
 
@@ -411,8 +452,10 @@ func Run(p Profile) (*Report, error) {
 		}()
 	}
 
-	// Scenario: mid-run restart through the checkpoint.
+	// Scenario: mid-run restart through the checkpoint. readyViol is only
+	// written here and only read after swg.Wait.
 	var restartErr error
+	var readyViol []Violation
 	if p.Restart {
 		swg.Add(1)
 		go func() {
@@ -429,10 +472,22 @@ func Run(p Profile) (*Report, error) {
 			// leases on purpose, and the checkpoint must carry their jobs.
 			_ = w.svc.Shutdown(ctx)
 			cancel()
+			// Readiness must track the lifecycle exactly: the drained
+			// instance stops reporting ready the moment its fence flips
+			// (so a /readyz-keyed balancer stops routing), and the restored
+			// instance reports ready as soon as New returns.
+			if w.svc.Ready() {
+				readyViol = append(readyViol, Violation{Kind: VReady,
+					Detail: "old instance still ready after Shutdown"})
+			}
 			ns, err := mk()
 			if err != nil {
 				restartErr = err
 				return
+			}
+			if !ns.Ready() {
+				readyViol = append(readyViol, Violation{Kind: VReady,
+					Detail: "restored instance not ready after New"})
 			}
 			w.svc = ns
 			rep.Restarted = true
@@ -481,6 +536,7 @@ func Run(p Profile) (*Report, error) {
 	}
 
 	rep.Violations = led.Check()
+	rep.Violations = append(rep.Violations, readyViol...)
 	if !drained {
 		rep.Violations = append(rep.Violations, Violation{Kind: VDrain,
 			Detail: fmt.Sprintf("depth nonzero after %s", p.DrainTimeout)})
@@ -492,6 +548,7 @@ func Run(p Profile) (*Report, error) {
 
 	rep.Elapsed = time.Since(start)
 	rep.Submitted, rep.Delivered, rep.Acked, rep.Dead = led.Counts()
+	rep.Violations = append(rep.Violations, metricsCrossCheck(st, rep.Submitted, rep.Acked)...)
 	rep.Rejected = rejected.Load()
 	rep.Crashes = crashes.Load()
 	rep.SlowHolds = slowHolds.Load()
@@ -507,12 +564,15 @@ func Run(p Profile) (*Report, error) {
 		ackS.Quantile(0.50), ackS.Quantile(0.99), ackS.Quantile(0.999)
 
 	if col != nil {
+		tr := col.Snapshot()
+		rep.Dropped = tr.Dropped
+		rep.Jobs = trace.AnalyzeJobs(tr)
 		f, err := os.Create(p.TraceOut)
 		if err != nil {
 			return rep, fmt.Errorf("chaos: trace out: %w", err)
 		}
 		defer f.Close()
-		if err := col.Snapshot().WriteChrome(f); err != nil {
+		if err := tr.WriteChrome(f); err != nil {
 			return rep, fmt.Errorf("chaos: writing trace: %w", err)
 		}
 		rep.TracePath = p.TraceOut

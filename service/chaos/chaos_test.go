@@ -1,9 +1,16 @@
 package chaos
 
 import (
+	"context"
+	"io"
+	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs/export"
+	"repro/service"
 )
 
 // TestLedgerAspects drives the checker with canned histories.
@@ -82,6 +89,7 @@ func TestRunSmallProfile(t *testing.T) {
 	p.Clients = 200
 	p.Workers = 8
 	p.TraceOut = filepath.Join(t.TempDir(), "trace.json")
+	p.MetricsAddr = "127.0.0.1:0"
 
 	rep, err := Run(p)
 	if err != nil {
@@ -105,5 +113,94 @@ func TestRunSmallProfile(t *testing.T) {
 	}
 	if rep.TracePath == "" {
 		t.Fatal("trace was not written")
+	}
+	if rep.MetricsAddr == "" {
+		t.Fatal("admin listener was not bound")
+	}
+
+	// Job-lifecycle acceptance: on a drop-free trace, every acked job must
+	// show a complete submit→lease→ack chain, and the reconstructed retry
+	// depths must agree with the ledger and the SrvRedeliveries counter.
+	if rep.Dropped != 0 {
+		t.Fatalf("flight recorder dropped %d events; raise Profile.TraceRing", rep.Dropped)
+	}
+	if rep.Jobs == nil {
+		t.Fatal("no job-span reconstruction in report")
+	}
+	if got, want := rep.Jobs.Acked, int(rep.Acked); got != want {
+		t.Fatalf("span reconstruction acked %d jobs, ledger acked %d", got, want)
+	}
+	if rep.Jobs.CompleteAcked != rep.Jobs.Acked {
+		t.Fatalf("only %d/%d acked jobs have the full submit→lease→ack chain",
+			rep.Jobs.CompleteAcked, rep.Jobs.Acked)
+	}
+	if got, want := rep.Jobs.Dead, int(rep.Dead); got != want {
+		t.Fatalf("span reconstruction dead-lettered %d jobs, ledger %d", got, want)
+	}
+	if got, want := rep.Jobs.Redeliveries, int(rep.Redeliveries); got != want {
+		t.Fatalf("span retry depths sum to %d redeliveries, counter says %d", got, want)
+	}
+	if rep.Jobs.Orphans != 0 {
+		t.Fatalf("%d spans missing their submit event on a drop-free trace", rep.Jobs.Orphans)
+	}
+}
+
+// TestAdminListener checks the standalone admin plane: it serves the
+// current instance's /metrics and /readyz, and follows a swap of the world
+// to a new instance.
+func TestAdminListener(t *testing.T) {
+	mk := func() *service.Service {
+		s, err := service.New(service.Config{
+			SnapshotPath: filepath.Join(t.TempDir(), "snap.json"),
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	w := &world{svc: mk()}
+	addr, stop, err := startAdmin("127.0.0.1:0", w)
+	if err != nil {
+		t.Fatalf("startAdmin: %v", err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", code, body)
+	} else if _, err := export.Parse(strings.NewReader(body)); err != nil {
+		t.Fatalf("admin /metrics does not parse: %v", err)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d before shutdown", code)
+	}
+
+	// Drain the instance: the admin plane must report it not ready, then
+	// follow a swap to a fresh ready instance.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := w.svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz = %d after shutdown, want 503", code)
+	}
+	w.mu.Lock()
+	w.svc = mk()
+	w.mu.Unlock()
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d after swap to fresh instance", code)
 	}
 }

@@ -21,6 +21,12 @@ import (
 //	VPhantom — a delivery carried a job id no client submitted
 //	VBothWays — a job was both acked and dead-lettered
 //	VDrain   — the final drain did not finish inside its deadline
+//	VMetrics — the rendered /metrics exposition failed to parse, or a
+//	           scraped service counter disagreed with the ledger (the
+//	           telemetry plane lied about the run)
+//	VReady   — GET /readyz-style readiness disagreed with the lifecycle
+//	           around the restart (old instance ready after Shutdown, or
+//	           new instance not ready after New)
 type ViolationKind uint8
 
 const (
@@ -29,6 +35,8 @@ const (
 	VPhantom
 	VBothWays
 	VDrain
+	VMetrics
+	VReady
 )
 
 // String returns the aspect's short name.
@@ -44,6 +52,10 @@ func (k ViolationKind) String() string {
 		return "acked-and-dead"
 	case VDrain:
 		return "drain-timeout"
+	case VMetrics:
+		return "metrics-mismatch"
+	case VReady:
+		return "readiness"
 	default:
 		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
 	}

@@ -17,7 +17,15 @@ import (
 //	POST /v1/nack     {"token": N}                           → 200
 //	GET  /v1/stats                                           → 200 StatsSnapshot
 //	GET  /v1/dlq?tenant=t                                    → 200 [Job]
+//	GET  /metrics                                            → 200 Prometheus text 0.0.4
 //	GET  /healthz                                            → 200 serving | 503 otherwise
+//	GET  /readyz                                             → 200 ready | 503 draining/stopped
+//
+// healthz and readyz currently agree (both flip at the drain fence);
+// they are separate endpoints because their contracts differ — healthz
+// means "the process is alive enough to answer", readyz means "route new
+// work here" — and orchestration (the chaos harness's restart phase, a
+// load balancer) keys on the latter.
 //
 // Error mapping: over-quota Submit → 429 with Retry-After; tenant cap
 // reached → 429; draining → 503 with Retry-After; stopped → 503;
@@ -30,7 +38,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/nack", s.handleSettle(s.Nack))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/dlq", s.handleDLQ)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -171,6 +181,15 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.state.Load() == srvServing {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, ErrDraining)
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, ErrDraining)

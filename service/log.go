@@ -1,0 +1,110 @@
+package service
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// logKind indexes the per-kind sampling counters: each high-rate job event
+// samples independently, so a flood of submits cannot starve lease or ack
+// records out of the log.
+type logKind int
+
+const (
+	logSubmit logKind = iota
+	logLease
+	logAck
+	logNack
+	logExpire
+	nLogKinds
+)
+
+// srvLogger emits the service's structured lifecycle records through
+// log/slog with per-event-kind sampling. High-rate kinds (submit, lease,
+// ack, nack, expire) log 1 in every `every` occurrences — the first
+// occurrence always logs, so low-traffic runs still show every kind.
+// Rare, high-signal records (dead-letter, reject, restore, shutdown,
+// backend swap) are never sampled.
+//
+// A nil *srvLogger is valid and silent; every method nil-checks its
+// receiver, so call sites need no guard.
+type srvLogger struct {
+	l     *slog.Logger
+	every uint64
+	n     [nLogKinds]atomic.Uint64
+}
+
+// newSrvLogger wraps l, or returns nil (disabled) when l is nil.
+func newSrvLogger(l *slog.Logger, every int) *srvLogger {
+	if l == nil {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &srvLogger{l: l, every: uint64(every)}
+}
+
+// sample reports whether this occurrence of kind should be logged.
+func (sl *srvLogger) sample(k logKind) bool {
+	return (sl.n[k].Add(1)-1)%sl.every == 0
+}
+
+func (sl *srvLogger) submit(tenant string, id uint64) {
+	if sl == nil || !sl.sample(logSubmit) {
+		return
+	}
+	sl.l.Info("submit", "tenant", tenant, "job", id)
+}
+
+func (sl *srvLogger) lease(tenant string, id, token uint64, attempts int) {
+	if sl == nil || !sl.sample(logLease) {
+		return
+	}
+	sl.l.Info("lease", "tenant", tenant, "job", id, "token", token, "attempt", attempts)
+}
+
+func (sl *srvLogger) ack(tenant string, id, latencyNS uint64) {
+	if sl == nil || !sl.sample(logAck) {
+		return
+	}
+	sl.l.Info("ack", "tenant", tenant, "job", id, "latency", time.Duration(latencyNS))
+}
+
+func (sl *srvLogger) nack(tenant string, id uint64) {
+	if sl == nil || !sl.sample(logNack) {
+		return
+	}
+	sl.l.Info("nack", "tenant", tenant, "job", id)
+}
+
+func (sl *srvLogger) expire(tenant string, id uint64) {
+	if sl == nil || !sl.sample(logExpire) {
+		return
+	}
+	sl.l.Warn("lease expired", "tenant", tenant, "job", id)
+}
+
+func (sl *srvLogger) dlq(tenant string, id uint64, attempts int) {
+	if sl == nil {
+		return
+	}
+	sl.l.Warn("dead-lettered", "tenant", tenant, "job", id, "attempts", attempts)
+}
+
+func (sl *srvLogger) reject(tenant string, depth, quota int64) {
+	if sl == nil {
+		return
+	}
+	sl.l.Warn("backpressure reject", "tenant", tenant, "depth", depth, "quota", quota)
+}
+
+// lifecycle logs an unsampled service-level record (restore, shutdown,
+// backend swap).
+func (sl *srvLogger) lifecycle(msg string, args ...any) {
+	if sl == nil {
+		return
+	}
+	sl.l.Info(msg, args...)
+}

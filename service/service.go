@@ -31,11 +31,17 @@
 // Telemetry flows through repro/internal/obs (SrvSubmits..SrvRejects
 // counters, LeaseLatency/AckLatency series) and, when the configured
 // recorder is a flight recorder, per-job timeline events
-// (EvSrvSubmit..EvSrvDLQ).
+// (EvSrvSubmit..EvSrvDLQ). Every tenant additionally owns a private
+// obs.Stats — teed with the service recorder via obs.Tee, so scopes stay
+// additive — and each queue shard another, which MetricsCollection renders
+// as a Prometheus /metrics page with tenant/queue/shard labels.
+// Structured request logs (log/slog, per-kind sampling) are enabled by
+// Config.Logger; GET /readyz reports drain state for orchestration.
 package service
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +50,7 @@ import (
 
 	"repro/internal/machine/policy"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/queue/registry"
 )
 
@@ -96,8 +103,21 @@ type Config struct {
 	// unsettled jobs and where New looks for a checkpoint to restore.
 	SnapshotPath string
 	// Recorder receives telemetry (nil = a private obs.Stats, readable
-	// through Stats).
+	// through Stats). Independent of Recorder, every tenant owns a private
+	// obs.Stats that the /metrics exporter reads per tenant and per queue
+	// shard (see MetricsCollection); Recorder additionally receives the
+	// service-wide aggregate of everything those scopes record.
 	Recorder obs.Recorder
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (log/slog): submit, lease, ack, nack, expire, dead-letter, reject,
+	// plus unsampled service lifecycle records (restore, shutdown, backend
+	// swaps). Nil disables logging entirely.
+	Logger *slog.Logger
+	// LogEvery samples the high-rate job-event records (submit, lease,
+	// ack, nack, expire): 1 in every LogEvery occurrences of each kind is
+	// logged (0 or 1 = every one). Dead-letter, reject, and lifecycle
+	// records are never sampled — they are rare and always interesting.
+	LogEvery int
 	// Now is the clock (nil = time.Now). Tests and the chaos harness
 	// inject it to force expiries deterministically.
 	Now func() time.Time
@@ -165,8 +185,12 @@ type Service struct {
 	rec   obs.Recorder
 	ev    obs.EventRecorder
 	stats *obs.Stats // rec when the recorder is counter-readable, else nil
+	log   *srvLogger // nil when Config.Logger is nil (methods are nil-safe)
 	now   func() time.Time
 	rng   lockedRNG
+
+	metricsOnce sync.Once
+	metrics     *export.Collection // lazily built; windows persist across scrapes
 
 	state atomic.Int32   // srvServing → srvDraining → srvStopped
 	opWG  sync.WaitGroup // in-flight Submit/Lease calls (shutdown fence)
@@ -206,6 +230,7 @@ func New(cfg Config) (*Service, error) {
 		scanDone: make(chan struct{}),
 	}
 	s.rng.s = cfg.Seed
+	s.log = newSrvLogger(cfg.Logger, cfg.LogEvery)
 	if cfg.Recorder == nil {
 		s.stats = obs.New()
 		s.rec = s.stats
@@ -297,9 +322,8 @@ func (s *Service) Submit(tenantName string, payload json.RawMessage) (Job, error
 	if q := s.cfg.MaxInFlight; q > 0 {
 		if d := t.depth.Add(1); d > q {
 			t.depth.Add(-1)
-			if s.rec != nil {
-				s.rec.Inc(obs.SrvRejects)
-			}
+			t.rec.Inc(obs.SrvRejects)
+			s.log.reject(t.name, d-1, q)
 			return Job{}, &BackpressureError{
 				Tenant: tenantName, Depth: d - 1, Quota: q,
 				RetryAfter: s.cfg.LeaseTTL,
@@ -319,13 +343,16 @@ func (s *Service) Submit(tenantName string, payload json.RawMessage) (Job, error
 	t.jmu.Lock()
 	t.jobs[j.id] = j
 	t.jmu.Unlock()
-	t.enqueue(j.id)
-	if s.rec != nil {
-		s.rec.Inc(obs.SrvSubmits)
-	}
+	// Record the submit before the enqueue makes the job leasable: a worker
+	// can lease the instant the id is in the queue, and the submit event
+	// must carry the earlier timestamp or job-span reconstruction
+	// (trace.AnalyzeJobs) would see a lease-before-submit chain.
+	t.rec.Inc(obs.SrvSubmits)
 	if s.ev != nil {
 		s.ev.Event(obs.EvSrvSubmit, obs.LaneDefault, j.id)
 	}
+	s.log.submit(t.name, j.id)
+	t.enqueue(j.id)
 	return out, nil
 }
 
@@ -382,18 +409,18 @@ func (s *Service) lease(j *job) Lease {
 	s.deadlines.push(tokenAt{at: deadline, token: token})
 	s.lmu.Unlock()
 
-	if s.rec != nil {
-		s.rec.Inc(obs.SrvLeases)
-		if attempts > 1 {
-			s.rec.Inc(obs.SrvRedeliveries)
-		}
-		if first {
-			s.rec.Observe(obs.LeaseLatency, uint64(now.Sub(j.submitted).Nanoseconds()))
-		}
+	rec := j.tenant.rec
+	rec.Inc(obs.SrvLeases)
+	if attempts > 1 {
+		rec.Inc(obs.SrvRedeliveries)
+	}
+	if first {
+		rec.Observe(obs.LeaseLatency, uint64(now.Sub(j.submitted).Nanoseconds()))
 	}
 	if s.ev != nil {
 		s.ev.Event(obs.EvSrvLease, obs.LaneDefault, j.id)
 	}
+	s.log.lease(j.tenant.name, j.id, token, attempts)
 	return out
 }
 
@@ -429,13 +456,13 @@ func (s *Service) Ack(token uint64) error {
 	delete(t.jobs, j.id)
 	t.jmu.Unlock()
 	t.depth.Add(-1)
-	if s.rec != nil {
-		s.rec.Inc(obs.SrvAcks)
-		s.rec.Observe(obs.AckLatency, uint64(now.Sub(j.submitted).Nanoseconds()))
-	}
+	lat := uint64(now.Sub(j.submitted).Nanoseconds())
+	t.rec.Inc(obs.SrvAcks)
+	t.rec.Observe(obs.AckLatency, lat)
 	if s.ev != nil {
 		s.ev.Event(obs.EvSrvAck, obs.LaneDefault, j.id)
 	}
+	s.log.ack(t.name, j.id, lat)
 	s.inFlight.Add(-1) // last: drain may proceed only once the job settled
 	return nil
 }
@@ -450,12 +477,11 @@ func (s *Service) Nack(token uint64) error {
 	if j == nil {
 		return ErrNoSuchLease
 	}
-	if s.rec != nil {
-		s.rec.Inc(obs.SrvNacks)
-	}
+	j.tenant.rec.Inc(obs.SrvNacks)
 	if s.ev != nil {
 		s.ev.Event(obs.EvSrvNack, obs.LaneDefault, j.id)
 	}
+	s.log.nack(j.tenant.name, j.id)
 	s.redeliver(j, s.now())
 	return nil
 }
@@ -498,6 +524,7 @@ func (s *Service) redeliver(j *job, now time.Time) {
 func (s *Service) deadLetter(j *job) {
 	j.mu.Lock()
 	j.state = jsDead
+	attempts := j.attempts
 	j.mu.Unlock()
 	t := j.tenant
 	t.jmu.Lock()
@@ -505,12 +532,11 @@ func (s *Service) deadLetter(j *job) {
 	t.dead = append(t.dead, j)
 	t.jmu.Unlock()
 	t.depth.Add(-1)
-	if s.rec != nil {
-		s.rec.Inc(obs.SrvDLQ)
-	}
+	t.rec.Inc(obs.SrvDLQ)
 	if s.ev != nil {
 		s.ev.Event(obs.EvSrvDLQ, obs.LaneDefault, j.id)
 	}
+	s.log.dlq(t.name, j.id, attempts)
 }
 
 // ScanOnce runs one deadline-scanner pass against the given clock reading:
@@ -555,12 +581,11 @@ func (s *Service) scanOnce(now time.Time, force bool) int {
 	s.lmu.Unlock()
 
 	for _, j := range expired {
-		if s.rec != nil {
-			s.rec.Inc(obs.SrvExpired)
-		}
+		j.tenant.rec.Inc(obs.SrvExpired)
 		if s.ev != nil {
 			s.ev.Event(obs.EvSrvExpire, obs.LaneDefault, j.id)
 		}
+		s.log.expire(j.tenant.name, j.id)
 		s.redeliver(j, now)
 	}
 	for _, j := range release {

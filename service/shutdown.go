@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"errors"
-	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -32,6 +31,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	if !s.state.CompareAndSwap(srvServing, srvDraining) {
 		return ErrAlreadyDraining
 	}
+	s.log.lifecycle("shutdown: draining")
 	s.opWG.Wait() // no Submit/Lease in flight past this point
 
 	close(s.scanStop)
@@ -40,6 +40,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	drainErr := s.drainLeases(ctx)
 
 	s.state.Store(srvStopped)
+	s.log.lifecycle("shutdown: stopped", "forced", drainErr != nil)
 	if s.cfg.SnapshotPath != "" {
 		if err := s.checkpoint(s.cfg.SnapshotPath); err != nil {
 			// Keep the drain outcome visible alongside the checkpoint
@@ -151,15 +152,7 @@ func (s *Service) Stats() StatsSnapshot {
 			ack.Quantile(0.50), ack.Quantile(0.99), ack.Quantile(0.999)
 	}
 
-	s.tmu.Lock()
-	tenants := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		tenants = append(tenants, t)
-	}
-	s.tmu.Unlock()
-	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
-
-	for _, t := range tenants {
+	for _, t := range s.tenantList() {
 		ts := TenantStats{Tenant: t.name, Queue: t.be.Load().queueName, Depth: t.depth.Load()}
 		t.jmu.Lock()
 		for _, j := range t.jobs {

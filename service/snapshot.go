@@ -56,15 +56,7 @@ func (s *Service) checkpoint(path string) error {
 		NextToken: s.nextToken.Load(),
 	}
 
-	s.tmu.Lock()
-	tenants := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		tenants = append(tenants, t)
-	}
-	s.tmu.Unlock()
-	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
-
-	for _, t := range tenants {
+	for _, t := range s.tenantList() {
 		st := snapTenant{Name: t.name}
 
 		// Queue order first: drain the backend (quiescent, so two empty
@@ -170,12 +162,14 @@ func (s *Service) restore(path string) error {
 	s.nextID.Store(snap.NextID)
 	s.nextToken.Store(snap.NextToken)
 	now := s.now()
+	restored := 0
 	for _, st := range snap.Tenants {
 		t, err := s.newTenant(st.Name, s.cfg.Queue)
 		if err != nil {
 			return err
 		}
 		s.tenants[st.Name] = t
+		restored += len(st.Jobs)
 		for _, sj := range st.Jobs {
 			j := &job{
 				id:        sj.ID,
@@ -208,5 +202,6 @@ func (s *Service) restore(path string) error {
 			})
 		}
 	}
+	s.log.lifecycle("checkpoint restored", "path", path, "tenants", len(snap.Tenants), "jobs", restored)
 	return nil
 }

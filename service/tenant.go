@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/queue"
 	"repro/queue/registry"
 )
@@ -14,6 +15,24 @@ import (
 type tenant struct {
 	name string
 	svc  *Service
+
+	// stats aggregates this tenant's telemetry: the service lifecycle
+	// counters (SrvSubmits..SrvRejects, lease/ack latency series) plus its
+	// queue's own counters (CAS attempts/failures, steals, ...), which the
+	// backend tees in below. rec fans every record out to stats and the
+	// service-wide recorder, so per-tenant and global scopes stay additive:
+	// merging every tenant's snapshot reproduces the global one.
+	stats *obs.Stats
+	rec   obs.Recorder
+
+	// qmu guards shardStats: one Stats per queue shard, created lazily by
+	// the backend builder. Shard stats deliberately persist across
+	// SwapBackend — shard i of the new backend accumulates into the same
+	// Stats as shard i of the old one — so the exported per-shard counters
+	// stay monotonic for the /metrics scraper even while the chaos harness
+	// swaps backends mid-run.
+	qmu        sync.Mutex
+	shardStats []*obs.Stats
 
 	// be is the current backend; SwapBackend replaces it atomically and
 	// migrates stranded elements (see swap).
@@ -51,12 +70,19 @@ type lane struct {
 	q  queue.BatchQueue[uint64]
 }
 
-// newBackend builds queueName for this service's shape.
-func (s *Service) newBackend(queueName string) (*backend, error) {
+// newBackend builds queueName for this tenant's shape. The queue records
+// into the tenant's tee (tenant stats + service recorder); each shard
+// additionally records into the tenant's persistent per-shard Stats, so
+// /metrics can label CAS-failure and retry counters by shard.
+func (t *tenant) newBackend(queueName string) (*backend, error) {
+	s := t.svc
 	inst, err := registry.Build(queueName, registry.Config{
 		Producers: s.cfg.Lanes,
 		Shards:    s.cfg.Shards,
-		Recorder:  s.rec,
+		Recorder:  t.rec,
+		ShardRecorder: func(shard int) obs.Recorder {
+			return obs.Tee(t.shardStatsFor(shard), t.rec)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -69,14 +95,34 @@ func (s *Service) newBackend(queueName string) (*backend, error) {
 	return be, nil
 }
 
+// shardStatsFor returns (creating if needed) the tenant's Stats for one
+// queue shard. Only backend construction calls it; the returned recorder
+// is what sits on the queue hot path.
+func (t *tenant) shardStatsFor(shard int) *obs.Stats {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	for len(t.shardStats) <= shard {
+		t.shardStats = append(t.shardStats, obs.New())
+	}
+	return t.shardStats[shard]
+}
+
+// shardStatsList snapshots the per-shard Stats slice for the exporter.
+func (t *tenant) shardStatsList() []*obs.Stats {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	return append([]*obs.Stats(nil), t.shardStats...)
+}
+
 // newTenant builds a tenant on the named registry entry. Caller holds
 // s.tmu.
 func (s *Service) newTenant(name, queueName string) (*tenant, error) {
-	be, err := s.newBackend(queueName)
+	t := &tenant{name: name, svc: s, jobs: map[uint64]*job{}, stats: obs.New()}
+	t.rec = obs.Tee(t.stats, s.rec)
+	be, err := t.newBackend(queueName)
 	if err != nil {
 		return nil, err
 	}
-	t := &tenant{name: name, svc: s, jobs: map[uint64]*job{}}
 	t.be.Store(be)
 	return t, nil
 }
@@ -156,7 +202,7 @@ func (s *Service) SwapBackend(tenantName, queueName string) error {
 	if t == nil {
 		return fmt.Errorf("service: unknown tenant %q", tenantName)
 	}
-	nb, err := s.newBackend(queueName)
+	nb, err := t.newBackend(queueName)
 	if err != nil {
 		return err
 	}
@@ -170,6 +216,7 @@ func (s *Service) SwapBackend(tenantName, queueName string) error {
 		ln.mu.Unlock() //nolint:staticcheck
 	}
 	t.drainInto(old)
+	s.log.lifecycle("backend swap", "tenant", tenantName, "from", old.queueName, "to", queueName)
 	return nil
 }
 
