@@ -12,6 +12,7 @@
 //	sbqbench -queue Sharded-FAA -shards 4 # sharded front-end, explicit shard count
 //	sbqbench -batch 1,8,64                # sweep EnqueueBatch/DequeueBatch sizes
 //	sbqbench -pooled both                 # sweep GC mode and pooled-node mode
+//	sbqbench -txcas 0,270ns,5us           # sweep TxCAS speculation windows
 //	sbqbench -bench-json out.json         # also write a schema-versioned record
 //	sbqbench -diff old.json new.json      # compare two records (report-only)
 //	sbqbench -diff -diff-enforce b.json n.json  # exit 1 on regressions
@@ -25,6 +26,15 @@
 // garbage-collected), "true" (WithNodePool: reclaim-backed freelists,
 // zero steady-state allocations — the configuration the alloc gates
 // enforce), or "both" to measure the two modes side by side.
+//
+// -txcas sweeps the software-TxCAS speculation window (how long a
+// contending enqueuer watches the publication gate before issuing its
+// linking CAS; see repro/internal/txcas) across the listed durations on
+// the TxCAS-mode entries. 0 selects the engine default (the paper's
+// ~270ns §4.1 delay); entries without a TxCAS engine ignore the flag.
+// With -stats, each result cell also records the engine's CAS/soft-abort
+// counters in the bench-json output, so baselines document the
+// CAS-failure-rate reduction alongside ns/op.
 //
 // Worker goroutines carry pprof labels (queue=<impl>, role=<producer|
 // consumer|prefill>), so a CPU profile taken during a run attributes
@@ -53,9 +63,11 @@ func main() {
 	workload := flag.String("workload", "enqueue", "enqueue, dequeue, or mixed")
 	threads := cliflag.Threads(flag.CommandLine, "comma-separated thread counts (default 1,2,4,...,NumCPU)")
 	ops := flag.Int("ops", 100_000, "operations per thread")
-	only := flag.String("impl", "", "run a single implementation by name")
+	only := flag.String("impl", "", "comma-separated subset of implementations to run (default all): "+strings.Join(registry.Names(), ", "))
 	flag.StringVar(only, "queue", "", "alias for -impl")
 	batches := cliflag.Batches(flag.CommandLine, "comma-separated batch sizes; 0 = single-op path (default 0)")
+	txWindows := cliflag.Durations(flag.CommandLine, "txcas",
+		"comma-separated TxCAS speculation windows swept on the TxCAS entries (e.g. 0,270ns,5us); 0 = engine default; other entries ignore it")
 	shards := flag.Int("shards", 0, "shard count for the sharded front-end entries; 0 = entry default (GOMAXPROCS)")
 	pooled := flag.String("pooled", "false", `node reclamation mode: "false" (GC), "true" (WithNodePool), or "both" to sweep`)
 	stats := flag.Bool("stats", false, "print a telemetry snapshot (CAS failure rates, retries, basket outcomes) per run")
@@ -87,10 +99,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var onlySet map[string]bool
 	if *only != "" {
-		if _, ok := registry.Lookup(*only); !ok {
-			fmt.Fprintf(os.Stderr, "sbqbench: unknown impl %q (have %s)\n", *only, strings.Join(registry.Names(), ", "))
-			os.Exit(2)
+		onlySet = map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := registry.Lookup(n); !ok {
+				fmt.Fprintf(os.Stderr, "sbqbench: unknown impl %q (have %s)\n", n, strings.Join(registry.Names(), ", "))
+				os.Exit(2)
+			}
+			onlySet[n] = true
 		}
 	}
 
@@ -122,49 +140,69 @@ func main() {
 	record := benchjson.New()
 	record.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	for _, name := range registry.Names() {
-		if *only != "" && name != *only {
+		if onlySet != nil && !onlySet[name] {
 			continue
+		}
+		// The window sweep applies only to TxCAS-mode entries; everything
+		// else runs the single zero cell (entry default, dimension unset).
+		windows := []time.Duration{0}
+		if len(txWindows.Durations) > 0 && strings.Contains(name, "TxCAS") {
+			windows = txWindows.Durations
 		}
 		for _, pm := range pooledModes {
 			for _, k := range batchSizes {
-				var snaps []statRun
-				label := name
-				if k > 0 {
-					label = fmt.Sprintf("%s/k=%d", name, k)
-				}
-				if pm {
-					label += "/pooled"
-				}
-				fmt.Printf("%-20s", label)
-				for _, n := range threadCounts {
-					// The interface must stay untyped-nil when stats are off: a
-					// typed-nil *obs.Stats would pass the queues' nil checks and
-					// crash on the first Inc.
-					var rec obs.Recorder
-					var snap *obs.Stats
-					if *stats {
-						snap = obs.New()
-						rec = snap
+				for _, w := range windows {
+					var snaps []statRun
+					label := name
+					if k > 0 {
+						label = fmt.Sprintf("%s/k=%d", name, k)
 					}
-					ns := runOne(name, rec, *workload, n, *ops, k, *shards, pm)
-					fmt.Printf(" %10.1f", ns)
-					record.Results = append(record.Results, benchjson.Result{
-						Impl: name, Workload: *workload, Threads: n, Batch: k, Shards: *shards,
-						Pooled: pm, Ops: *ops, NSPerOp: ns,
-					})
-					if snap != nil {
-						snaps = append(snaps, statRun{n, snap.Snapshot()})
+					if pm {
+						label += "/pooled"
 					}
-				}
-				fmt.Println()
-				for _, sr := range snaps {
-					fmt.Printf("\n  %s @ %d threads:\n", label, sr.threads)
-					for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
-						fmt.Printf("    %s\n", line)
+					if w > 0 {
+						label += fmt.Sprintf("/w=%v", w)
 					}
-				}
-				if len(snaps) > 0 {
+					fmt.Printf("%-20s", label)
+					for _, n := range threadCounts {
+						// The interface must stay untyped-nil when stats are off: a
+						// typed-nil *obs.Stats would pass the queues' nil checks and
+						// crash on the first Inc.
+						var rec obs.Recorder
+						var snap *obs.Stats
+						if *stats {
+							snap = obs.New()
+							rec = snap
+						}
+						ns := runOne(name, rec, *workload, n, *ops, k, *shards, pm, w)
+						fmt.Printf(" %10.1f", ns)
+						res := benchjson.Result{
+							Impl: name, Workload: *workload, Threads: n, Batch: k, Shards: *shards,
+							Pooled: pm, TxWindowNS: w.Nanoseconds(), Ops: *ops, NSPerOp: ns,
+						}
+						if snap != nil {
+							s := snap.Snapshot()
+							res.CASAttempts = s.Counter(obs.CASAttempts)
+							res.CASFailures = s.Counter(obs.CASFailures)
+							res.TxSoftAborts = s.Counter(obs.TxSoftAborts)
+							res.TxSharerHints = s.Counter(obs.TxSharerHints)
+							if res.CASAttempts > 0 {
+								res.CASFailureRate = float64(res.CASFailures) / float64(res.CASAttempts)
+							}
+							snaps = append(snaps, statRun{n, s})
+						}
+						record.Results = append(record.Results, res)
+					}
 					fmt.Println()
+					for _, sr := range snaps {
+						fmt.Printf("\n  %s @ %d threads:\n", label, sr.threads)
+						for _, line := range strings.Split(strings.TrimRight(sr.snap.FormatQueue(), "\n"), "\n") {
+							fmt.Printf("    %s\n", line)
+						}
+					}
+					if len(snaps) > 0 {
+						fmt.Println()
+					}
 				}
 			}
 		}
@@ -211,12 +249,14 @@ func runDiff(oldPath, newPath string, threshold float64, enforce bool) {
 	}
 }
 
-// runOne measures one (impl, workload, threads, batch, pooled) cell and
-// returns ns per element normalized to one thread. batch 0 drives the
-// single-op path; positive batch drives EnqueueBatch/DequeueBatch with
+// runOne measures one (impl, workload, threads, batch, pooled, txWindow)
+// cell and returns ns per element normalized to one thread. batch 0 drives
+// the single-op path; positive batch drives EnqueueBatch/DequeueBatch with
 // that k (ops still counts elements, so numbers across batch sizes
-// compare per element). pooled selects WithNodePool reclamation.
-func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch, shards int, pooled bool) float64 {
+// compare per element). pooled selects WithNodePool reclamation. txWindow
+// overrides the TxCAS speculation window (0 = entry default; non-TxCAS
+// entries ignore it).
+func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch, shards int, pooled bool, txWindow time.Duration) float64 {
 	producers, consumers := threads, threads
 	switch workload {
 	case "enqueue":
@@ -234,6 +274,7 @@ func runOne(name string, rec obs.Recorder, workload string, threads, ops, batch,
 	}
 	inst, err := registry.Build(name, registry.Config{
 		Producers: nProd, Shards: shards, BatchHint: batch, Recorder: rec, Pooled: pooled,
+		TxWindow: txWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbqbench:", err)

@@ -42,14 +42,30 @@ type Result struct {
 	// allocations) rather than leaning on the garbage collector. False —
 	// the GC mode every pre-pooling baseline measured — is omitted, so
 	// old files decode to comparable cells.
-	Pooled  bool    `json:"pooled,omitempty"`
-	Ops     int     `json:"ops_per_thread"`
-	NSPerOp float64 `json:"ns_per_op"`
+	Pooled bool `json:"pooled,omitempty"`
+	// TxWindowNS is the TxCAS speculation window in nanoseconds for cells
+	// measured with an explicit -txcas sweep value; zero means the entry's
+	// default window (or a non-TxCAS entry), so pre-TxCAS baselines decode
+	// to comparable cells.
+	TxWindowNS int64   `json:"txcas_window_ns,omitempty"`
+	Ops        int     `json:"ops_per_thread"`
+	NSPerOp    float64 `json:"ns_per_op"`
+	// Telemetry counters, recorded when the run was invoked with -stats;
+	// zero otherwise. They identify where a speedup comes from — the TxCAS
+	// entries must show soft aborts displacing issued-and-failed CASes (the
+	// paper's §3 profit) — and are ignored by Diff, which compares ns/op.
+	CASAttempts   uint64 `json:"cas_attempts,omitempty"`
+	CASFailures   uint64 `json:"cas_failures,omitempty"`
+	TxSoftAborts  uint64 `json:"tx_soft_aborts,omitempty"`
+	TxSharerHints uint64 `json:"tx_sharer_hints,omitempty"`
+	// CASFailureRate is CASFailures / CASAttempts for the cell (0 when no
+	// attempts were recorded).
+	CASFailureRate float64 `json:"cas_failure_rate,omitempty"`
 }
 
 // key identifies the cell a result belongs to, for baseline matching.
 func (r Result) key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%t", r.Impl, r.Workload, r.Threads, r.Batch, r.Shards, r.Pooled)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%t|%d", r.Impl, r.Workload, r.Threads, r.Batch, r.Shards, r.Pooled, r.TxWindowNS)
 }
 
 // label renders the workload cell for tables: the workload name plus the
@@ -64,6 +80,9 @@ func (r Result) label() string {
 	}
 	if r.Pooled {
 		l += "/pooled"
+	}
+	if r.TxWindowNS > 0 {
+		l += fmt.Sprintf("/w=%dns", r.TxWindowNS)
 	}
 	return l
 }

@@ -101,6 +101,48 @@ func TestDiffUnmatchedCellsAndEnv(t *testing.T) {
 	}
 }
 
+func TestTxCASCells(t *testing.T) {
+	// Cells measured under different speculation windows are distinct:
+	// a -txcas sweep must not collapse into one baseline key.
+	a := Result{Impl: "SBQ-TxCAS", Workload: "mixed", Threads: 4, NSPerOp: 100}
+	b := a
+	b.TxWindowNS = 270
+	if a.key() == b.key() {
+		t.Fatalf("window ignored by key: %q", a.key())
+	}
+	if got := b.label(); !strings.Contains(got, "w=270ns") {
+		t.Fatalf("label = %q, want window dimension", got)
+	}
+	if got := a.label(); strings.Contains(got, "w=") {
+		t.Fatalf("default-window label = %q, want no window dimension", got)
+	}
+
+	// Telemetry counters round-trip but never affect the comparison: two
+	// runs with identical ns/op and wildly different counters diff clean.
+	old, new := sample(100), sample(100)
+	old.Results[0].Impl, new.Results[0].Impl = "SBQ-TxCAS", "SBQ-TxCAS"
+	new.Results[0].CASAttempts = 5000
+	new.Results[0].CASFailures = 40
+	new.Results[0].TxSoftAborts = 960
+	new.Results[0].TxSharerHints = 960
+	new.Results[0].CASFailureRate = 0.008
+	var buf bytes.Buffer
+	if err := new.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0] != new.Results[0] {
+		t.Fatalf("telemetry fields did not round-trip: %+v", got.Results[0])
+	}
+	rep := Diff(old, new, 0.10)
+	if len(rep.Regressions()) != 0 || len(rep.OnlyNew) != 0 || len(rep.OnlyOld) != 0 {
+		t.Fatalf("telemetry leaked into comparison: %+v", rep)
+	}
+}
+
 func TestDiffZeroBaseline(t *testing.T) {
 	old, new := sample(100), sample(100)
 	old.Results[0].NSPerOp = 0

@@ -241,8 +241,11 @@ func Faults(fs *flag.FlagSet) *FaultPlan {
 }
 
 // DurationList is a flag.Value accepting a comma-separated list of
-// positive Go durations ("50ms,200ms,1s") — sweep axes like the chaos
-// harness's lease-TTL sweep. An unset flag leaves Durations nil; commands
+// non-negative Go durations ("50ms,200ms,1s") — sweep axes like
+// sbqbench's TxCAS speculation-window sweep. Zero is a valid point:
+// sweeps use it to mean "the command's own default for this axis"
+// (sbqbench -txcas 0,270ns,5us measures the entry default alongside
+// explicit windows). An unset flag leaves Durations nil; commands
 // interpret that as their own default.
 type DurationList struct {
 	Durations []time.Duration
@@ -267,8 +270,8 @@ func (l *DurationList) Set(s string) error {
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
 		d, err := time.ParseDuration(f)
-		if err != nil || d <= 0 {
-			return fmt.Errorf("bad duration %q (want a positive Go duration like 50ms)", f)
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad duration %q (want a non-negative Go duration like 50ms)", f)
 		}
 		ds = append(ds, d)
 	}

@@ -142,9 +142,10 @@ func TestDurationListSet(t *testing.T) {
 	}{
 		{"50ms", []time.Duration{50 * time.Millisecond}, false},
 		{"50ms,1s, 2m ", []time.Duration{50 * time.Millisecond, time.Second, 2 * time.Minute}, false},
+		{"0s", []time.Duration{0}, false}, // zero is a valid point: "the command default"
+		{"0,270ns,5us", []time.Duration{0, 270 * time.Nanosecond, 5 * time.Microsecond}, false},
 		{"", nil, true},
 		{"abc", nil, true},
-		{"0s", nil, true},     // zero is not a sweep point
 		{"-1s", nil, true},    // negative durations rejected
 		{"1s,,2s", nil, true}, // empty field rejected
 		{"10", nil, true},     // bare numbers are not durations

@@ -13,6 +13,7 @@ package core
 import (
 	"repro/internal/machine"
 	"repro/internal/machine/policy"
+	"repro/internal/txcas"
 )
 
 // DefaultDelay is the intra-transaction delay (paper §4.1), in cycles.
@@ -111,16 +112,31 @@ func New(opt Options) *CAS {
 // old, store new and return true; otherwise return false. Fails only if
 // the location's value actually changed (CAS semantics), per paper §4.2.
 //
-// This is Algorithm 1 of the paper.
+// Do is DoTx reduced to the legacy boolean; callers that can act on the
+// failure report (retry policies, the baskets queue) should use DoTx.
 //
 //lf:hotpath
 func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
+	return c.DoTx(p, ptr, old, new).OK
+}
+
+// DoTx performs TxCAS(ptr, old, new) on proc p and returns the structured
+// failure report (see repro/internal/txcas.Outcome): spin depth, soft
+// aborts (attempts that died before the write step issued), and — when the
+// HTM abort status attributed the conflict — the conflicting requester
+// core as the sharer hint. This is Algorithm 1 of the paper with its
+// byproduct information surfaced instead of discarded (§3).
+//
+//lf:hotpath
+func (c *CAS) DoTx(p *machine.Proc, ptr machine.Addr, old, new uint64) txcas.Outcome {
 	c.Ops++
 	if c.opt.Policy != nil {
 		return c.doPolicy(p, ptr, old, new)
 	}
+	out := txcas.Outcome{LastWriter: txcas.NoWriter}
 	for attempt := 0; attempt < c.opt.MaxRetries; attempt++ {
 		c.Attempts++
+		out.Attempts++
 		delay := c.opt.Delay
 		if c.opt.DelayJitter > 0 {
 			delay += p.RandN(c.opt.DelayJitter)
@@ -138,10 +154,18 @@ func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 			tx.Write(ptr, new) // CAS write step
 		})
 		if committed {
-			return true
+			out.OK = true
+			return out
+		}
+		if st.Requester >= 0 {
+			out.LastWriter = st.Requester
 		}
 		if st.Explicit && st.Code == abortCodeValueMismatch {
-			return false // read step saw a different value
+			// Read step saw a different value: the cheap failure — the
+			// write step never issued its GetM.
+			out.SoftAborts++
+			out.VersionDelta = 1
+			return out
 		}
 		if st.Disabled {
 			break // HTM is off for good; retrying cannot succeed
@@ -156,26 +180,37 @@ func (c *CAS) Do(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
 			continue
 		}
 		// Conflict during the read step: another TxCAS's write is in
-		// flight. Wait for its GetM to complete — so our check does not
-		// trip it — then fail if the location indeed changed.
+		// flight — this attempt died before issuing its own write. Wait
+		// for the winner's GetM to complete — so our check does not trip
+		// it — then fail if the location indeed changed.
+		out.SoftAborts++
 		p.Delay(c.opt.PostAbortDelay)
 		if p.Read(ptr) != old {
-			return false
+			out.VersionDelta = 1
+			return out
 		}
 	}
 	// Fallback to a standard CAS for wait-freedom.
 	c.Fallbacks++
-	return p.FallbackCAS(ptr, old, new)
+	out.Fallback = true
+	out.OK = p.FallbackCAS(ptr, old, new)
+	if !out.OK {
+		out.VersionDelta = 1
+	}
+	return out
 }
 
-// doPolicy is the policy-paced variant of Do: Options.Policy is consulted
+// doPolicy is the policy-paced variant of DoTx: Options.Policy is consulted
 // before every transactional attempt and can retry, delay, or divert to the
 // software fallback; the transactional body itself (nested read step,
 // intra-transaction delay, write step) and the CAS-semantics checks are
 // identical to the legacy loop. MaxRetries still caps attempts so a policy
-// that never answers Fallback cannot cost wait-freedom.
-func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) bool {
-	var a policy.Abort
+// that never answers Fallback cannot cost wait-freedom. Each consult's
+// Abort carries the conflicting requester from the HTM abort status, so
+// contention-aware policies get the same sharer signal the Outcome does.
+func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) txcas.Outcome {
+	out := txcas.Outcome{LastWriter: txcas.NoWriter}
+	a := policy.Abort{Requester: policy.NoRequester}
 	for attempt := 0; ; attempt++ {
 		a.Attempt = attempt
 		d := c.opt.Policy.Decide(a, p.RandN)
@@ -184,9 +219,15 @@ func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) bool 
 		}
 		if d.Fallback || attempt >= c.opt.MaxRetries {
 			c.Fallbacks++
-			return p.FallbackCAS(ptr, old, new)
+			out.Fallback = true
+			out.OK = p.FallbackCAS(ptr, old, new)
+			if !out.OK {
+				out.VersionDelta = 1
+			}
+			return out
 		}
 		c.Attempts++
+		out.Attempts++
 		delay := c.opt.Delay
 		if c.opt.DelayJitter > 0 {
 			delay += p.RandN(c.opt.DelayJitter)
@@ -204,28 +245,40 @@ func (c *CAS) doPolicy(p *machine.Proc, ptr machine.Addr, old, new uint64) bool 
 			tx.Write(ptr, new) // CAS write step
 		})
 		if committed {
-			return true
+			out.OK = true
+			return out
+		}
+		if st.Requester >= 0 {
+			out.LastWriter = st.Requester
 		}
 		if st.Explicit && st.Code == abortCodeValueMismatch {
-			return false // read step saw a different value
+			// Read step saw a different value: fail without ever having
+			// issued the write step's GetM.
+			out.SoftAborts++
+			out.VersionDelta = 1
+			return out
 		}
 		a = policy.Abort{
-			Conflict: st.Conflict,
-			Explicit: st.Explicit,
-			Capacity: st.Capacity,
-			Disabled: st.Disabled,
-			Nested:   st.Nested,
-			Code:     st.Code,
+			Conflict:  st.Conflict,
+			Explicit:  st.Explicit,
+			Capacity:  st.Capacity,
+			Disabled:  st.Disabled,
+			Nested:    st.Nested,
+			Code:      st.Code,
+			Requester: st.Requester,
 		}
 		if st.Conflict && st.Nested {
 			// Conflict during the read step: another TxCAS's write is in
-			// flight. Wait for its GetM to complete — so our check does
-			// not trip it — then fail if the location indeed changed
-			// (§4.2). This check is CAS semantics, not pacing, so it stays
-			// in the executor under every policy.
+			// flight and this attempt died before issuing its own. Wait
+			// for the winner's GetM to complete — so our check does not
+			// trip it — then fail if the location indeed changed (§4.2).
+			// This check is CAS semantics, not pacing, so it stays in the
+			// executor under every policy.
+			out.SoftAborts++
 			p.Delay(c.opt.PostAbortDelay)
 			if p.Read(ptr) != old {
-				return false
+				out.VersionDelta = 1
+				return out
 			}
 		}
 	}

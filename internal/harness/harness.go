@@ -120,16 +120,14 @@ func buildQueue(m *machine.Machine, v Variant, producers, threads, basketSize in
 	}
 	switch v {
 	case SBQHTM:
-		app, _ := simqueue.NewTxCASAppend(threads, copt)
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
-			Append: app, Name: string(SBQHTM), Rec: rec,
+			Primitive: core.Bind(threads, copt), Name: string(SBQHTM), Rec: rec,
 		})
 	case SBQHTMPart:
-		app, _ := simqueue.NewTxCASAppend(threads, copt)
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{
 			BasketSize: basketSize, Enqueuers: producers, Threads: threads,
-			Append: app, Name: string(SBQHTMPart), Partitions: 2, Rec: rec,
+			Primitive: core.Bind(threads, copt), Name: string(SBQHTMPart), Partitions: 2, Rec: rec,
 		})
 	case SBQCAS:
 		return simqueue.NewSBQ(m, simqueue.SBQOptions{

@@ -66,6 +66,9 @@ var Table = []Symbol{
 	{"repro/internal/harness", "RunTraceTxCAS", "Run(TraceTxCAS{}, o).Trace"},
 	{"repro/queue/sbq", "NewDelayedCAS", "New with WithEnqueuers and WithAppendDelay"},
 	{"repro/queue/sbq", "NewWithOptions", "New with WithEnqueuers, WithAppendDelay and WithBasket"},
+	{"repro/queue/sbq", "WithAppendPolicy", "WithTxCAS(txcas.WithPolicy(p), txcas.WithWindow(0))"},
+	{"repro/internal/simqueue", "TxCASAppend", "PrimitiveAppend with a core.Bound"},
+	{"repro/internal/simqueue", "NewTxCASAppend", "PrimitiveAppend(core.Bind(threads, opt))"},
 	{"repro/basket", "NewScalable", "New with WithCapacity and WithBound"},
 	{"repro/basket", "NewPartitioned", "New with WithCapacity, WithBound and WithPartitions"},
 	{"repro/queue/registry", "Shared", "Batched(queue.AsBatch(q))"},

@@ -15,7 +15,7 @@ import (
 func TestDeprecated(t *testing.T) {
 	// Package a uses the surface from outside; the stub packages check the
 	// defining-package exemption (they contain self-uses and no // want).
-	linttest.Run(t, "testdata", Analyzer, "a", "repro/internal/harness", "repro/basket", "repro/queue/registry")
+	linttest.Run(t, "testdata", Analyzer, "a", "repro/internal/harness", "repro/internal/simqueue", "repro/basket", "repro/queue/registry")
 }
 
 func TestExempt(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/basket"
 	"repro/internal/harness"
+	"repro/internal/simqueue"
 	"repro/queue/registry"
 	"repro/queue/sbq"
 )
@@ -28,16 +29,24 @@ func figures() {
 func queues() {
 	_ = sbq.NewDelayedCAS[uint64](2, time.Nanosecond) // want `repro/queue/sbq\.NewDelayedCAS is deprecated: use New with WithEnqueuers and WithAppendDelay`
 	_ = sbq.NewWithOptions[uint64](2, 0, nil)         // want `NewWithOptions is deprecated`
+	_ = sbq.WithAppendPolicy(nil)                     // want `repro/queue/sbq\.WithAppendPolicy is deprecated: use WithTxCAS\(txcas\.WithPolicy\(p\), txcas\.WithWindow\(0\)\)`
 	_ = basket.NewScalable[int](4, 2)                 // want `NewScalable is deprecated`
 	_ = basket.NewPartitioned[int](4, 4, 2)           // want `NewPartitioned is deprecated`
 
 	// The modern forms draw no diagnostic.
 	_ = sbq.New[uint64]()
+	_ = sbq.WithTxCAS()
 	_ = basket.New[int]()
 
 	// A referenced (not called) wrapper is still a use.
 	f := harness.RunFig1 // want `RunFig1 is deprecated`
 	_ = f
+
+	// The simulated track's executor-slice appends migrated to the shared
+	// primitive surface.
+	_ = simqueue.TxCASAppend(nil)          // want `repro/internal/simqueue\.TxCASAppend is deprecated: use PrimitiveAppend with a core\.Bound`
+	_, _ = simqueue.NewTxCASAppend(2, nil) // want `repro/internal/simqueue\.NewTxCASAppend is deprecated: use PrimitiveAppend\(core\.Bind\(threads, opt\)\)`
+	_ = simqueue.PrimitiveAppend(nil)      // the modern form draws no diagnostic
 
 	//lint:ignore deprecated exercising the legacy surface on purpose
 	_ = basket.NewScalable[int](4, 2)

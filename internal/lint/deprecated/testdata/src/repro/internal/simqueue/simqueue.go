@@ -1,0 +1,17 @@
+// Package simqueue is a stub of repro/internal/simqueue: the deprecated
+// executor-slice append constructors plus the primitive form they
+// delegate to. The self-uses below must draw no diagnostic (defining
+// package exemption).
+package simqueue
+
+type AppendFunc func()
+
+type CAS struct{}
+
+func PrimitiveAppend(prim any) AppendFunc { return nil }
+
+func TxCASAppend(casers []*CAS) AppendFunc { return nil }
+
+func NewTxCASAppend(threads int, opt any) (AppendFunc, []*CAS) {
+	return TxCASAppend(nil), nil
+}

@@ -19,3 +19,7 @@ func NewDelayedCAS[T any](enqueuers int, delay time.Duration) *Queue[T] { return
 func NewWithOptions[T any](enqueuers int, delay time.Duration, nb func() basket.Basket[T]) *Queue[T] {
 	return New[T]()
 }
+
+func WithTxCAS(opts ...any) Option { return nil }
+
+func WithAppendPolicy(p any) Option { return WithTxCAS() }

@@ -34,6 +34,13 @@ type AbortStatus struct {
 	// nested transaction. TxCAS uses this to tell read-step conflicts
 	// from write-step conflicts (paper §4.2).
 	Nested bool
+	// Requester is the core id of the conflicting requester whose
+	// coherence message killed the transaction, or -1 when the abort had
+	// no attributable requester (capacity, explicit, spurious, disabled).
+	// This is the sharer identity a failed TxCAS profits from (§3): real
+	// RTM does not report it, but the conflicting line's requester is
+	// architecturally known at abort time and the simulator surfaces it.
+	Requester int
 }
 
 // txn is an active hardware transaction on one core.
@@ -241,6 +248,9 @@ func (c *cache) abortTx(st AbortStatus, tripped bool, requester int, line uint64
 		return
 	}
 	c.txn = nil
+	// Attribute the abort: conflict aborts carry the requester core that
+	// the coherence protocol identified; everything else reports -1.
+	st.Requester = requester
 	c.m.Stats.TxAborts++
 	c.m.obsInc(obs.TxAborts)
 	if st.Conflict {

@@ -47,7 +47,22 @@ type Abort struct {
 	Nested   bool
 	// Code is the explicit-abort code when Explicit is set.
 	Code uint8
+
+	// Requester is the identity of the conflicting thread/core the failure
+	// report attributed the abort to, or -1 (txcas.NoWriter) when unknown.
+	// On the simulated track it is the requester core from the HTM abort
+	// status; on the native track it is the last winner published through
+	// the location's version word. It is the sharer hint contention-aware
+	// policies can act on — the paper's profit-from-failure signal (§3).
+	// Executors that have no hint must set NoRequester explicitly: thread 0
+	// is a valid identity, so the zero value is not a safe "unknown".
+	Requester int
 }
+
+// NoRequester is the Requester value of an Abort carrying no sharer
+// identity. It equals txcas.NoWriter (this package cannot import
+// repro/internal/txcas without a cycle).
+const NoRequester = -1
 
 // Spurious reports whether the last abort carried no cause flag — the
 // zero-status abort an interrupt produces through _xbegin.

@@ -270,7 +270,7 @@ func (p *Proc) Transaction(body func(*Tx)) (committed bool, st AbortStatus) {
 		// beginTx — no transactional state ever exists — but counts as a
 		// started-and-aborted transaction, as real RTM reports it.
 		j.txSeen++
-		st = AbortStatus{Disabled: true}
+		st = AbortStatus{Disabled: true, Requester: -1}
 		p.m.Stats.TxStarted++
 		p.m.obsInc(obs.TxStarts)
 		p.m.obsEvent(obs.EvTxBegin, p.core, 0)
@@ -307,7 +307,7 @@ func (p *Proc) Transaction(body func(*Tx)) (committed bool, st AbortStatus) {
 		p.Delay(p.m.cfg.AbortCycles)
 		return
 	}
-	return true, AbortStatus{}
+	return true, AbortStatus{Requester: -1}
 }
 
 func (t *Tx) check(res opResult) uint64 {
@@ -334,7 +334,7 @@ func (t *Tx) Write(a Addr, v uint64) {
 	if tn := c.txn; tn != nil && c.txOverCapacity(tn, LineOf(a)) {
 		c.m.Stats.TxAbortCapacity++
 		c.m.obsInc(obs.TxAbortsCapacity)
-		st := AbortStatus{Capacity: true, Nested: tn.depth >= 2}
+		st := AbortStatus{Capacity: true, Nested: tn.depth >= 2, Requester: -1}
 		c.txn = nil
 		c.m.Stats.TxAborts++
 		c.m.obsInc(obs.TxAborts)
@@ -363,7 +363,7 @@ func (t *Tx) Delay(cycles uint64) {
 // It does not return.
 func (t *Tx) Abort(code uint8) {
 	c := t.p.cache()
-	st := AbortStatus{Explicit: true, Code: code, Nested: c.txn != nil && c.txn.depth >= 2}
+	st := AbortStatus{Explicit: true, Code: code, Nested: c.txn != nil && c.txn.depth >= 2, Requester: -1}
 	// Self-abort: tear down state synchronously, then unwind.
 	tn := c.txn
 	c.txn = nil

@@ -124,6 +124,16 @@ const (
 	SrvDLQ
 	SrvRejects
 
+	// Native software-TxCAS counters (repro/internal/txcas). TxSoftAborts
+	// counts speculative attempts abandoned before issuing their CAS
+	// because a competing winner published first — the native analogue of
+	// a read-step HTM abort: the doomed atomic never reaches the line.
+	// TxSharerHints counts failure reports that carried a concrete
+	// last-writer identity, the paper's "failures identify sharers" signal
+	// (§3) reproduced on real cores.
+	TxSoftAborts
+	TxSharerHints
+
 	// NumCounters bounds the Counter enum; it is not a counter.
 	NumCounters
 )
@@ -174,6 +184,8 @@ var counterNames = [NumCounters]string{
 	SrvExpired:         "srv_expired",
 	SrvDLQ:             "srv_dlq",
 	SrvRejects:         "srv_rejects",
+	TxSoftAborts:       "tx_soft_aborts",
+	TxSharerHints:      "tx_sharer_hints",
 }
 
 // String returns the counter's snake_case name.

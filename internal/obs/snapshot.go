@@ -41,6 +41,18 @@ func (s Snapshot) Rate(num, den Counter) float64 {
 // paper's central per-queue signal (§3, §6.1).
 func (s Snapshot) CASFailureRate() float64 { return s.Rate(CASFailures, CASAttempts) }
 
+// TxSoftAbortRate returns the fraction of contended try_appends the native
+// TxCAS engine resolved by soft abort (no CAS issued) rather than a failed
+// CAS: soft-aborts / (soft-aborts + failures). It is the profit-from-
+// failure conversion rate on real cores.
+func (s Snapshot) TxSoftAbortRate() float64 {
+	den := s.Counters[TxSoftAborts] + s.Counters[CASFailures]
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Counters[TxSoftAborts]) / float64(den)
+}
+
 // AbortRate returns the fraction of started transactions that aborted.
 func (s Snapshot) AbortRate() float64 { return s.Rate(TxAborts, TxStarts) }
 
@@ -59,6 +71,10 @@ func (s Snapshot) FormatQueue() string {
 		if s.Counters[CASFallbacks] > 0 {
 			fmt.Fprintf(&b, " fallbacks=%d", s.Counters[CASFallbacks])
 		}
+	}
+	if s.Counters[TxSoftAborts]+s.Counters[TxSharerHints] > 0 {
+		fmt.Fprintf(&b, "\ntxcas: soft-aborts=%d (%s of conflicts) sharer-hints=%d",
+			s.Counters[TxSoftAborts], pct(s.TxSoftAbortRate()), s.Counters[TxSharerHints])
 	}
 	if s.Counters[BasketInserts]+s.Counters[BasketInsertFails]+
 		s.Counters[BasketExtracts]+s.Counters[BasketExtractFails] > 0 {

@@ -26,9 +26,9 @@ func runSBQFaulty(t *testing.T, plan machine.FaultPlan, pol policy.RetryPolicy) 
 	m := machine.New(cfg)
 	opt := core.DefaultOptions()
 	opt.Policy = pol
-	app, _ := NewTxCASAppend(threads, opt)
 	q := NewSBQ(m, SBQOptions{
-		BasketSize: producers, Enqueuers: producers, Threads: threads, Append: app,
+		BasketSize: producers, Enqueuers: producers, Threads: threads,
+		Primitive: core.Bind(threads, opt),
 	})
 	histories := make([][]linearize.Op, threads)
 	left := producers

@@ -11,10 +11,10 @@ import (
 // mkPart builds an SBQ with partitioned extraction (the §8 future-work
 // extension) over TxCAS append.
 func mkPart(m *Machine, enq, threads, parts int) *SBQ {
-	app, _ := NewTxCASAppend(threads, core.DefaultOptions())
 	return NewSBQ(m, SBQOptions{
 		BasketSize: enq, Enqueuers: enq, Threads: threads,
-		Append: app, Name: "SBQ-HTM-PB", Partitions: parts,
+		Primitive: core.Bind(threads, core.DefaultOptions()),
+		Name:      "SBQ-HTM-PB", Partitions: parts,
 	})
 }
 

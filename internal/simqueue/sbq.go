@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/txcas"
 )
 
 // SBQ is the scalable baskets queue (paper §5): a modular baskets queue
@@ -97,8 +98,14 @@ type SBQOptions struct {
 	Enqueuers int
 	// Threads is the total number of threads (protector slots).
 	Threads int
-	// Append is the try_append CAS. Defaults to plain CAS.
+	// Append is the try_append CAS. Defaults to plain CAS (or to
+	// PrimitiveAppend(Primitive) when Primitive is set).
 	Append AppendFunc
+	// Primitive, when non-nil and Append is nil, drives try_append through
+	// the unified CAS-primitive interface (repro/internal/txcas) — e.g. a
+	// core.Bound of per-thread TxCAS executors. Equivalent to setting
+	// Append to PrimitiveAppend(Primitive).
+	Primitive txcas.Primitive
 	// Socket homes the queue's memory.
 	Socket int
 	// Name labels the variant in output.
@@ -127,6 +134,9 @@ func NewSBQ(m *Machine, opt SBQOptions) *SBQ {
 	}
 	if opt.Threads <= 0 {
 		opt.Threads = opt.Enqueuers
+	}
+	if opt.Append == nil && opt.Primitive != nil {
+		opt.Append = PrimitiveAppend(opt.Primitive)
 	}
 	if opt.Append == nil {
 		opt.Append = PlainCAS
@@ -514,8 +524,36 @@ func DelayedCAS(delay uint64) AppendFunc {
 	}
 }
 
+// procAttacher is implemented by primitives that need the simulated
+// thread's *machine.Proc registered before use (core.Bound). The proc only
+// exists once the machine has started the thread body, so PrimitiveAppend
+// attaches it at call time rather than construction time.
+type procAttacher interface {
+	Attach(tid int, p *machine.Proc)
+}
+
+// PrimitiveAppend returns an AppendFunc that drives try_append through the
+// unified CAS-primitive interface (repro/internal/txcas.Primitive) — the
+// simulated track's half of the shared surface: the same Primitive value
+// can be handed to the native queues. The structured Outcome is reduced to
+// the boolean try_append needs; callers wanting the full failure reports
+// keep their own handle on the primitive (e.g. core.Bound's executors).
+func PrimitiveAppend(prim txcas.Primitive) AppendFunc {
+	at, _ := prim.(procAttacher)
+	return func(p *machine.Proc, tid int, addr machine.Addr, old, new uint64) bool {
+		if at != nil {
+			at.Attach(tid, p)
+		}
+		return prim.TxCAS(tid, txcas.Loc(addr), old, new).OK
+	}
+}
+
 // TxCASAppend returns an AppendFunc backed by per-thread TxCAS executors.
 // casers must have one entry per thread id.
+//
+// Deprecated: use PrimitiveAppend with a core.Bound — the unified
+// CAS-primitive surface shared with the native track. TxCASAppend remains
+// as a thin wrapper for callers that already built their own executors.
 func TxCASAppend(casers []*core.CAS) AppendFunc {
 	return func(p *machine.Proc, tid int, addr machine.Addr, old, new uint64) bool {
 		return casers[tid].Do(p, addr, old, new)
@@ -524,10 +562,14 @@ func TxCASAppend(casers []*core.CAS) AppendFunc {
 
 // NewTxCASAppend builds per-thread TxCAS executors with opt and returns the
 // AppendFunc along with the executors (for stats inspection).
+//
+// Deprecated: use PrimitiveAppend(core.Bind(threads, opt)); the Bound's
+// Caser method exposes the same per-thread executors.
 func NewTxCASAppend(threads int, opt core.Options) (AppendFunc, []*core.CAS) {
+	b := core.Bind(threads, opt)
 	casers := make([]*core.CAS, threads)
 	for i := range casers {
-		casers[i] = core.New(opt)
+		casers[i] = b.Caser(i)
 	}
-	return TxCASAppend(casers), casers
+	return PrimitiveAppend(b), casers
 }

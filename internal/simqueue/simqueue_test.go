@@ -14,8 +14,7 @@ import (
 func mk(m *Machine, flavor string, enq, threads int) Queue {
 	switch flavor {
 	case "sbq-htm":
-		app, _ := NewTxCASAppend(threads, core.DefaultOptions())
-		return NewSBQ(m, SBQOptions{BasketSize: max(enq, 1), Enqueuers: max(enq, 1), Threads: threads, Append: app, Name: "SBQ-HTM"})
+		return NewSBQ(m, SBQOptions{BasketSize: max(enq, 1), Enqueuers: max(enq, 1), Threads: threads, Primitive: core.Bind(threads, core.DefaultOptions()), Name: "SBQ-HTM"})
 	case "sbq-cas":
 		return NewSBQ(m, SBQOptions{BasketSize: max(enq, 1), Enqueuers: max(enq, 1), Threads: threads, Append: PlainCAS, Name: "SBQ-CAS"})
 	case "sbq-dcas":

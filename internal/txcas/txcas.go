@@ -1,0 +1,94 @@
+// Package txcas defines the repository's unified CAS-primitive surface —
+// Primitive and its structured failure report, Outcome — and provides the
+// native software-TxCAS engine that implements it over real Go atomics.
+//
+// The paper's core trick (§3) is that a CAS built from a hardware
+// transaction turns *failure* into information: a losing TxCAS learns that
+// it lost, who beat it, and does so without serializing through the cache
+// coherence protocol. The simulated track reproduces that literally
+// (repro/internal/core over repro/internal/machine); Go exposes no HTM, so
+// the native track approximates it in software, in the spirit of
+// Zhang/Chabbi et al.'s optimistic-concurrency-for-Go work and Brown's
+// bounded-speculation HTM template (both in PAPERS.md): a per-location
+// version/last-writer publication word plays the role of the read set, a
+// calibrated speculation window plays the role of the transaction body
+// (and of the §4.1 intra-transaction delay), and a bounded number of
+// speculative attempts falls back to a single plain CAS so every operation
+// is wait-free.
+//
+// Both tracks implement Primitive:
+//
+//   - the native Engine in this package (over Words it registers), and
+//   - repro/internal/core.Bound (per-thread TxCAS executors over simulated
+//     machine addresses),
+//
+// so an experiment can drive the same policy-paced CAS through either and
+// compare the failure reports shape-for-shape.
+package txcas
+
+// Loc identifies one CAS target within a Primitive's location space: a
+// Word index for the native Engine, a machine.Addr for the simulated
+// track (machine.Addr is an alias of uint64, so the conversion is free).
+type Loc = uint64
+
+// NoWriter is the LastWriter value of an Outcome that carries no sharer
+// identity (no conflict, or the winner had not published yet).
+const NoWriter = -1
+
+// Outcome is the structured result of one TxCAS operation. Where a plain
+// CompareAndSwap answers only true/false, an Outcome reports how the
+// operation went: how hard it had to try, whether it was resolved on the
+// guaranteed software path, and — on failure — what it learned about the
+// contention that beat it. That last part is the paper's profit-from-
+// failure signal (§3): retry policies and the baskets queue act on it
+// instead of blindly re-issuing doomed atomics.
+type Outcome struct {
+	// OK reports whether the CAS took effect (the location held the
+	// expected value and was swung to the new one).
+	OK bool
+	// Fallback reports that the operation was resolved by the wait-free
+	// plain-CAS slow path (speculation budget exhausted, or the policy
+	// diverted it), per Brown's fast-path/fallback template.
+	Fallback bool
+	// Attempts is the spin depth: how many speculative attempts the
+	// operation consumed (transactional attempts on the simulated track,
+	// guarded windows natively). At least 1 for any operation that ran.
+	Attempts int
+	// SoftAborts counts attempts abandoned *before* issuing the CAS
+	// because a conflicting winner was detected mid-window — the cheap
+	// failures the paper's TxCAS gets from read-step aborts. A soft abort
+	// never puts a doomed atomic on the contended line.
+	SoftAborts int
+	// VersionDelta is a lower bound on the number of winning writes to the
+	// location observed during the operation: exact under the native
+	// engine's published version word when winners have published, at
+	// least 1 on any genuine failure (the value demonstrably changed).
+	// Zero on an uncontended success.
+	VersionDelta uint64
+	// LastWriter is the identity (thread/handle id) of the most recent
+	// winning writer the operation observed, or NoWriter when none was
+	// captured. Natively it is read from the location's publication word;
+	// on the simulated track it is the conflicting requester core reported
+	// by the HTM abort status.
+	LastWriter int
+}
+
+// Contended reports whether the operation observed any competing winner
+// (via a soft abort or a published version advance).
+func (o Outcome) Contended() bool { return o.SoftAborts > 0 || o.VersionDelta > 0 }
+
+// SharerKnown reports whether the Outcome carries a concrete sharer
+// identity — the paper's "failure identifies the contender" property.
+func (o Outcome) SharerKnown() bool { return o.LastWriter != NoWriter }
+
+// Primitive is the unified CAS-primitive interface: a compare-and-set
+// whose result is a structured failure report rather than a bare bool.
+// thread identifies the calling thread (a handle id natively, a simulated
+// thread id on the machine track) and must be stable per goroutine;
+// implementations use it for sharer attribution and per-thread state.
+//
+// Implementations: *Engine (native, this package) and *core.Bound
+// (simulated track).
+type Primitive interface {
+	TxCAS(thread int, loc Loc, old, new uint64) Outcome
+}

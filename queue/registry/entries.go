@@ -7,6 +7,7 @@ import (
 
 	"repro/basket"
 	"repro/internal/obs"
+	"repro/internal/txcas"
 	"repro/queue"
 	"repro/queue/baskets"
 	"repro/queue/ccq"
@@ -65,6 +66,17 @@ func init() {
 	}))
 	Register("SBQ-DCAS", sbqEntry(func(int, Config) sbq.Option {
 		return sbq.WithAppendDelay(DelayedCASDelay)
+	}))
+	// SBQ-TxCAS: the linking CAS runs through the native software-TxCAS
+	// engine (repro/internal/txcas) — contenders watch the queue's
+	// publication gate during the speculation window (Config.TxWindow;
+	// default the paper's ~270ns §4.1 delay) and abandon doomed CASes as
+	// soft aborts instead of issuing them.
+	Register("SBQ-TxCAS", sbqEntry(func(_ int, cfg Config) sbq.Option {
+		if cfg.TxWindow > 0 {
+			return sbq.WithTxCAS(txcas.WithWindow(cfg.TxWindow))
+		}
+		return sbq.WithTxCAS()
 	}))
 	// SBQ-PB: the §8 partitioned-basket extension, extraction split across
 	// producers/4 counters.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/queue"
@@ -62,6 +63,13 @@ type Config struct {
 	// and steady-state operations allocate nothing — the configuration
 	// queuetest's CheckAllocFree gates enforce registry-wide.
 	Pooled bool
+	// TxWindow overrides the speculation window of TxCAS-mode entries
+	// (SBQ-TxCAS): how long a contending enqueuer watches the publication
+	// gate before issuing its linking CAS (see repro/internal/txcas).
+	// Zero selects the engine default (the paper's ~270ns §4.1 delay);
+	// entries without a TxCAS engine ignore it. sbqbench threads its
+	// -txcas sweep dimension through this field.
+	TxWindow time.Duration
 }
 
 // Validate reports whether the configuration is buildable. Zero values are
@@ -80,6 +88,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.BatchHint < 0 {
 		return fmt.Errorf("registry: BatchHint must be >= 0 (0 means unknown), got %d", cfg.BatchHint)
+	}
+	if cfg.TxWindow < 0 {
+		return fmt.Errorf("registry: TxWindow must be >= 0 (0 selects the engine default), got %v", cfg.TxWindow)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package registry_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/queue"
@@ -257,7 +258,7 @@ func TestRecorderThreading(t *testing.T) {
 func TestBatchRecorderThreading(t *testing.T) {
 	native := map[string]bool{
 		"FAA-Queue": true, "SBQ-CAS": true, "SBQ-DCAS": true, "SBQ-PB": true,
-		"Sharded-FAA": true, "Sharded-SBQ": true,
+		"SBQ-TxCAS": true, "Sharded-FAA": true, "Sharded-SBQ": true,
 	}
 	for _, name := range registry.Names() {
 		name := name
@@ -358,6 +359,9 @@ func TestConfigValidate(t *testing.T) {
 		{"negative producers", registry.Config{Producers: -1}, "Producers"},
 		{"negative shards", registry.Config{Shards: -3}, "Shards"},
 		{"negative batch hint", registry.Config{BatchHint: -8}, "BatchHint"},
+		{"zero tx window selects the engine default", registry.Config{TxWindow: 0}, ""},
+		{"explicit tx window", registry.Config{TxWindow: 270 * time.Nanosecond}, ""},
+		{"negative tx window", registry.Config{TxWindow: -time.Microsecond}, "TxWindow"},
 		{"first bad field wins", registry.Config{Producers: -1, Shards: -1}, "Producers"},
 	}
 	for _, tc := range cases {
@@ -379,6 +383,32 @@ func TestConfigValidate(t *testing.T) {
 				t.Fatalf("Build() = %v, want error mentioning %q", berr, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestBuildTxCASWindow builds the TxCAS entry with an explicit speculation
+// window and checks the queue works and reports engine telemetry — the
+// path sbqbench's -txcas sweep drives.
+func TestBuildTxCASWindow(t *testing.T) {
+	for _, w := range []time.Duration{0, time.Microsecond} {
+		st := obs.New()
+		inst, err := registry.Build("SBQ-TxCAS", registry.Config{Producers: 1, Recorder: st, TxWindow: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, c := inst.ProducerView(0), inst.ConsumerView(0)
+		const n = 100
+		for i := uint64(0); i < n; i++ {
+			p.Enqueue(i)
+		}
+		for i := uint64(0); i < n; i++ {
+			if v, ok := c.Dequeue(); !ok || v != i {
+				t.Fatalf("window %v: dequeue %d = (%d, %v)", w, i, v, ok)
+			}
+		}
+		if st.Snapshot().Counter(obs.CASAttempts) == 0 {
+			t.Errorf("window %v: no CAS attempts recorded through the engine", w)
+		}
 	}
 }
 

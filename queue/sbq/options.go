@@ -7,6 +7,7 @@ import (
 	"repro/basket"
 	"repro/internal/machine/policy"
 	"repro/internal/obs"
+	"repro/internal/txcas"
 )
 
 // Option configures a Queue built with New. The element type appears only
@@ -20,10 +21,11 @@ import (
 type Option func(*options)
 
 type options struct {
-	enqueuers    int
-	appendDelay  time.Duration
-	appendPolicy policy.RetryPolicy
-	rec          obs.Recorder
+	enqueuers   int
+	appendDelay time.Duration
+	txcasOn     bool
+	txcasOpts   []txcas.Option
+	rec         obs.Recorder
 	// newBasket holds a func() basket.Basket[T]; it is typed any because
 	// Option is not generic (Go cannot infer a generic option's type
 	// parameter from a value-free call like WithEnqueuers(8)). New[T]
@@ -65,6 +67,28 @@ func WithAppendDelay(d time.Duration) Option {
 	return func(o *options) { o.appendDelay = d }
 }
 
+// WithTxCAS routes try_append through the native software-TxCAS engine
+// (repro/internal/txcas): contending enqueuers watch the queue's
+// publication gate during a calibrated speculation window and abandon
+// CASes a published winner has already doomed — the paper's
+// profit-from-failure effect (§3) on real cores: the loser still joins the
+// winner's basket, but its doomed atomic never lands on the contended
+// line, and the failure report identifies the winner. opts tune the
+// engine: txcas.WithWindow (default the §4.1 ~270ns), txcas.WithPolicy to
+// pace attempts with a repro/internal/machine/policy RetryPolicy fed real
+// conflict signal, txcas.WithBudget for the speculation bound. The
+// queue's recorder is attached automatically, so soft aborts and sharer
+// hints land in the same snapshot as the CAS counters.
+//
+// WithTxCAS supersedes WithAppendDelay/WithAppendPolicy's spin-only
+// pacing and takes precedence over both when combined.
+func WithTxCAS(opts ...txcas.Option) Option {
+	return func(o *options) {
+		o.txcasOn = true
+		o.txcasOpts = append(o.txcasOpts, opts...)
+	}
+}
+
 // WithAppendPolicy paces try_append with a retry policy from
 // repro/internal/machine/policy, the same policy values the simulated track
 // accepts — so an experiment can run one policy on both tracks. Natively a
@@ -74,10 +98,16 @@ func WithAppendDelay(d time.Duration) Option {
 // 2.5 cycles/ns) becomes a calibrated spin before the single CAS, and the
 // Fallback flag is ignored because the native CAS already is the software
 // path. policy.DelayedCAS{Delay: 675} therefore reproduces
-// WithAppendDelay(270 * time.Nanosecond). WithAppendPolicy takes precedence
-// over WithAppendDelay when both are given.
+// WithAppendDelay(270 * time.Nanosecond).
+//
+// Deprecated: use WithTxCAS(txcas.WithPolicy(p), txcas.WithWindow(0)) —
+// the unified CAS-primitive surface, which this wrapper now forwards to.
+// Append success/failure is decided identically: a fallback decision spins
+// the decided delay and issues the plain CAS exactly as before; a delay
+// decision's spin becomes the speculation window, which can only convert
+// an already-doomed CAS into a cheaper soft abort.
 func WithAppendPolicy(p policy.RetryPolicy) Option {
-	return func(o *options) { o.appendPolicy = p }
+	return WithTxCAS(txcas.WithPolicy(p), txcas.WithWindow(0))
 }
 
 // WithBasket overrides the basket constructor (the default is the scalable

@@ -3,10 +3,15 @@
 // basket (§5.2.1) and a pluggable try_append CAS strategy.
 //
 // Go exposes no hardware transactional memory and its runtime would abort
-// transactional sections, so the native SBQ cannot use TxCAS; it ships
-// with PlainCAS and DelayedCAS (the SBQ-CAS variant the paper evaluates to
-// isolate TxCAS's contribution, §6.1). The HTM-backed SBQ runs on the
-// repository's simulated machine (repro/internal/simqueue).
+// transactional sections, so the native SBQ cannot use the HTM TxCAS; it
+// ships with plain and delayed CAS (the SBQ-CAS variant the paper
+// evaluates to isolate TxCAS's contribution, §6.1) and, via WithTxCAS,
+// the software TxCAS of repro/internal/txcas: contending enqueuers watch
+// a publication gate during a calibrated speculation window and abandon
+// doomed linking CASes before issuing them, harvesting the winner's
+// identity from the failure — the paper's profit-from-failure effect
+// approximated on real cores. The HTM-backed SBQ runs on the repository's
+// simulated machine (repro/internal/simqueue).
 //
 // The basket must guarantee the property of §5.3.2: once the basket is
 // indicated empty, every future Extract fails. Both baskets in
@@ -35,8 +40,8 @@ import (
 	"time"
 
 	"repro/basket"
-	"repro/internal/machine/policy"
 	"repro/internal/obs"
+	"repro/internal/txcas"
 	"repro/reclaim"
 )
 
@@ -68,8 +73,22 @@ type Queue[T any] struct {
 	tail atomic.Pointer[node[T]]
 	_    [56]byte
 
+	// gate is the TxCAS-mode publication channel for the linking CAS
+	// (nil engine = unused). One gate serves every node's next field:
+	// exactly one list node has a nil next at any moment, so the family
+	// is one-shot in the sense txcas.Gate requires — any win published
+	// while a contender holds a nil-next snapshot dooms that contender's
+	// CAS, whichever node the winner linked. (Gate carries its own
+	// padding; see internal/txcas.)
+	gate txcas.Gate
+
 	enqueuers int
 	tryCAS    appendFn[T]
+	// eng is non-nil in TxCAS mode (WithTxCAS): tryAppend then routes the
+	// linking CAS through txcas.GuardedCAS and the engine owns the CAS
+	// telemetry, so soft aborts genuinely reduce measured attempts and
+	// failures.
+	eng       *txcas.Engine
 	newBasket func() basket.Basket[T]
 	rec       obs.Recorder // nil unless WithRecorder attached telemetry
 	// ev is the timeline extension of rec (nil unless the recorder is a
@@ -107,32 +126,13 @@ func New[T any](opts ...Option) *Queue[T] {
 			)
 		}
 	}
-	if o.appendPolicy != nil {
-		pol := o.appendPolicy
-		// Convert the policy's cycle-denominated delays to calibrated spin
-		// iterations once; the hot path then runs integer math only. The
-		// policy draws randomness from a queue-local xorshift stream: the
-		// native track makes no determinism promise (goroutine interleaving
-		// is already nondeterministic), it just needs cheap symmetry
-		// breaking without clock reads.
-		itersPerCycle := calibrateSpin() / cyclesPerNS
-		var rng atomic.Uint64
-		rng.Store(0x9E3779B97F4A7C15)
-		randN := func(n uint64) uint64 {
-			x := rng.Add(0xBF58476D1CE4E5B9)
-			x ^= x >> 30
-			x *= 0x94D049BB133111EB
-			x ^= x >> 27
-			return x % n
-		}
-		//lf:hotpath invoked by every tryAppend
-		q.tryCAS = func(next *atomic.Pointer[node[T]], n *node[T]) bool {
-			d := pol.Decide(policy.Abort{}, randN)
-			if d.Delay > 0 {
-				spinForCycles(d.Delay, itersPerCycle)
-			}
-			return next.CompareAndSwap(nil, n)
-		}
+	if o.txcasOn {
+		// Native TxCAS mode: the engine is built with the queue's recorder
+		// first so WithTxCAS options can override it; tryCAS stays nil —
+		// tryAppend routes the linking CAS through GuardedCAS directly
+		// (the engine needs the handle id and the gate, which the appendFn
+		// shape cannot carry).
+		q.eng = txcas.NewEngine(append([]txcas.Option{txcas.WithRecorder(o.rec)}, o.txcasOpts...)...)
 	} else if o.appendDelay > 0 {
 		// Calibrate once at construction so the hot path runs a fixed
 		// iteration count (see spin.go for why the loop never reads the
@@ -299,6 +299,15 @@ const (
 func (q *Queue[T]) tryAppend(tail, n *node[T], lane int32) appendStatus {
 	if tail.next.Load() != nil {
 		return appendBadTail
+	}
+	if e := q.eng; e != nil {
+		// TxCAS mode: the engine records the CAS attempt/failure counters
+		// and timeline events itself — a soft abort must *not* count as an
+		// issued CAS; that reduction is the measurable profit (§3).
+		if txcas.GuardedCAS(e, &q.gate, int(lane), &tail.next, nil, n).OK {
+			return appendSuccess
+		}
+		return appendFailure
 	}
 	if r := q.rec; r != nil {
 		r.Inc(obs.CASAttempts)

@@ -494,7 +494,7 @@ func (s *Service) redeliver(j *job, now time.Time) {
 	attempts := j.attempts
 	j.mu.Unlock()
 
-	dec := s.cfg.Backoff.Decide(policy.Abort{Attempt: attempts}, s.rng.randN)
+	dec := s.cfg.Backoff.Decide(policy.Abort{Attempt: attempts, Requester: policy.NoRequester}, s.rng.randN)
 	if dec.Fallback {
 		s.deadLetter(j)
 		s.inFlight.Add(-1)
